@@ -1,0 +1,89 @@
+// E4 — Theorem 1.1 message complexity: O(T · n · k log k) words total,
+// with at most ⌊n/2⌋ edges used per round.  Contrast: Becchetti et al.'s
+// averaging dynamics and label propagation exchange Θ(m) messages per
+// round (every node talks to all neighbours).
+//
+// The distributed engine meters every word (1 header + 2 per (id,value)
+// entry).  We sweep n and k and report measured words against the
+// closed-form per-round bound n + 2·(n/2)·(2s+1), and the per-round
+// message cost of the Θ(m) baselines on the same graphs.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/averaging_dynamics.hpp"
+#include "baselines/label_propagation.hpp"
+#include "common.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "util/timer.hpp"
+
+using namespace dgc;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree", 16));
+  const double phi = cli.get_double("phi", 0.02);
+
+  bench::banner("E4", "Theorem 1.1: message complexity O(T n k log k) words; <= n/2 "
+                      "matched edges per round (vs Theta(m)/round baselines)",
+                "planted clusters; n and k sweep; distributed engine with metering");
+
+  util::Table table("measured traffic vs bound",
+                    {"n", "k", "s", "T", "words", "bound_Tn(2s+3)", "ratio",
+                     "words/(T*n*klogk)", "avg_edges_used/round", "cap_n/2"});
+  util::Table baseline_table("per-round message cost: matching model vs Theta(m) baselines",
+                             {"n", "k", "m", "dgc_msgs/round", "averaging_msgs/round",
+                              "labelprop_msgs/round"});
+
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    for (const graph::NodeId size : {250u, 500u, 1000u}) {
+      const graph::NodeId n = size * k;
+      const auto planted = bench::make_clustered(k, size, degree, phi, 7 * k + size);
+      core::ClusterConfig config;
+      config.beta = 1.0 / static_cast<double>(k);
+      config.k_hint = k;
+      config.rounds_multiplier = 1.5;
+      config.seed = 17;
+      const auto report = core::DistributedClusterer(planted.graph, config).run();
+      const double t = static_cast<double>(report.result.rounds);
+      const double s = static_cast<double>(report.result.seeds.size());
+      const double words = static_cast<double>(report.traffic.words);
+      // Per round: n probe words + 2 state-bearing messages per matched
+      // pair (<= n/2 pairs), each <= 2s+1 words.
+      const double bound = t * (static_cast<double>(n) +
+                                static_cast<double>(n) * (2.0 * s + 1.0));
+      const double klogk = static_cast<double>(k) *
+                           std::max(1.0, std::log2(static_cast<double>(k)));
+      const double avg_edges =
+          static_cast<double>(report.result.process.total_matched_edges);
+
+      // The dense result inside the report does not track per-round
+      // matched edges; recompute from words_per_round message counts is
+      // overkill — use messages/3 phases as the matched-pair proxy.
+      const double rounds_d = t;
+      table.row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(k),
+                 static_cast<std::int64_t>(report.result.seeds.size()),
+                 static_cast<std::int64_t>(report.result.rounds), words, bound,
+                 words / bound, words / (t * n * klogk),
+                 avg_edges > 0 ? avg_edges / rounds_d : 0.0,
+                 static_cast<double>(n) / 2.0});
+
+      baselines::AveragingOptions avg_options;
+      avg_options.clusters = k;
+      const auto avg = baselines::averaging_dynamics(planted.graph, avg_options);
+      baselines::LabelPropagationOptions lp_options;
+      const auto lp = baselines::label_propagation(planted.graph, lp_options);
+      const double dgc_msgs =
+          static_cast<double>(report.traffic.messages) / rounds_d;
+      baseline_table.row(
+          {static_cast<std::int64_t>(n), static_cast<std::int64_t>(k),
+           static_cast<std::int64_t>(planted.graph.num_edges()), dgc_msgs,
+           static_cast<double>(avg.messages) / static_cast<double>(avg.rounds),
+           static_cast<double>(lp.messages) / static_cast<double>(lp.rounds)});
+    }
+  }
+  table.print(std::cout);
+  baseline_table.print(std::cout);
+  std::cout << "# PASS criteria: ratio <= 1 (bound holds); words/(T n klogk) roughly flat\n"
+               "# in n and k; dgc msgs/round ~ 2n < Theta(m) baselines for d = 16.\n";
+  return 0;
+}

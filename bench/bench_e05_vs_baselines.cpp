@@ -1,0 +1,134 @@
+// E5 — §1 motivation: a *simple, distributed* algorithm should match the
+// clustering quality of centralised spectral methods on well-clustered
+// graphs.  Head-to-head on the paper-faithful planted family and on SBM
+// instances: dgc (paper rule and argmax), spectral clustering, label
+// propagation, Becchetti-style averaging dynamics, power-iteration
+// clustering — misclassification and wall-clock per method.
+#include <iostream>
+
+#include "baselines/averaging_dynamics.hpp"
+#include "baselines/label_propagation.hpp"
+#include "baselines/louvain.hpp"
+#include "baselines/power_iteration.hpp"
+#include "baselines/spectral.hpp"
+#include "common.hpp"
+#include "core/clusterer.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace dgc;
+
+namespace {
+
+double rate32(const graph::PlantedGraph& planted, const std::vector<std::uint32_t>& labels,
+              std::uint32_t num_labels) {
+  return metrics::misclassification_rate(planted.membership, planted.num_clusters, labels,
+                                         std::max(1u, num_labels));
+}
+
+void run_family(const std::string& family, const graph::PlantedGraph& planted,
+                std::uint32_t k, util::Table& table) {
+  // dgc, paper rule — averaged over run seeds because the guarantee is
+  // "with constant probability" (a cluster can miss all seeding trials).
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k);
+  config.k_hint = k;
+  config.rounds_multiplier = 2.0;
+  if (!planted.graph.is_regular()) {
+    config.query_rule = core::QueryRule::kArgmax;  // threshold rule assumes regular
+  }
+  util::Timer timer;
+  std::vector<double> dgc_errs;
+  const std::uint64_t kRunSeeds[] = {3, 5, 7, 9, 11};
+  for (const auto seed : kRunSeeds) {
+    config.seed = seed;
+    const auto dgc_result = core::Clusterer(planted.graph, config).run();
+    dgc_errs.push_back(bench::error_rate(planted, dgc_result.labels));
+  }
+  const double dgc_seconds = timer.seconds() / 5.0;
+  // Median run: Theorem 1.1 only promises success with constant
+  // probability (e.g. the seeding can draw too few seeds), so the median
+  // is the representative statistic; E11 quantifies the failure modes.
+  const double dgc_err = util::median(dgc_errs);
+
+  timer.reset();
+  baselines::SpectralOptions spectral_options;
+  spectral_options.clusters = k;
+  const auto spectral = baselines::spectral_clustering(planted.graph, spectral_options);
+  const double spectral_seconds = timer.seconds();
+
+  timer.reset();
+  const auto lp = baselines::label_propagation(planted.graph, {});
+  const double lp_seconds = timer.seconds();
+
+  timer.reset();
+  baselines::AveragingOptions avg_options;
+  avg_options.clusters = k;
+  const auto avg = baselines::averaging_dynamics(planted.graph, avg_options);
+  const double avg_seconds = timer.seconds();
+
+  timer.reset();
+  baselines::PicOptions pic_options;
+  pic_options.clusters = k;
+  const auto pic = baselines::power_iteration_clustering(planted.graph, pic_options);
+  const double pic_seconds = timer.seconds();
+
+  timer.reset();
+  const auto lou = baselines::louvain(planted.graph, {});
+  const double lou_seconds = timer.seconds();
+
+  table.row({family, static_cast<std::int64_t>(planted.graph.num_nodes()),
+             static_cast<std::int64_t>(k), dgc_err, dgc_seconds,
+             rate32(planted, spectral.labels, k), spectral_seconds,
+             rate32(planted, lp.labels, lp.num_labels), lp_seconds,
+             rate32(planted, avg.labels, k), avg_seconds,
+             rate32(planted, pic.labels, k), pic_seconds,
+             rate32(planted, lou.labels, lou.num_communities), lou_seconds});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
+
+  bench::banner("E5", "Simple distributed load balancing matches centralised spectral "
+                      "quality on well-clustered graphs",
+                "planted regular clusters and SBM; 5 algorithms head-to-head");
+
+  util::Table table("misclassification rate / seconds per method",
+                    {"family", "n", "k", "dgc", "s", "spectral", "s", "labelprop", "s",
+                     "averaging", "s", "powiter", "s", "louvain", "s"});
+
+  for (const std::uint32_t k : {2u, 4u}) {
+    const auto planted = bench::make_clustered(k, size, 16, 0.02, 11 * k);
+    run_family("regular-phi0.02", planted, k, table);
+    const auto hard = bench::make_clustered(k, size, 16, 0.08, 13 * k);
+    run_family("regular-phi0.08", hard, k, table);
+  }
+  {
+    graph::SbmSpec spec;
+    spec.nodes_per_cluster = size;
+    spec.clusters = 2;
+    spec.p_in = 0.03;
+    spec.p_out = 0.001;
+    util::Rng rng(17);
+    const auto planted = graph::stochastic_block_model(spec, rng);
+    run_family("sbm-strong", planted, 2, table);
+  }
+  {
+    graph::SbmSpec spec;
+    spec.nodes_per_cluster = size;
+    spec.clusters = 4;
+    spec.p_in = 0.03;
+    spec.p_out = 0.002;
+    util::Rng rng(19);
+    const auto planted = graph::stochastic_block_model(spec, rng);
+    run_family("sbm-4way", planted, 4, table);
+  }
+  table.print(std::cout);
+  std::cout << "# PASS criteria: dgc within a few percent of spectral on well-clustered\n"
+               "# families; both degrade together on the hard family.\n";
+  return 0;
+}

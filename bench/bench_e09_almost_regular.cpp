@@ -1,0 +1,67 @@
+// E9 — §4.5: the algorithm extends to almost-regular graphs
+// (max/min degree ratio bounded) by viewing G as a D-regular graph G*
+// padded with self-loops.  Three protocol variants on instances with
+// increasing irregularity (random edge deletions):
+//   plain      — each node probes among its own deg(v) slots;
+//   padded     — D slots, self-loop slots are failed probes (our default
+//                reading of §4.5);
+//   padded+bias — the literal §4.5 activation 1/2 + (D−deg)/(2D).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/clusterer.hpp"
+#include "util/rng.hpp"
+
+using namespace dgc;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
+
+  bench::banner("E9", "Section 4.5: the algorithm works on almost-regular graphs via "
+                      "self-loop padding to degree D",
+                "planted clusters with iid edge deletions; 3 protocol variants");
+
+  util::Table table("misclassification on almost-regular instances (argmax query)",
+                    {"drop_prob", "max_deg", "min_deg", "ratio", "plain", "padded",
+                     "padded_bias", "T"});
+
+  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    graph::ClusteredRegularSpec spec;
+    spec.cluster_sizes.assign(2, size);
+    spec.degree = 20;
+    spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.01);
+    util::Rng rng(400 + static_cast<std::uint64_t>(drop * 100));
+    const auto planted = drop == 0.0 ? graph::clustered_regular(spec, rng)
+                                     : graph::almost_regular_clusters(spec, drop, rng);
+
+    core::ClusterConfig config;
+    config.beta = 0.5;
+    config.k_hint = 2;
+    config.rounds_multiplier = 2.0;
+    config.query_rule = core::QueryRule::kArgmax;
+    config.seed = 77;
+
+    const auto plain = core::Clusterer(planted.graph, config).run();
+
+    config.protocol.virtual_degree = planted.graph.max_degree();
+    const auto padded = core::Clusterer(planted.graph, config).run();
+
+    config.protocol.degree_biased_activation = true;
+    const auto biased = core::Clusterer(planted.graph, config).run();
+
+    table.row({drop, static_cast<std::int64_t>(planted.graph.max_degree()),
+               static_cast<std::int64_t>(planted.graph.min_degree()),
+               static_cast<double>(planted.graph.max_degree()) /
+                   static_cast<double>(planted.graph.min_degree()),
+               bench::error_rate(planted, plain.labels),
+               bench::error_rate(planted, padded.labels),
+               bench::error_rate(planted, biased.labels),
+               static_cast<std::int64_t>(plain.rounds)});
+  }
+  table.print(std::cout);
+  std::cout << "# PASS criteria: all variants stay accurate while max/min degree ratio\n"
+               "# is bounded (Section 4.5's regime); padding costs a constant factor in\n"
+               "# matched edges but not accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E13 (extension) — the paper's abstract: the early-behaviour analysis
+// "can be further applied to analyse other gossip processes, such as
+// rumour spreading and averaging processes".  Three gossip processes on
+// the same clustered instance:
+//
+//  * synchronous random matching (the paper's model);
+//  * asynchronous pairwise gossip (Boyd et al.), n ticks == one round;
+//  * push–pull rumour spreading (informed-set process).
+//
+// For the two averaging processes we track the within-cluster mixing
+// time vs the global mixing time of a unit load (the early/late split
+// the clustering algorithm exploits).  For rumour spreading we track
+// cluster saturation vs graph saturation.  A discrete-token run shows
+// what indivisibility costs (discrepancy stalls at O(1)).
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/rounds.hpp"
+#include "linalg/vector_ops.hpp"
+#include "matching/discrete.hpp"
+#include "matching/gossip.hpp"
+#include "matching/load_state.hpp"
+#include "matching/process.hpp"
+
+using namespace dgc;
+
+namespace {
+
+/// Rounds until the load vector is eps-close (L2) to `target`, probing
+/// every `stride` rounds; advance() runs one round.
+template <typename Advance>
+std::size_t rounds_until(matching::MultiLoadState& state,
+                         const std::vector<double>& target, double eps,
+                         std::size_t max_rounds, const Advance& advance) {
+  for (std::size_t t = 1; t <= max_rounds; ++t) {
+    advance(state);
+    double acc = 0.0;
+    for (std::size_t v = 0; v < target.size(); ++v) {
+      const double d = state.at(static_cast<graph::NodeId>(v), 0) - target[v];
+      acc += d * d;
+    }
+    if (std::sqrt(acc) <= eps) return t;
+  }
+  return max_rounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto size = static_cast<graph::NodeId>(cli.get_int("size", 600));
+
+  bench::banner("E13 (extension)",
+                "Abstract: the early-behaviour tool applies to other gossip "
+                "processes (averaging, rumour spreading)",
+                "k=2 planted clusters; matching vs async gossip vs push-pull rumour");
+
+  const auto planted = bench::make_clustered(2, size, 16, 0.01, 5);
+  const auto& g = planted.graph;
+  const std::size_t n = g.num_nodes();
+  const auto home = planted.cluster(0);
+  const graph::NodeId source = home.front();
+
+  // Targets: within-cluster indicator and global uniform.
+  std::vector<double> chi_s(n, 0.0);
+  for (const auto v : home) chi_s[v] = 1.0 / static_cast<double>(home.size());
+  const std::vector<double> uniform(n, 1.0 / static_cast<double>(n));
+  const double eps_local = 0.25 / std::sqrt(static_cast<double>(home.size()));
+  const double eps_global = 0.25 / std::sqrt(static_cast<double>(n));
+  const std::size_t cap = 40000;
+
+  util::Table avg_table("averaging processes: local vs global mixing (rounds; 1 async "
+                        "round = n ticks)",
+                        {"process", "rounds_to_cluster_mix", "rounds_to_global_mix",
+                         "separation", "exchanges/round"});
+
+  {
+    matching::MatchingGenerator generator(g, 31);
+    matching::MultiLoadState state(n, 1);
+    state.set(source, 0, 1.0);
+    const auto local = rounds_until(state, chi_s, eps_local, cap, [&](auto& s) {
+      s.apply(generator.next());
+    });
+    matching::MatchingGenerator generator2(g, 31);
+    matching::MultiLoadState state2(n, 1);
+    state2.set(source, 0, 1.0);
+    const auto global = rounds_until(state2, uniform, eps_global, cap, [&](auto& s) {
+      s.apply(generator2.next());
+    });
+    avg_table.row({std::string("sync matching (paper)"),
+                   static_cast<std::int64_t>(local), static_cast<std::int64_t>(global),
+                   static_cast<double>(global) / static_cast<double>(local),
+                   static_cast<double>(n) * 0.155});  // ~ n dbar/4
+  }
+  {
+    matching::AsyncGossip gossip(g, 37);
+    matching::MultiLoadState state(n, 1);
+    state.set(source, 0, 1.0);
+    const auto local = rounds_until(state, chi_s, eps_local, cap, [&](auto& s) {
+      for (std::size_t i = 0; i < n; ++i) gossip.tick(s);
+    });
+    matching::AsyncGossip gossip2(g, 37);
+    matching::MultiLoadState state2(n, 1);
+    state2.set(source, 0, 1.0);
+    const auto global = rounds_until(state2, uniform, eps_global, cap, [&](auto& s) {
+      for (std::size_t i = 0; i < n; ++i) gossip2.tick(s);
+    });
+    avg_table.row({std::string("async gossip (1 round = n ticks)"),
+                   static_cast<std::int64_t>(local), static_cast<std::int64_t>(global),
+                   static_cast<double>(global) / static_cast<double>(local),
+                   static_cast<double>(n)});
+  }
+  avg_table.print(std::cout);
+
+  // Rumour spreading: cluster saturation vs graph saturation.
+  util::Table rumor_table("push-pull rumour spreading from a cluster-0 source "
+                          "(mean over 10 runs)",
+                          {"rounds_to_90pct_cluster", "away_informed_then",
+                           "rounds_to_full_graph"});
+  double to_cluster = 0.0;
+  double away_then = 0.0;
+  double to_graph = 0.0;
+  const auto away = planted.cluster(1);
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    matching::RumorSpreading rumor(g, 41 + trial);
+    rumor.start(source);
+    std::size_t t = 0;
+    while (rumor.informed_within(home) < home.size() * 9 / 10 && t < 10000) {
+      rumor.round();
+      ++t;
+    }
+    to_cluster += static_cast<double>(t) / 10.0;
+    away_then +=
+        static_cast<double>(rumor.informed_within(away)) / 10.0;
+    while (rumor.informed_count() < n && t < 10000) {
+      rumor.round();
+      ++t;
+    }
+    to_graph += static_cast<double>(t) / 10.0;
+  }
+  rumor_table.row({to_cluster, away_then, to_graph});
+  rumor_table.print(std::cout);
+
+  // Discrete tokens: discrepancy stalls at O(1).
+  util::Table token_table("discrete tokens (randomized rounding), n tokens/node avg",
+                          {"rounds", "discrepancy"});
+  matching::MatchingGenerator generator(g, 53);
+  matching::DiscreteLoadState tokens(n, 59);
+  tokens.set(source, static_cast<std::int64_t>(n) * 10);
+  std::size_t t = 0;
+  for (const std::size_t checkpoint : {50ULL, 200ULL, 800ULL, 3200ULL}) {
+    while (t < checkpoint) {
+      tokens.apply(generator.next());
+      ++t;
+    }
+    token_table.row({static_cast<std::int64_t>(t),
+                     static_cast<std::int64_t>(tokens.discrepancy())});
+  }
+  token_table.print(std::cout);
+
+  std::cout << "# PASS criteria: for both averaging processes local mixing precedes\n"
+               "# global mixing by a wide separation factor (that window is what the\n"
+               "# query procedure reads); rumour saturates the source cluster while\n"
+               "# the other cluster is mostly uninformed; token discrepancy stalls at\n"
+               "# O(1) instead of vanishing.\n";
+  return 0;
+}

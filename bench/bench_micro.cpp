@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): per-component throughput of the
+// hot paths — matching generation, load averaging, walk matvec, Lanczos,
+// generators, k-means, Hungarian.  These are regression guards, not
+// paper claims.
+#include <benchmark/benchmark.h>
+
+#include "baselines/spectral.hpp"
+#include "graph/generators.hpp"
+#include "linalg/hungarian.hpp"
+#include "linalg/kmeans.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "matching/load_state.hpp"
+#include "matching/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+const graph::Graph& shared_graph(graph::NodeId n) {
+  static std::map<graph::NodeId, graph::Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    util::Rng rng(7 + n);
+    it = cache.emplace(n, graph::random_regular(n, 16, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_MatchingRound(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MatchingRound)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_MultiLoadApply(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 5);
+  const auto m = generator.next();
+  matching::MultiLoadState loads(n, s);
+  for (std::size_t i = 0; i < s; ++i) loads.set(static_cast<graph::NodeId>(i), i, 1.0);
+  for (auto _ : state) {
+    loads.apply(m);
+    benchmark::DoNotOptimize(loads.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * m.edges.size() * s);
+}
+BENCHMARK(BM_MultiLoadApply)->Args({1 << 14, 8})->Args({1 << 14, 32})->Args({1 << 16, 16});
+
+void BM_WalkMatvec(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto& g = shared_graph(n);
+  const linalg::WalkOperator op(g);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    op.apply_walk(x, y);
+    benchmark::DoNotOptimize(y[0]);
+    x.swap(y);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_WalkMatvec)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_LanczosTop5(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto& g = shared_graph(n);
+  const linalg::WalkOperator op(g);
+  for (auto _ : state) {
+    linalg::LanczosOptions options;
+    options.num_eigenpairs = 5;
+    const auto pairs = linalg::lanczos_top_eigenpairs(
+        n,
+        [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+        options);
+    benchmark::DoNotOptimize(pairs.values[0]);
+  }
+}
+BENCHMARK(BM_LanczosTop5)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateClusteredRegular(benchmark::State& state) {
+  const auto size = static_cast<graph::NodeId>(state.range(0));
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, size);
+  spec.degree = 16;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.02);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    benchmark::DoNotOptimize(graph::clustered_regular(spec, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * size * 4);
+}
+BENCHMARK(BM_GenerateClusteredRegular)->Arg(1 << 10)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSbm(benchmark::State& state) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = static_cast<graph::NodeId>(state.range(0));
+  spec.clusters = 4;
+  spec.p_in = 0.02;
+  spec.p_out = 0.001;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    benchmark::DoNotOptimize(graph::stochastic_block_model(spec, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.nodes_per_cluster * 4);
+}
+BENCHMARK(BM_GenerateSbm)->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const std::size_t dim = 4;
+  util::Rng rng(11);
+  std::vector<double> points(n * dim);
+  for (auto& p : points) p = rng.next_double();
+  linalg::KMeansOptions options;
+  options.clusters = 4;
+  options.restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::kmeans(points, n, dim, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Unit(benchmark::kMillisecond);
+
+void BM_Hungarian(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(13);
+  std::vector<double> cost(k * k);
+  for (auto& c : cost) c = rng.next_double();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::hungarian_min_cost(cost, k, k));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+#include "common.hpp"
+
+#include <iostream>
+
+#include "util/rng.hpp"
+
+namespace dgc::bench {
+
+void banner(const std::string& experiment_id, const std::string& claim,
+            const std::string& workload) {
+  std::cout << "######################################################################\n"
+            << "# Experiment " << experiment_id << "\n"
+            << "# Claim:    " << claim << "\n"
+            << "# Workload: " << workload << "\n"
+            << "######################################################################\n\n";
+}
+
+graph::PlantedGraph make_clustered(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                   double phi, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+double error_rate(const graph::PlantedGraph& planted,
+                  const std::vector<std::uint64_t>& labels) {
+  return metrics::misclassification_rate(planted.membership, planted.num_clusters, labels);
+}
+
+std::size_t unclustered_count(const std::vector<std::uint64_t>& labels) {
+  std::size_t count = 0;
+  for (const auto label : labels) count += label == metrics::kUnclustered;
+  return count;
+}
+
+}  // namespace dgc::bench

@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness binaries (bench_eNN_*).
+//
+// Every binary prints a self-describing header (experiment id, the paper
+// claim being reproduced, workload) followed by util::Table blocks, so
+// `for b in build/bench/*; do $b; done` regenerates the full evaluation
+// recorded in EXPERIMENTS.md.  All parameters are overridable with
+// --flag=value (see util/cli.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace dgc::bench {
+
+/// Prints the standard experiment banner.
+void banner(const std::string& experiment_id, const std::string& claim,
+            const std::string& workload);
+
+/// Paper-faithful planted instance: k equal clusters of `size` nodes,
+/// exactly `degree`-regular, per-cluster conductance ≈ phi.
+[[nodiscard]] graph::PlantedGraph make_clustered(std::uint32_t k, graph::NodeId size,
+                                                 std::size_t degree, double phi,
+                                                 std::uint64_t seed);
+
+/// Misclassified-fraction of raw labels against the planted partition.
+[[nodiscard]] double error_rate(const graph::PlantedGraph& planted,
+                                const std::vector<std::uint64_t>& labels);
+
+/// Number of kUnclustered labels.
+[[nodiscard]] std::size_t unclustered_count(const std::vector<std::uint64_t>& labels);
+
+}  // namespace dgc::bench

@@ -1,0 +1,70 @@
+// Distributed deployment study: run the message-passing engine on a
+// multi-site graph, inspect the full communication ledger, and stress it
+// with message loss — the operational questions someone deploying the
+// protocol across datacentres would ask first.
+//
+//   build/examples/example_distributed_deployment [--sites=4] [--size=500]
+//                                                 [--loss=0.1]
+#include <cstdio>
+
+#include "core/distributed_clusterer.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dgc;
+  const util::Cli cli(argc, argv);
+  const auto sites = static_cast<std::uint32_t>(cli.get_int("sites", 4));
+  const auto size = static_cast<graph::NodeId>(cli.get_int("size", 500));
+  const double loss = cli.get_double("loss", 0.1);
+
+  // "Sites" = clusters: machines within a site are densely connected,
+  // cross-site links are scarce — exactly the cluster structure the
+  // algorithm exploits.
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(sites, size);
+  spec.degree = 16;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.02);
+  util::Rng rng(cli.get_int("seed", 5));
+  const auto planted = graph::clustered_regular(spec, rng);
+
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(sites);
+  config.k_hint = sites;
+  config.rounds_multiplier = 2.0;
+  config.seed = cli.get_int("seed", 5);
+
+  std::printf("network: %u nodes over %u sites, %zu links\n\n",
+              planted.graph.num_nodes(), sites, planted.graph.num_edges());
+  std::printf("%-14s %10s %12s %14s %12s %10s\n", "condition", "rounds", "messages",
+              "words", "dropped", "misclass");
+
+  for (const double drop : {0.0, loss, 2 * loss}) {
+    const auto report = core::DistributedClusterer(planted.graph, config).run(drop);
+    const double err = metrics::misclassification_rate(
+        planted.membership, sites, report.result.labels);
+    std::printf("loss=%-8.2f %10zu %12llu %14llu %12llu %9.2f%%\n", drop,
+                report.result.rounds,
+                static_cast<unsigned long long>(report.traffic.messages),
+                static_cast<unsigned long long>(report.traffic.words),
+                static_cast<unsigned long long>(report.traffic.dropped_messages),
+                100.0 * err);
+  }
+
+  // Per-round word profile of the fault-free run (first/median/last) —
+  // shows the state payloads growing as loads spread, then saturating.
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  const auto& per_round = report.words_per_round;
+  std::printf("\nper-round words: first=%llu  t=T/2: %llu  last=%llu  "
+              "(max state entries: %zu of s=%zu)\n",
+              static_cast<unsigned long long>(per_round.front()),
+              static_cast<unsigned long long>(per_round[per_round.size() / 2]),
+              static_cast<unsigned long long>(per_round.back()),
+              report.max_state_entries, report.result.seeds.size());
+  std::printf("\nNOTE: losing a Probe or Accept only cancels that pair's exchange;\n"
+              "losing the final State reply leaves the pair asymmetric — the\n"
+              "two-generals limit any real lossy deployment hits (see DESIGN.md).\n");
+  return 0;
+}

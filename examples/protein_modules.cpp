@@ -1,0 +1,79 @@
+// Functional-module discovery in a synthetic protein–protein interaction
+// network — the paper's second motivating application ("proteins having
+// the same specific function within the cell").
+//
+//   build/examples/example_protein_modules [--proteins=800] [--modules=5]
+//
+// PPI networks are only *almost* regular, so this example exercises the
+// §4.5 machinery: virtual-degree padding, degree-biased activation, and
+// per-module conductance reporting.  It also round-trips the network
+// through the edge-list format to show the IO path.
+#include <cstdio>
+#include <sstream>
+
+#include "core/clusterer.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dgc;
+  const util::Cli cli(argc, argv);
+  const auto proteins = static_cast<graph::NodeId>(cli.get_int("proteins", 800));
+  const auto modules = static_cast<std::uint32_t>(cli.get_int("modules", 5));
+
+  // Synthetic PPI: dense interaction modules, sparse crosstalk, degrees
+  // thinned irregularly (experimental coverage is never uniform).
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(modules, proteins / modules);
+  spec.degree = 18;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.015);
+  util::Rng rng(cli.get_int("seed", 13));
+  const auto planted =
+      graph::almost_regular_clusters(spec, cli.get_double("dropout", 0.15), rng);
+  const auto& g = planted.graph;
+
+  // Round-trip through the serialisation layer (what a pipeline that
+  // reads STRING/BioGRID exports would do).
+  std::stringstream archive;
+  graph::write_edge_list(archive, g);
+  const graph::Graph loaded = graph::read_edge_list(archive);
+
+  std::printf("PPI network: %u proteins, %zu interactions, degrees %zu..%zu\n",
+              loaded.num_nodes(), loaded.num_edges(), loaded.min_degree(),
+              loaded.max_degree());
+
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(modules + 1);
+  config.k_hint = modules;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.protocol.virtual_degree = loaded.max_degree();        // §4.5 padding
+  config.protocol.degree_biased_activation = true;             // §4.5 literal
+  config.seed = cli.get_int("seed", 13);
+  const auto result = core::Clusterer(loaded, config).run();
+
+  const auto compacted = metrics::compact(result.labels);
+  std::printf("recovered %u candidate modules in T=%zu rounds\n",
+              compacted.num_labels, result.rounds);
+  std::printf("misclassified proteins: %.2f%%   ARI: %.4f\n\n",
+              100.0 * metrics::misclassification_rate(planted.membership, modules,
+                                                      result.labels),
+              metrics::adjusted_rand_index(planted.membership, compacted.labels));
+
+  // Per-module quality report: size and outer conductance of each
+  // *recovered* module (what a biologist would sanity-check first).
+  const auto phis =
+      graph::partition_conductances(loaded, compacted.labels, compacted.num_labels);
+  std::printf("%-10s %10s %16s\n", "module", "proteins", "conductance");
+  std::vector<std::size_t> sizes(compacted.num_labels, 0);
+  for (const auto label : compacted.labels) ++sizes[label];
+  for (std::uint32_t c = 0; c < compacted.num_labels; ++c) {
+    if (sizes[c] == 0) continue;
+    std::printf("%-10u %10zu %16.4f\n", c, sizes[c], phis[c]);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Averaging dynamics of Becchetti, Clementi, Natale, Pasquale, Trevisan
+// ("Find your place", SODA'17) — the distributed comparison the paper
+// makes in §1.3.
+//
+// Protocol (their Algorithm 1, 2-community form): every node draws a
+// Rademacher value x(0)(v) ∈ {−1, +1}; each round every node replaces its
+// value by  x(t+1) = ( x(t) + average of ALL neighbours' x(t) ) / 2,
+// i.e. x(t+1) = (I + P)/2 · x(t).  After T rounds nodes cluster by the
+// sign of x(T) − x(T+1), in which the second eigenvector's sign pattern
+// dominates.  Every node talks to every neighbour each round, so the
+// communication cost is Θ(m) messages per round — the contrast to the
+// matching model's ≤ ⌊n/2⌋ (experiment E4).
+//
+// k > 2 (our natural extension, documented in DESIGN.md §5): run h
+// independent Rademacher vectors, embed every node by its h difference
+// values, k-means the embedding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::baselines {
+
+struct AveragingOptions {
+  std::uint32_t clusters = 2;
+  std::size_t rounds = 0;       ///< 0 = ceil(c·log n) with c = 8
+  std::size_t sketches = 0;     ///< h; 0 = max(1, ceil(log2 k)) + 2
+  std::uint64_t seed = 23;
+};
+
+struct AveragingResult {
+  std::vector<std::uint32_t> labels;
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;  ///< 2m per round per sketch
+};
+
+[[nodiscard]] AveragingResult averaging_dynamics(const graph::Graph& g,
+                                                 const AveragingOptions& options);
+
+}  // namespace dgc::baselines

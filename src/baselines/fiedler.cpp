@@ -1,0 +1,160 @@
+#include "baselines/fiedler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+
+namespace dgc::baselines {
+
+SweepCutResult fiedler_sweep_cut(const graph::Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  DGC_REQUIRE(n >= 2, "graph too small");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 2;
+  options.seed = seed;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n,
+      [&](std::span<const double> in, std::span<double> out) {
+        if (g.is_regular()) {
+          op.apply_walk(in, out);
+        } else {
+          op.apply_normalized(in, out);
+        }
+      },
+      options);
+  const auto& fiedler = pairs.vectors[1];
+
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return fiedler[a] < fiedler[b];
+  });
+
+  // Scan prefix cuts, maintaining cut and internal-edge counts
+  // incrementally: O(m) total.  The score of a prefix S is the paper
+  // conductance of the side with fewer touching edges,
+  //   phi = cut / min(touching(S), touching(V\S)),
+  // which is what "S is a cluster" means — without the min, shaving one
+  // node off the big side would always look optimal.
+  const auto m = static_cast<std::uint64_t>(g.num_edges());
+  std::vector<char> in_prefix(n, 0);
+  std::uint64_t cut = 0;
+  std::uint64_t internal = 0;
+  double best_phi = 1.0;
+  std::size_t best_prefix = 1;
+  bool best_side_is_prefix = true;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const graph::NodeId v = order[i];
+    in_prefix[v] = 1;
+    for (const graph::NodeId u : g.neighbors(v)) {
+      if (in_prefix[u]) {
+        --cut;
+        ++internal;
+      } else {
+        ++cut;
+      }
+    }
+    const std::uint64_t touching_prefix = internal + cut;   // edges touching S
+    const std::uint64_t touching_rest = m - internal;       // edges touching V\S
+    const std::uint64_t denom = std::min(touching_prefix, touching_rest);
+    const double phi =
+        denom == 0 ? 1.0 : static_cast<double>(cut) / static_cast<double>(denom);
+    if (phi < best_phi) {
+      best_phi = phi;
+      best_prefix = i + 1;
+      best_side_is_prefix = touching_prefix <= touching_rest;
+    }
+  }
+
+  SweepCutResult result;
+  result.lambda_2 = pairs.values[1];
+  result.conductance = best_phi;
+  result.in_cut.assign(n, best_side_is_prefix ? 0 : 1);
+  for (std::size_t i = 0; i < best_prefix; ++i) {
+    result.in_cut[order[i]] = best_side_is_prefix ? 1 : 0;
+  }
+  return result;
+}
+
+namespace {
+
+/// Sweep-cuts the induced subgraph on `nodes`; returns the two sides, or
+/// an empty pair when the part cannot be split (degenerate subgraph or a
+/// trivial cut).
+std::pair<std::vector<graph::NodeId>, std::vector<graph::NodeId>> split_part(
+    const graph::Graph& g, const std::vector<graph::NodeId>& nodes, std::uint64_t seed) {
+  if (nodes.size() < 4) return {};
+  std::vector<graph::NodeId> local_id(g.num_nodes(), graph::kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    local_id[nodes[i]] = static_cast<graph::NodeId>(i);
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (const auto v : nodes) {
+    for (const auto u : g.neighbors(v)) {
+      if (local_id[u] != graph::kInvalidNode && v < u) {
+        edges.emplace_back(local_id[v], local_id[u]);
+      }
+    }
+  }
+  if (edges.empty()) return {};
+  const graph::Graph sub =
+      graph::Graph::from_edges(static_cast<graph::NodeId>(nodes.size()), std::move(edges));
+  if (sub.min_degree() == 0) return {};
+
+  const auto cut = fiedler_sweep_cut(sub, seed);
+  std::pair<std::vector<graph::NodeId>, std::vector<graph::NodeId>> sides;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    (cut.in_cut[i] ? sides.first : sides.second).push_back(nodes[i]);
+  }
+  if (sides.first.empty() || sides.second.empty()) return {};
+  return sides;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> recursive_bisection(const graph::Graph& g, std::uint32_t parts,
+                                               std::uint64_t seed) {
+  DGC_REQUIRE(parts >= 1 && parts <= 1024, "parts must be in [1, 1024]");
+  std::vector<std::vector<graph::NodeId>> partition;
+  {
+    std::vector<graph::NodeId> all(g.num_nodes());
+    std::iota(all.begin(), all.end(), 0);
+    partition.push_back(std::move(all));
+  }
+  std::vector<char> unsplittable(1, 0);
+  while (partition.size() < parts) {
+    // Split the largest part that is still splittable.
+    std::size_t target = partition.size();
+    std::size_t target_size = 0;
+    for (std::size_t i = 0; i < partition.size(); ++i) {
+      if (!unsplittable[i] && partition[i].size() > target_size) {
+        target = i;
+        target_size = partition[i].size();
+      }
+    }
+    if (target == partition.size()) break;  // nothing splittable left
+    auto sides = split_part(g, partition[target], seed + partition.size());
+    if (sides.first.empty()) {
+      unsplittable[target] = 1;
+      continue;
+    }
+    partition[target] = std::move(sides.first);
+    unsplittable[target] = 0;
+    partition.push_back(std::move(sides.second));
+    unsplittable.push_back(0);
+  }
+
+  std::vector<std::uint32_t> labels(g.num_nodes(), 0);
+  for (std::uint32_t p = 0; p < partition.size(); ++p) {
+    for (const auto v : partition[p]) labels[v] = p;
+  }
+  return labels;
+}
+
+}  // namespace dgc::baselines

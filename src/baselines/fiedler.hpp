@@ -1,0 +1,34 @@
+// Fiedler sweep cut — the classical spectral bisection that the Cheeger
+// inequality (the k=2 case of the paper's eq. (1)) makes rigorous:
+// sort nodes by the second eigenvector of the walk matrix, scan the n−1
+// prefix cuts, return the one with minimum conductance.  Recursing gives
+// a simple k-way partitioner; we expose the single cut (the primitive)
+// and a recursive driver for k = 2^j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::baselines {
+
+struct SweepCutResult {
+  /// in_cut[v] = 1 if v is on the small-conductance side.
+  std::vector<char> in_cut;
+  double conductance = 0.0;  ///< paper conductance of the returned side
+  double lambda_2 = 0.0;     ///< second eigenvalue of the walk matrix
+};
+
+/// Best prefix cut of the Fiedler ordering (connected graphs).
+[[nodiscard]] SweepCutResult fiedler_sweep_cut(const graph::Graph& g,
+                                               std::uint64_t seed = 61);
+
+/// Recursive bisection into (up to) `parts` parts: repeatedly sweep-cuts
+/// the currently largest part until the target count is reached or no
+/// part can be split.  Labels are compact in [0, returned count).
+[[nodiscard]] std::vector<std::uint32_t> recursive_bisection(const graph::Graph& g,
+                                                             std::uint32_t parts,
+                                                             std::uint64_t seed = 61);
+
+}  // namespace dgc::baselines

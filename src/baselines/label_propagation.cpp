@@ -1,0 +1,61 @@
+#include "baselines/label_propagation.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::baselines {
+
+LabelPropagationResult label_propagation(const graph::Graph& g,
+                                         const LabelPropagationOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  DGC_REQUIRE(n > 0, "empty graph");
+
+  std::vector<std::uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(options.seed);
+
+  LabelPropagationResult result;
+  std::unordered_map<std::uint32_t, std::size_t> votes;
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    util::shuffle(order.begin(), order.end(), rng);
+    bool changed = false;
+    for (const graph::NodeId v : order) {
+      votes.clear();
+      for (const graph::NodeId u : g.neighbors(v)) ++votes[label[u]];
+      // Most frequent neighbour label; ties broken towards the smallest
+      // label for determinism.
+      std::uint32_t best = label[v];
+      std::size_t best_count = 0;
+      for (const auto& [lab, count] : votes) {
+        if (count > best_count || (count == best_count && lab < best)) {
+          best = lab;
+          best_count = count;
+        }
+      }
+      if (best != label[v]) {
+        label[v] = best;
+        changed = true;
+      }
+    }
+    result.messages += 2 * static_cast<std::uint64_t>(g.num_edges());
+    result.rounds = round + 1;
+    if (!changed) break;
+  }
+
+  // Compact labels.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (auto& lab : label) {
+    const auto [it, inserted] = remap.emplace(lab, static_cast<std::uint32_t>(remap.size()));
+    lab = it->second;
+  }
+  result.labels = std::move(label);
+  result.num_labels = static_cast<std::uint32_t>(remap.size());
+  return result;
+}
+
+}  // namespace dgc::baselines

@@ -1,0 +1,31 @@
+// Label propagation (Raghavan et al. 2007) — the standard cheap
+// distributed community-detection heuristic; every node repeatedly adopts
+// the most frequent label among its neighbours.  Included as the
+// practical point of comparison for accuracy and communication (each
+// round costs Θ(m) messages, like Becchetti et al., versus the paper's
+// ≤ n/2 matched edges per round).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::baselines {
+
+struct LabelPropagationOptions {
+  std::size_t max_rounds = 100;
+  std::uint64_t seed = 19;  ///< random node order per round
+};
+
+struct LabelPropagationResult {
+  std::vector<std::uint32_t> labels;  ///< compacted to [0, num_labels)
+  std::uint32_t num_labels = 0;
+  std::size_t rounds = 0;             ///< rounds until fixpoint (or max)
+  std::uint64_t messages = 0;         ///< 2m per round metered
+};
+
+[[nodiscard]] LabelPropagationResult label_propagation(
+    const graph::Graph& g, const LabelPropagationOptions& options);
+
+}  // namespace dgc::baselines

@@ -1,0 +1,173 @@
+#include "baselines/louvain.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "metrics/graph_metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::baselines {
+
+namespace {
+
+/// Weighted multigraph in adjacency-list form for the aggregation levels.
+struct WeightedGraph {
+  // adjacency[v] = (neighbour, weight); self-loops carry internal weight
+  // (counted once, contributing weight to the loop's community).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  // weight of v's self-loop
+  double total_weight = 0.0;      // sum of edge weights (loops count once)
+
+  [[nodiscard]] std::size_t size() const { return adjacency.size(); }
+};
+
+WeightedGraph lift(const graph::Graph& g) {
+  WeightedGraph wg;
+  wg.adjacency.resize(g.num_nodes());
+  wg.self_loop.assign(g.num_nodes(), 0.0);
+  g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+    wg.adjacency[u].emplace_back(v, 1.0);
+    wg.adjacency[v].emplace_back(u, 1.0);
+  });
+  wg.total_weight = static_cast<double>(g.num_edges());
+  return wg;
+}
+
+/// One level of local moving; returns (community of every node, #moves).
+std::pair<std::vector<std::uint32_t>, std::size_t> local_moving(
+    const WeightedGraph& wg, std::size_t max_sweeps, util::Rng& rng) {
+  const std::size_t n = wg.size();
+  std::vector<std::uint32_t> community(n);
+  std::iota(community.begin(), community.end(), 0);
+
+  // degree (weighted, loops count twice) and community degree sums.
+  std::vector<double> degree(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& [u, w] : wg.adjacency[v]) degree[v] += w;
+    degree[v] += 2.0 * wg.self_loop[v];
+  }
+  std::vector<double> community_degree = degree;
+
+  const double m2 = 2.0 * wg.total_weight;
+  if (m2 == 0.0) return {community, 0};
+
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::size_t total_moves = 0;
+  std::unordered_map<std::uint32_t, double> weight_to;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    util::shuffle(order.begin(), order.end(), rng);
+    std::size_t moves = 0;
+    for (const auto v : order) {
+      const std::uint32_t old_community = community[v];
+      weight_to.clear();
+      for (const auto& [u, w] : wg.adjacency[v]) weight_to[community[u]] += w;
+
+      community_degree[old_community] -= degree[v];
+      // Gain of joining community c: w(v->c)/m − deg(v)·deg(c)/(2m²)
+      // (constant terms dropped; staying put is gain of old community).
+      std::uint32_t best = old_community;
+      double best_gain = weight_to.count(old_community) != 0
+                             ? weight_to[old_community] / wg.total_weight -
+                                   degree[v] * community_degree[old_community] /
+                                       (m2 * wg.total_weight)
+                             : -degree[v] * community_degree[old_community] /
+                                   (m2 * wg.total_weight);
+      for (const auto& [c, w] : weight_to) {
+        if (c == old_community) continue;
+        const double gain = w / wg.total_weight -
+                            degree[v] * community_degree[c] / (m2 * wg.total_weight);
+        if (gain > best_gain + 1e-15) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      community_degree[best] += degree[v];
+      if (best != old_community) {
+        community[v] = best;
+        ++moves;
+      }
+    }
+    total_moves += moves;
+    if (moves == 0) break;
+  }
+  return {community, total_moves};
+}
+
+/// Contracts communities into super-nodes.
+WeightedGraph aggregate(const WeightedGraph& wg, std::vector<std::uint32_t>& community) {
+  // Compact community ids.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (auto& c : community) {
+    const auto [it, inserted] = remap.emplace(c, static_cast<std::uint32_t>(remap.size()));
+    c = it->second;
+  }
+  const auto k = static_cast<std::uint32_t>(remap.size());
+
+  WeightedGraph out;
+  out.adjacency.resize(k);
+  out.self_loop.assign(k, 0.0);
+  out.total_weight = wg.total_weight;
+  std::unordered_map<std::uint64_t, double> edge_weight;
+  for (std::size_t v = 0; v < wg.size(); ++v) {
+    const std::uint32_t cv = community[v];
+    out.self_loop[cv] += wg.self_loop[v];
+    for (const auto& [u, w] : wg.adjacency[v]) {
+      const std::uint32_t cu = community[u];
+      if (cu == cv) {
+        out.self_loop[cv] += w / 2.0;  // each internal edge visited twice
+      } else if (v < u) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(cu, cv)) << 32) | std::max(cu, cv);
+        edge_weight[key] += w;
+      }
+    }
+  }
+  for (const auto& [key, w] : edge_weight) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    out.adjacency[a].emplace_back(b, w);
+    out.adjacency[b].emplace_back(a, w);
+  }
+  return out;
+}
+
+}  // namespace
+
+LouvainResult louvain(const graph::Graph& g, const LouvainOptions& options) {
+  DGC_REQUIRE(g.num_nodes() > 0, "empty graph");
+  util::Rng rng(options.seed);
+
+  WeightedGraph level_graph = lift(g);
+  // membership[v] = community of original node v at the current level.
+  std::vector<std::uint32_t> membership(g.num_nodes());
+  std::iota(membership.begin(), membership.end(), 0);
+
+  LouvainResult result;
+  for (std::size_t level = 0; level < options.max_levels; ++level) {
+    auto [community, moves] = local_moving(level_graph, options.max_sweeps_per_level, rng);
+    result.levels = level + 1;
+    if (moves == 0 && level > 0) break;
+    const WeightedGraph next = aggregate(level_graph, community);
+    for (auto& label : membership) label = community[label];
+    if (next.size() == level_graph.size()) break;  // no contraction: done
+    level_graph = next;
+    if (level_graph.size() <= 1) break;
+  }
+
+  // Compact final labels.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (auto& label : membership) {
+    const auto [it, inserted] =
+        remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  result.num_communities = static_cast<std::uint32_t>(remap.size());
+  result.labels = std::move(membership);
+  result.modularity = metrics::modularity(g, result.labels, result.num_communities);
+  return result;
+}
+
+}  // namespace dgc::baselines

@@ -1,0 +1,59 @@
+#include "baselines/power_iteration.hpp"
+
+#include <cmath>
+
+#include "linalg/kmeans.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::baselines {
+
+PicResult power_iteration_clustering(const graph::Graph& g, const PicOptions& options) {
+  const std::size_t n = g.num_nodes();
+  DGC_REQUIRE(n > options.clusters, "graph too small");
+
+  util::Rng rng(options.seed);
+  std::vector<double> x(n);
+  for (auto& value : x) value = rng.next_double();
+  {
+    // Remove the stationary component so the cluster signal dominates.
+    const double mean = linalg::sum(x) / static_cast<double>(n);
+    for (auto& value : x) value -= mean;
+  }
+  double norm = linalg::normalize(x);
+  DGC_REQUIRE(norm > 0.0, "degenerate start vector");
+
+  const linalg::WalkOperator op(g);
+  std::vector<double> next(n);
+  std::vector<double> prev_delta(n, 0.0);
+  PicResult result;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (g.is_regular()) {
+      op.apply_walk(x, next);
+    } else {
+      op.apply_normalized(x, next);
+    }
+    linalg::normalize(next);
+    // Per-node velocity; stop when it stabilises (acceleration ~ 0).
+    double accel = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double delta = std::abs(next[v] - x[v]);
+      accel = std::max(accel, std::abs(delta - prev_delta[v]));
+      prev_delta[v] = delta;
+    }
+    x.swap(next);
+    result.iterations = it + 1;
+    if (accel < options.convergence_tol) break;
+  }
+
+  linalg::KMeansOptions km;
+  km.clusters = options.clusters;
+  km.restarts = 5;
+  km.seed = options.seed;
+  result.labels = linalg::kmeans(x, n, 1, km).assignment;
+  return result;
+}
+
+}  // namespace dgc::baselines

@@ -1,0 +1,29 @@
+// Power-iteration clustering (Lin & Cohen, ICML'10): run a few power
+// iterations of the walk matrix from a random start; the slowly-converging
+// low-order components embed the clusters on a line; k-means the 1-D
+// embedding.  Cheap centralised baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::baselines {
+
+struct PicOptions {
+  std::uint32_t clusters = 2;
+  std::size_t max_iterations = 200;
+  double convergence_tol = 1e-7;  ///< on the per-node acceleration
+  std::uint64_t seed = 31;
+};
+
+struct PicResult {
+  std::vector<std::uint32_t> labels;
+  std::size_t iterations = 0;
+};
+
+[[nodiscard]] PicResult power_iteration_clustering(const graph::Graph& g,
+                                                   const PicOptions& options);
+
+}  // namespace dgc::baselines

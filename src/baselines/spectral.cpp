@@ -1,0 +1,63 @@
+#include "baselines/spectral.hpp"
+
+#include <cmath>
+
+#include "linalg/kmeans.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+
+namespace dgc::baselines {
+
+SpectralResult spectral_clustering(const graph::Graph& g, const SpectralOptions& options) {
+  const std::size_t n = g.num_nodes();
+  const std::uint32_t k = options.clusters;
+  DGC_REQUIRE(k >= 1, "need at least one cluster");
+  DGC_REQUIRE(n > k, "graph too small");
+
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions lanczos;
+  lanczos.num_eigenpairs = k;
+  lanczos.seed = options.seed;
+  lanczos.max_iterations = 6 * k + 80;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n,
+      [&](std::span<const double> in, std::span<double> out) {
+        if (g.is_regular()) {
+          op.apply_walk(in, out);
+        } else {
+          op.apply_normalized(in, out);
+        }
+      },
+      lanczos);
+
+  // Build the n x k embedding (row v = (f_1(v), …, f_k(v))).
+  std::vector<double> points(n * k);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::uint32_t j = 0; j < k; ++j) points[v * k + j] = pairs.vectors[j][v];
+  }
+  if (options.normalize_rows) {
+    for (std::size_t v = 0; v < n; ++v) {
+      double norm = 0.0;
+      for (std::uint32_t j = 0; j < k; ++j) norm += points[v * k + j] * points[v * k + j];
+      norm = std::sqrt(norm);
+      if (norm > 1e-12) {
+        for (std::uint32_t j = 0; j < k; ++j) points[v * k + j] /= norm;
+      }
+    }
+  }
+
+  linalg::KMeansOptions km;
+  km.clusters = k;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  const auto clustering = linalg::kmeans(points, n, k, km);
+
+  SpectralResult result;
+  result.labels = clustering.assignment;
+  result.eigenvalues = pairs.values;
+  result.kmeans_inertia = clustering.inertia;
+  return result;
+}
+
+}  // namespace dgc::baselines

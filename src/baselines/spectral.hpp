@@ -1,0 +1,30 @@
+// Centralised spectral clustering — the "complicated" method the paper
+// positions itself against (§1): top-k eigenvectors of the normalised
+// adjacency, rows optionally normalised (Ng–Jordan–Weiss), k-means on the
+// n x k embedding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::baselines {
+
+struct SpectralOptions {
+  std::uint32_t clusters = 2;
+  bool normalize_rows = true;   ///< NJW row normalisation of the embedding
+  std::size_t kmeans_restarts = 5;
+  std::uint64_t seed = 17;
+};
+
+struct SpectralResult {
+  std::vector<std::uint32_t> labels;  ///< in [0, clusters)
+  std::vector<double> eigenvalues;    ///< top `clusters` of the walk matrix
+  double kmeans_inertia = 0.0;
+};
+
+[[nodiscard]] SpectralResult spectral_clustering(const graph::Graph& g,
+                                                 const SpectralOptions& options);
+
+}  // namespace dgc::baselines

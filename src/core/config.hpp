@@ -1,0 +1,49 @@
+// Configuration for the distributed clustering algorithm (§3).
+#pragma once
+
+#include <cstdint>
+
+#include "matching/protocol.hpp"
+
+namespace dgc::core {
+
+/// How the query procedure turns final loads into labels.
+enum class QueryRule : std::uint8_t {
+  /// The paper's rule: smallest seed ID whose load clears the threshold
+  /// τ = threshold_scale / (sqrt(2β)·n); nodes with no qualifying load
+  /// get metrics::kUnclustered (the paper assigns an arbitrary ID; the
+  /// sentinel is the pessimistic choice — it always counts as an error).
+  kPaperMinId = 0,
+  /// Practical variant: the seed ID with the largest load, no threshold.
+  kArgmax = 1,
+};
+
+struct ClusterConfig {
+  /// Known lower bound on min_i |S_i| / n (the paper's β).  Drives the
+  /// number of seeding trials and the query threshold.
+  double beta = 0.25;
+
+  /// Averaging rounds T.  0 = derive T = ceil(rounds_multiplier · ln n /
+  /// (1 − λ_{k+1})) with λ_{k+1} estimated by Lanczos using k_hint (the
+  /// paper assumes T is known to the nodes; the estimate stands in for
+  /// that out-of-band knowledge and is computed once, centrally).
+  std::size_t rounds = 0;
+  std::uint32_t k_hint = 0;
+  double rounds_multiplier = 1.0;
+
+  /// Scale on the query threshold τ = threshold_scale / (sqrt(2β)·n).
+  double threshold_scale = 1.0;
+
+  QueryRule query_rule = QueryRule::kPaperMinId;
+
+  /// Seeding trials s̄.  0 = the paper's ceil((3/β)·ln(1/β)).
+  std::size_t seeding_trials = 0;
+
+  /// Master seed; every coin in the run derives from it deterministically.
+  std::uint64_t seed = 42;
+
+  /// Matching protocol options (virtual degree for §4.5 etc.).
+  matching::ProtocolOptions protocol{};
+};
+
+}  // namespace dgc::core

@@ -1,0 +1,184 @@
+#include "core/distributed_clusterer.hpp"
+
+#include <algorithm>
+
+#include "core/rounds.hpp"
+#include "core/seeding.hpp"
+#include "matching/protocol.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+namespace {
+
+using SparseState = std::vector<std::pair<std::uint64_t, double>>;  // sorted by id
+
+/// The averaging rule of §3.1: shared prefixes average, unshared halve.
+/// Equivalently: elementwise mean with missing entries read as 0.  Both
+/// endpoints of a matched pair compute exactly this same result.
+SparseState merge_states(const SparseState& a, const SparseState& b) {
+  SparseState out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.emplace_back(a[i].first, 0.5 * (a[i].second + 0.0));
+      ++i;
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out.emplace_back(b[j].first, 0.5 * (b[j].second + 0.0));
+      ++j;
+    } else {
+      out.emplace_back(a[i].first, 0.5 * (a[i].second + b[j].second));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DistributedClusterer::DistributedClusterer(const graph::Graph& g, ClusterConfig config)
+    : graph_(&g), config_(config) {
+  DGC_REQUIRE(g.num_nodes() > 1, "graph too small");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  DGC_REQUIRE(config_.beta > 0.0 && config_.beta <= 0.5, "beta must be in (0, 0.5]");
+  DGC_REQUIRE(config_.rounds > 0 || config_.k_hint > 0,
+              "either fix rounds or provide k_hint for the T estimate");
+}
+
+DistributedReport DistributedClusterer::run(double drop_probability) const {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+
+  DistributedReport report;
+  ClusterResult& result = report.result;
+
+  if (config_.rounds > 0) {
+    result.rounds = config_.rounds;
+  } else {
+    const RoundEstimate est =
+        recommended_rounds(g, config_.k_hint, config_.rounds_multiplier, config_.seed);
+    result.rounds = est.rounds;
+    result.lambda_k1 = est.lambda_k1;
+  }
+
+  result.node_ids = assign_node_ids(n, config_.seed);
+  const std::size_t trials = config_.seeding_trials > 0
+                                 ? config_.seeding_trials
+                                 : default_seeding_trials(config_.beta);
+  result.seeds = run_seeding(n, trials, config_.seed);
+  result.threshold =
+      Clusterer::query_threshold(config_.threshold_scale, config_.beta, n);
+
+  // Local node states: seed nodes start with {(own id, 1)}.
+  std::vector<SparseState> state(n);
+  for (const graph::NodeId v : result.seeds) {
+    state[v].emplace_back(result.node_ids[v], 1.0);
+  }
+
+  net::Network network(g);
+  if (drop_probability > 0.0) {
+    network.set_drop_probability(drop_probability,
+                                 derive_seed(config_.seed, Stream::kTieBreak));
+  }
+
+  matching::MatchingGenerator generator(
+      g, derive_seed(config_.seed, Stream::kMatching), config_.protocol);
+
+  std::vector<graph::NodeId> pending_partner(n, graph::kInvalidNode);
+  for (std::size_t t = 1; t <= result.rounds; ++t) {
+    const std::uint64_t words_before = network.stats().words;
+    const auto coins = generator.flip_round_coins();
+
+    // Phase 1 — active nodes probe their chosen neighbour.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (coins.probe[v] != graph::kInvalidNode) {
+        network.send({v, coins.probe[v], net::MsgKind::kProbe, {}});
+      }
+    }
+    network.deliver();
+    ++report.phases;
+
+    // Phase 2 — non-active nodes probed exactly once accept, shipping
+    // their state along with the accept.
+    std::size_t matched_pairs = 0;
+    std::fill(pending_partner.begin(), pending_partner.end(), graph::kInvalidNode);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (coins.active[v]) continue;
+      const auto& inbox = network.inbox(v);
+      std::size_t probes = 0;
+      graph::NodeId prober = graph::kInvalidNode;
+      for (const auto& message : inbox) {
+        if (message.kind == net::MsgKind::kProbe) {
+          ++probes;
+          prober = message.from;
+        }
+      }
+      if (probes == 1) {
+        pending_partner[v] = prober;
+        ++matched_pairs;
+        network.send({v, prober, net::MsgKind::kAccept, state[v]});
+      }
+    }
+    network.deliver();
+    ++report.phases;
+
+    // Phase 3 — probers that received an accept merge and reply with
+    // their pre-merge state; acceptors merge on receipt.
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto& inbox = network.inbox(u);
+      for (const auto& message : inbox) {
+        if (message.kind != net::MsgKind::kAccept) continue;
+        // u probed exactly one neighbour, so at most one accept arrives.
+        network.send({u, message.from, net::MsgKind::kState, state[u]});
+        state[u] = merge_states(state[u], message.payload);
+        break;
+      }
+    }
+    network.deliver();
+    ++report.phases;
+
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (pending_partner[v] == graph::kInvalidNode) continue;
+      for (const auto& message : network.inbox(v)) {
+        if (message.kind == net::MsgKind::kState &&
+            message.from == pending_partner[v]) {
+          state[v] = merge_states(state[v], message.payload);
+          break;
+        }
+      }
+    }
+    report.words_per_round.push_back(network.stats().words - words_before);
+    result.process.total_matched_edges += matched_pairs;
+    result.process.mean_matched_fraction +=
+        static_cast<double>(matched_pairs) / (static_cast<double>(n) / 2.0);
+  }
+  result.process.rounds = result.rounds;
+  if (result.rounds > 0) {
+    result.process.mean_matched_fraction /= static_cast<double>(result.rounds);
+  }
+
+  // Query procedure, evaluated locally on the sparse state.
+  result.labels.resize(n);
+  std::vector<double> values;
+  std::vector<std::uint64_t> ids;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    values.clear();
+    ids.clear();
+    for (const auto& [id, value] : state[v]) {
+      ids.push_back(id);
+      values.push_back(value);
+    }
+    result.labels[v] =
+        Clusterer::query_label(values, ids, result.threshold, config_.query_rule);
+    report.max_state_entries = std::max(report.max_state_entries, state[v].size());
+  }
+
+  report.traffic = network.stats();
+  return report;
+}
+
+}  // namespace dgc::core

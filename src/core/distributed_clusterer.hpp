@@ -1,0 +1,51 @@
+// The paper's algorithm, message-passing engine.
+//
+// Every node runs the *local* protocol of §3.1 verbatim over the
+// synchronous network simulator: sparse State_v(t) maps, matching formed
+// by Probe/Accept messages, states exchanged only between matched pairs,
+// query evaluated locally.  Traffic is metered in words — the unit of
+// Theorem 1.1's O(T·n·k·log k) bound — and the engine optionally injects
+// iid message loss to study robustness (E4 and failure-injection tests).
+//
+// Fault-free, this engine flips the same coins as core::Clusterer and
+// yields identical labels; the dense engine is the fast path, this one is
+// the fidelity path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clusterer.hpp"
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+
+namespace dgc::core {
+
+struct DistributedReport {
+  ClusterResult result;
+  net::TrafficStats traffic;
+  /// Maximum number of (id, value) entries held by any node at the end.
+  std::size_t max_state_entries = 0;
+  /// Message phases executed (3 per averaging round).
+  std::size_t phases = 0;
+  /// Per-round words, for the message-complexity experiment (E4).
+  std::vector<std::uint64_t> words_per_round;
+};
+
+class DistributedClusterer {
+ public:
+  DistributedClusterer(const graph::Graph& g, ClusterConfig config);
+
+  /// Runs the protocol.  drop_probability > 0 enables iid message loss
+  /// (losing an Accept aborts that pair's averaging symmetrically; losing
+  /// the final State reply leaves the pair asymmetric — exactly the
+  /// two-generals behaviour a real lossy network would exhibit).
+  [[nodiscard]] DistributedReport run(double drop_probability = 0.0) const;
+
+ private:
+  const graph::Graph* graph_;
+  ClusterConfig config_;
+};
+
+}  // namespace dgc::core

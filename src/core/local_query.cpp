@@ -1,0 +1,45 @@
+#include "core/local_query.hpp"
+
+#include <cmath>
+
+#include "core/clusterer.hpp"
+#include "linalg/vector_ops.hpp"
+#include "matching/load_state.hpp"
+#include "matching/process.hpp"
+#include "matching/protocol.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+LocalQueryResult same_cluster_query(const graph::Graph& g, graph::NodeId u,
+                                    graph::NodeId v, const LocalQueryConfig& config) {
+  DGC_REQUIRE(u < g.num_nodes() && v < g.num_nodes(), "node out of range");
+  DGC_REQUIRE(u != v, "query nodes must be distinct");
+  DGC_REQUIRE(config.rounds > 0, "rounds must be set (use recommended_rounds)");
+  DGC_REQUIRE(config.beta > 0.0 && config.beta <= 0.5, "beta must be in (0, 0.5]");
+
+  const std::size_t n = g.num_nodes();
+  matching::MultiLoadState state(n, 2);
+  state.set(u, 0, 1.0);
+  state.set(v, 1, 1.0);
+  matching::MatchingGenerator generator(g, config.seed);
+  matching::run_process(generator, state, config.rounds);
+
+  LocalQueryResult result;
+  result.threshold = Clusterer::query_threshold(1.0, config.beta, n);
+  result.cross_mass = std::min(state.at(v, 0), state.at(u, 1));
+
+  const auto profile_u = state.column(0);
+  const auto profile_v = state.column(1);
+  const double nu = linalg::norm(profile_u);
+  const double nv = linalg::norm(profile_v);
+  result.profile_similarity =
+      nu > 0.0 && nv > 0.0 ? linalg::dot(profile_u, profile_v) / (nu * nv) : 0.0;
+
+  // Same cluster iff each seed's load reached the other node with the
+  // mass the query procedure demands.
+  result.same_cluster = result.cross_mass >= result.threshold;
+  return result;
+}
+
+}  // namespace dgc::core

@@ -1,0 +1,45 @@
+// Local same-cluster queries — the §1.2 observation made operational:
+// "the non-distributed version of our algorithm runs in O(n log n) time
+// once we have an oracle which outputs a random neighbour of any node …
+// the techniques might be of interest for local algorithms and property
+// testing".
+//
+// Instead of seeding by the global Bernoulli procedure, seed single unit
+// loads at the two queried nodes, run T rounds of the same matching
+// process, and compare the resulting load profiles: if u and v share a
+// cluster, both loads spread over the same ≈βn nodes, so
+//   * x_u(v) and x_v(u) are ≈ 1/|S| (cross-mass test), and
+//   * the profiles' normalised inner product is ≈ 1.
+// Across clusters both quantities are ≈ 0.  No global labelling is
+// materialised — this is the pair-query primitive of property testing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dgc::core {
+
+struct LocalQueryConfig {
+  /// Balance lower bound β (same role as in ClusterConfig).
+  double beta = 0.25;
+  /// Averaging rounds; pick core::recommended_rounds(...) or fix it.
+  std::size_t rounds = 0;
+  std::uint64_t seed = 51;
+};
+
+struct LocalQueryResult {
+  bool same_cluster = false;
+  /// min(x_u(v), x_v(u)) against the τ = 1/(√(2β)n) threshold.
+  double cross_mass = 0.0;
+  double threshold = 0.0;
+  /// Cosine similarity of the two final load profiles in [0, 1].
+  double profile_similarity = 0.0;
+};
+
+/// Runs the two-seed process and answers "are u and v in one cluster?".
+[[nodiscard]] LocalQueryResult same_cluster_query(const graph::Graph& g, graph::NodeId u,
+                                                  graph::NodeId v,
+                                                  const LocalQueryConfig& config);
+
+}  // namespace dgc::core

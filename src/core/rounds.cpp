@@ -1,0 +1,53 @@
+#include "core/rounds.hpp"
+
+#include <cmath>
+
+#include "linalg/lanczos.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+RoundEstimate recommended_rounds(const graph::Graph& g, std::uint32_t k, double multiplier,
+                                 std::uint64_t seed) {
+  DGC_REQUIRE(k >= 1, "need k >= 1");
+  DGC_REQUIRE(multiplier > 0.0, "multiplier must be positive");
+  DGC_REQUIRE(g.num_nodes() > static_cast<graph::NodeId>(k + 1),
+              "graph too small for k clusters");
+
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = k + 1;
+  options.seed = seed;
+  // Clustered graphs have a big gap after λ_k; a modest Krylov space
+  // resolves λ_{k+1} to far better accuracy than T needs.
+  options.max_iterations = 4 * (k + 1) + 60;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      g.num_nodes(),
+      [&](std::span<const double> in, std::span<double> out) {
+        if (g.is_regular()) {
+          op.apply_walk(in, out);
+        } else {
+          op.apply_normalized(in, out);
+        }
+      },
+      options);
+
+  RoundEstimate est;
+  est.lambda_k = pairs.values[k - 1];
+  est.lambda_k1 = pairs.values[k];
+  est.spectral_gap = 1.0 - est.lambda_k1;
+  DGC_REQUIRE(est.spectral_gap > 1e-9, "no spectral gap after lambda_k+1");
+  // One matching round contracts the i-th eigencomponent by
+  // (1 − d̄(1−λ_i)/4) in expectation (Lemma 2.1), so the Θ(·) in
+  // T = Θ(log n / (1−λ_{k+1})) carries a 4/d̄ constant.
+  const double d_avg = 2.0 * static_cast<double>(g.num_edges()) /
+                       static_cast<double>(g.num_nodes());
+  const double d_bar = std::pow(1.0 - 1.0 / (2.0 * d_avg), d_avg - 1.0);
+  const double t = multiplier * (4.0 / d_bar) *
+                   std::log(static_cast<double>(g.num_nodes())) / est.spectral_gap;
+  est.rounds = static_cast<std::size_t>(std::ceil(std::max(1.0, t)));
+  return est;
+}
+
+}  // namespace dgc::core

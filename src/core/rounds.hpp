@@ -1,0 +1,26 @@
+// Round count T = Θ(log n / (1 − λ_{k+1})) (Theorem 1.1).
+//
+// The paper assumes T is known to every node.  Operationally we estimate
+// λ_{k+1} once with Lanczos on the (normalised) walk matrix; callers can
+// also fix `rounds` explicitly in ClusterConfig and skip this entirely.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dgc::core {
+
+struct RoundEstimate {
+  std::size_t rounds = 0;
+  double lambda_k = 0.0;    ///< k-th largest eigenvalue of P
+  double lambda_k1 = 0.0;   ///< (k+1)-th largest eigenvalue of P
+  double spectral_gap = 0.0;  ///< 1 − λ_{k+1}
+};
+
+/// T = max(1, ceil(multiplier · ln n / (1 − λ_{k+1}))).
+[[nodiscard]] RoundEstimate recommended_rounds(const graph::Graph& g, std::uint32_t k,
+                                               double multiplier = 1.0,
+                                               std::uint64_t seed = 13);
+
+}  // namespace dgc::core

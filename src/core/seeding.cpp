@@ -1,0 +1,60 @@
+#include "core/seeding.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::core {
+
+std::uint64_t derive_seed(std::uint64_t master, Stream stream) {
+  util::SplitMix64 sm(master ^ (0xA3C59AC2B7F1D3E5ULL * static_cast<std::uint64_t>(stream)));
+  return sm.next();
+}
+
+std::vector<std::uint64_t> assign_node_ids(graph::NodeId n, std::uint64_t master_seed) {
+  DGC_REQUIRE(n > 0, "need at least one node");
+  util::Rng rng(derive_seed(master_seed, Stream::kNodeIds));
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  std::vector<std::uint64_t> ids(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(n * 2);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    std::uint64_t id = 0;
+    do {
+      id = 1 + rng.next_below(universe);
+    } while (!used.insert(id).second);
+    ids[v] = id;
+  }
+  return ids;
+}
+
+std::size_t default_seeding_trials(double beta) {
+  DGC_REQUIRE(beta > 0.0 && beta <= 0.5, "beta must be in (0, 0.5]");
+  return static_cast<std::size_t>(std::ceil((3.0 / beta) * std::log(1.0 / beta)));
+}
+
+std::vector<graph::NodeId> run_seeding(graph::NodeId n, std::size_t trials,
+                                       std::uint64_t master_seed) {
+  DGC_REQUIRE(n > 0, "need at least one node");
+  DGC_REQUIRE(trials > 0, "need at least one trial");
+  const std::uint64_t base = derive_seed(master_seed, Stream::kSeeding);
+  const double p = 1.0 / static_cast<double>(n);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    util::SplitMix64 sm(base ^ (0x9E3779B97F4A7C15ULL * (v + 1)));
+    util::Rng rng(sm.next());
+    bool active = false;
+    for (std::size_t t = 0; t < trials; ++t) {
+      // Every node evaluates all s̄ trials (no early exit) so the stream
+      // consumption is the same whether or not it activates early.
+      active = rng.next_bool(p) || active;
+    }
+    if (active) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+}  // namespace dgc::core

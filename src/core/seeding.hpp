@@ -1,0 +1,43 @@
+// The seeding procedure (§3.1) plus node ID assignment.
+//
+// Randomness discipline: all coins are derived from the config seed via
+// fixed stream tags, so the in-memory engine (core/clusterer.hpp) and the
+// message-passing engine (core/distributed_clusterer.hpp) flip *the same
+// coins* and produce identical runs — the integration tests assert
+// label-for-label equality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::core {
+
+/// Stream tags for deriving sub-seeds from the master seed.
+enum class Stream : std::uint64_t {
+  kNodeIds = 1,
+  kSeeding = 2,
+  kMatching = 3,
+  kTieBreak = 4,
+};
+
+/// Sub-seed for a given stream (SplitMix64 of master ^ tag).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, Stream stream);
+
+/// Assigns every node a distinct uniform ID in [1, n^3].  The paper lets
+/// nodes pick independently and argues distinctness whp; we re-draw the
+/// (whp non-existent) collisions so downstream min-ID logic is exact.
+[[nodiscard]] std::vector<std::uint64_t> assign_node_ids(graph::NodeId n,
+                                                         std::uint64_t master_seed);
+
+/// The paper's trial count s̄ = ceil((3/β)·ln(1/β)).
+[[nodiscard]] std::size_t default_seeding_trials(double beta);
+
+/// Runs the seeding procedure: every node flips `trials` coins with
+/// success probability 1/n (its own RNG stream); nodes with ≥1 success
+/// become seeds.  Returned in increasing node order.
+[[nodiscard]] std::vector<graph::NodeId> run_seeding(graph::NodeId n, std::size_t trials,
+                                                     std::uint64_t master_seed);
+
+}  // namespace dgc::core

@@ -1,0 +1,96 @@
+#include "core/spectral_structure.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "graph/analysis.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+SpectralStructure analyze_structure(const graph::PlantedGraph& planted, double constant_c,
+                                    std::uint64_t seed) {
+  const graph::Graph& g = planted.graph;
+  const std::uint32_t k = planted.num_clusters;
+  const std::size_t n = g.num_nodes();
+  DGC_REQUIRE(k >= 1, "planted partition has no clusters");
+  DGC_REQUIRE(n > k + 1, "graph too small");
+
+  SpectralStructure st;
+
+  // --- Eigenpairs -----------------------------------------------------
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = k + 1;
+  options.seed = seed;
+  options.max_iterations = 6 * (k + 1) + 80;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n,
+      [&](std::span<const double> in, std::span<double> out) {
+        if (g.is_regular()) {
+          op.apply_walk(in, out);
+        } else {
+          op.apply_normalized(in, out);
+        }
+      },
+      options);
+  st.eigenvalues = pairs.values;
+  st.eigenvectors.assign(pairs.vectors.begin(), pairs.vectors.begin() + k);
+  st.lambda_k = pairs.values[k - 1];
+  st.lambda_k1 = pairs.values[k];
+
+  // --- ϒ ----------------------------------------------------------------
+  st.rho_k = graph::rho(g, planted.membership, k);
+  st.upsilon = st.rho_k > 0.0 ? (1.0 - st.lambda_k1) / st.rho_k
+                              : std::numeric_limits<double>::infinity();
+  st.error_bound = static_cast<double>(k) * std::sqrt(static_cast<double>(k) / st.upsilon);
+
+  // --- Lemma 4.2 construction ------------------------------------------
+  // Unit-norm cluster indicators χ_{S_j} / ‖χ_{S_j}‖ (value 1/sqrt|S_j|).
+  const auto sizes = planted.cluster_sizes();
+  std::vector<std::vector<double>> indicator(k, std::vector<double>(n, 0.0));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto c = planted.membership[v];
+    indicator[c][v] = 1.0 / std::sqrt(static_cast<double>(sizes[c]));
+  }
+  // χ̃_i = projection of f_i on span{χ_S}; then Gram–Schmidt.
+  st.chi_hat.assign(k, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const double coeff = linalg::dot(st.eigenvectors[i], indicator[j]);
+      linalg::axpy(coeff, indicator[j], st.chi_hat[i]);
+    }
+  }
+  const std::size_t kept = linalg::gram_schmidt(st.chi_hat);
+  DGC_REQUIRE(kept == k, "projections of f_1..f_k were not independent; graph is not "
+                         "in the well-clustered regime");
+
+  st.chi_hat_errors.resize(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    st.chi_hat_errors[i] = linalg::norm_diff(st.chi_hat[i], st.eigenvectors[i]);
+  }
+
+  // --- α_v and good nodes (eq. 4) ---------------------------------------
+  st.alpha.assign(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    double acc = 0.0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const double diff = st.eigenvectors[i][v] - st.chi_hat[i][v];
+      acc += diff * diff;
+    }
+    st.alpha[v] = std::sqrt(acc);
+  }
+  const double beta = planted.beta();
+  DGC_REQUIRE(beta > 0.0, "degenerate planted partition");
+  const double log_term = std::log(static_cast<double>(n)) * std::log(1.0 / beta);
+  st.good_threshold = static_cast<double>(k) * st.error_bound *
+                      std::sqrt(constant_c * log_term / (beta * static_cast<double>(n)));
+  st.good.assign(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) st.good[v] = st.alpha[v] <= st.good_threshold;
+  return st;
+}
+
+}  // namespace dgc::core

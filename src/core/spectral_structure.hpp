@@ -1,0 +1,62 @@
+// Spectral structure diagnostics for well-clustered graphs — the
+// quantities in §1.1 and Lemmas 4.2–4.3:
+//
+//   * λ_k, λ_{k+1}, the gap 1−λ_{k+1}, ρ(k) of the planted partition,
+//     and ϒ = (1−λ_{k+1}) / ρ(k);
+//   * χ̂_1 … χ̂_k — the orthonormal set in span{χ_{S_1} … χ_{S_k}}
+//     obtained by projecting the eigenvectors f_i onto that span and
+//     Gram–Schmidt-ing (the Lemma 4.2 construction), with the measured
+//     errors ‖χ̂_i − f_i‖;
+//   * α_v = sqrt(Σ_i (f_i(v) − χ̂_i(v))²) per node (eq. 4) and the
+//     good-node threshold k·E·sqrt(C·log n·log(1/β) / (βn)).
+//
+// These are *analysis* tools: the distributed algorithm never computes
+// them.  Benches E7/E8 and the property tests use them to check that the
+// instances exercised really are in the paper's regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::core {
+
+struct SpectralStructure {
+  /// λ_1 … λ_{k+1} of P, descending.
+  std::vector<double> eigenvalues;
+  /// f_1 … f_k (unit vectors).
+  std::vector<std::vector<double>> eigenvectors;
+  double lambda_k = 0.0;
+  double lambda_k1 = 0.0;
+  /// ρ(k) witnessed by the planted partition (paper conductance).
+  double rho_k = 0.0;
+  /// ϒ = (1 − λ_{k+1}) / ρ(k); infinity when the partition has no cut.
+  double upsilon = 0.0;
+  /// Lemma 4.2's error scale E = k·sqrt(k/ϒ).
+  double error_bound = 0.0;
+  /// Orthonormal χ̂_i in span{χ_S}; chi_hat[i] pairs with eigenvectors[i].
+  std::vector<std::vector<double>> chi_hat;
+  /// Measured ‖χ̂_i − f_i‖ per i.
+  std::vector<double> chi_hat_errors;
+  /// α_v per node (eq. 4).
+  std::vector<double> alpha;
+  /// Good-node threshold with the given constant C.
+  double good_threshold = 0.0;
+  /// good[v] = α_v ≤ good_threshold.
+  std::vector<char> good;
+
+  [[nodiscard]] std::size_t num_good() const {
+    std::size_t count = 0;
+    for (const char flag : good) count += flag != 0;
+    return count;
+  }
+};
+
+/// Computes the structure for a planted instance.  `constant_c` is the C
+/// in the good-node definition; `seed` feeds the Lanczos start vector.
+[[nodiscard]] SpectralStructure analyze_structure(const graph::PlantedGraph& planted,
+                                                  double constant_c = 0.5,
+                                                  std::uint64_t seed = 29);
+
+}  // namespace dgc::core

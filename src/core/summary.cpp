@@ -1,0 +1,66 @@
+#include "core/summary.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/analysis.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+PartitionSummary summarize_partition(const graph::Graph& g,
+                                     std::span<const std::uint64_t> labels) {
+  DGC_REQUIRE(labels.size() == g.num_nodes(), "labels size mismatch");
+
+  PartitionSummary summary;
+  std::unordered_map<std::uint64_t, std::uint32_t> remap;
+  std::vector<std::uint32_t> compacted(labels.size(), 0);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == metrics::kUnclustered) {
+      ++summary.unclustered;
+      continue;
+    }
+    const auto [it, inserted] =
+        remap.emplace(labels[v], static_cast<std::uint32_t>(remap.size()));
+    compacted[v] = it->second;
+  }
+  summary.num_clusters = static_cast<std::uint32_t>(remap.size());
+  if (summary.num_clusters == 0) return summary;
+
+  // Unclustered nodes get a phantom extra label so conductances of real
+  // clusters are computed against everything else, including them.
+  const std::uint32_t phantom = summary.num_clusters;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == metrics::kUnclustered) compacted[v] = phantom;
+  }
+  const auto phis = graph::partition_conductances(
+      g, compacted, summary.num_clusters + (summary.unclustered > 0 ? 1 : 0));
+
+  std::vector<std::size_t> sizes(summary.num_clusters, 0);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] != metrics::kUnclustered) ++sizes[compacted[v]];
+  }
+
+  summary.clusters.resize(summary.num_clusters);
+  for (const auto& [label, idx] : remap) {
+    summary.clusters[idx].label = label;
+    summary.clusters[idx].size = sizes[idx];
+    summary.clusters[idx].conductance = phis[idx];
+  }
+  std::sort(summary.clusters.begin(), summary.clusters.end(),
+            [](const ClusterSummary& a, const ClusterSummary& b) {
+              return a.size > b.size;
+            });
+
+  std::size_t min_size = labels.size();
+  for (const auto& cluster : summary.clusters) {
+    min_size = std::min(min_size, cluster.size);
+    summary.rho_hat = std::max(summary.rho_hat, cluster.conductance);
+  }
+  summary.beta_hat =
+      static_cast<double>(min_size) / static_cast<double>(labels.size());
+  return summary;
+}
+
+}  // namespace dgc::core

@@ -1,0 +1,41 @@
+// Post-hoc partition diagnostics.
+//
+// The paper stresses (§3.2) that the algorithm "does not need to know
+// the exact number of clusters k — a lower bound of β suffices".  The
+// number of clusters is therefore an *output*; this header summarises it
+// together with the quantities a user needs to sanity-check a run:
+// per-cluster sizes, the realised balance β̂, per-cluster conductance,
+// and the realised ρ̂(k) of the recovered partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::core {
+
+struct ClusterSummary {
+  std::uint64_t label = 0;     ///< original seed ID (or kUnclustered)
+  std::size_t size = 0;
+  double conductance = 0.0;    ///< paper conductance of the cluster
+};
+
+struct PartitionSummary {
+  /// Recovered clusters, largest first (unclustered nodes excluded).
+  std::vector<ClusterSummary> clusters;
+  /// Number of recovered clusters (excluding the unclustered bucket).
+  std::uint32_t num_clusters = 0;
+  /// Nodes whose label is metrics::kUnclustered.
+  std::size_t unclustered = 0;
+  /// min cluster size / n over recovered clusters (the realised beta).
+  double beta_hat = 0.0;
+  /// max conductance over recovered clusters (the realised rho(k)).
+  double rho_hat = 0.0;
+};
+
+/// Summarises raw labels (seed IDs + sentinel) against the graph.
+[[nodiscard]] PartitionSummary summarize_partition(const graph::Graph& g,
+                                                   std::span<const std::uint64_t> labels);
+
+}  // namespace dgc::core

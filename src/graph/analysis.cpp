@@ -1,0 +1,154 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+std::uint64_t cut_size(const Graph& g, std::span<const NodeId> set) {
+  std::vector<char> in_set(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    DGC_REQUIRE(v < g.num_nodes(), "set member out of range");
+    in_set[v] = 1;
+  }
+  std::uint64_t cut = 0;
+  for (const NodeId v : set) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (!in_set[u]) ++cut;
+    }
+  }
+  return cut;
+}
+
+std::vector<std::uint64_t> cut_sizes(const Graph& g,
+                                     std::span<const std::uint32_t> membership,
+                                     std::uint32_t num_clusters) {
+  DGC_REQUIRE(membership.size() == g.num_nodes(), "membership size mismatch");
+  std::vector<std::uint64_t> cuts(num_clusters, 0);
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    const auto cu = membership[u];
+    const auto cv = membership[v];
+    DGC_REQUIRE(cu < num_clusters && cv < num_clusters, "label out of range");
+    if (cu != cv) {
+      ++cuts[cu];
+      ++cuts[cv];
+    }
+  });
+  return cuts;
+}
+
+namespace {
+
+/// #edges with at least one endpoint in S (the paper's vol), plus the cut.
+struct SetEdgeCounts {
+  std::uint64_t cut = 0;
+  std::uint64_t touching = 0;  // |E(S,S)| + cut
+};
+
+SetEdgeCounts count_set_edges(const Graph& g, std::span<const NodeId> set) {
+  std::vector<char> in_set(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    DGC_REQUIRE(v < g.num_nodes(), "set member out of range");
+    in_set[v] = 1;
+  }
+  SetEdgeCounts counts;
+  std::uint64_t internal_halves = 0;
+  for (const NodeId v : set) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (in_set[u]) {
+        ++internal_halves;
+      } else {
+        ++counts.cut;
+      }
+    }
+  }
+  counts.touching = internal_halves / 2 + counts.cut;
+  return counts;
+}
+
+}  // namespace
+
+double conductance(const Graph& g, std::span<const NodeId> set) {
+  const auto counts = count_set_edges(g, set);
+  if (counts.touching == 0) return 0.0;
+  return static_cast<double>(counts.cut) / static_cast<double>(counts.touching);
+}
+
+double conductance_degree_volume(const Graph& g, std::span<const NodeId> set) {
+  const auto counts = count_set_edges(g, set);
+  const std::uint64_t vol = g.volume(set);
+  if (vol == 0) return 0.0;
+  return static_cast<double>(counts.cut) / static_cast<double>(vol);
+}
+
+std::vector<double> partition_conductances(const Graph& g,
+                                           std::span<const std::uint32_t> membership,
+                                           std::uint32_t num_clusters) {
+  DGC_REQUIRE(membership.size() == g.num_nodes(), "membership size mismatch");
+  // One pass: per-cluster cut and internal edge count.
+  std::vector<std::uint64_t> cuts(num_clusters, 0);
+  std::vector<std::uint64_t> internal(num_clusters, 0);
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    const auto cu = membership[u];
+    const auto cv = membership[v];
+    DGC_REQUIRE(cu < num_clusters && cv < num_clusters, "label out of range");
+    if (cu == cv) {
+      ++internal[cu];
+    } else {
+      ++cuts[cu];
+      ++cuts[cv];
+    }
+  });
+  std::vector<double> phis(num_clusters, 0.0);
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    const std::uint64_t touching = internal[c] + cuts[c];
+    phis[c] = touching == 0 ? 0.0
+                            : static_cast<double>(cuts[c]) / static_cast<double>(touching);
+  }
+  return phis;
+}
+
+double rho(const Graph& g, std::span<const std::uint32_t> membership,
+           std::uint32_t num_clusters) {
+  const auto phis = partition_conductances(g, membership, num_clusters);
+  double worst = 0.0;
+  for (const double phi : phis) worst = std::max(worst, phi);
+  return worst;
+}
+
+namespace {
+
+std::size_t count_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<char> visited(n, 0);
+  std::vector<NodeId> stack;
+  std::size_t components = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    visited[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() == 0 || count_components(g) == 1;
+}
+
+std::size_t num_components(const Graph& g) { return count_components(g); }
+
+}  // namespace dgc::graph

@@ -1,0 +1,51 @@
+// Structural graph quantities used by the paper: cuts, conductance, the
+// k-way expansion of a partition, and connectivity.
+//
+// The paper defines, for a set S,
+//     phi_G(S) = |E(S, V\S)| / vol(S)
+// where vol(S) is *the number of edges with at least one endpoint in S*
+// (so vol(S) = |E(S,S)| + |E(S, V\S)|).  `conductance()` implements this
+// definition; `conductance_degree_volume()` is the more common
+// sum-of-degrees variant (they agree within a factor of 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::graph {
+
+/// |E(S, V\S)| for S given as a sorted-or-not node list.
+[[nodiscard]] std::uint64_t cut_size(const Graph& g, std::span<const NodeId> set);
+
+/// |E(S, V\S)| for every cluster of a membership labelling, in one pass.
+[[nodiscard]] std::vector<std::uint64_t> cut_sizes(const Graph& g,
+                                                   std::span<const std::uint32_t> membership,
+                                                   std::uint32_t num_clusters);
+
+/// Paper's conductance phi_G(S) = cut / (#edges touching S).  Returns 0
+/// for empty or edgeless S by convention.
+[[nodiscard]] double conductance(const Graph& g, std::span<const NodeId> set);
+
+/// Sum-of-degrees conductance cut / sum_{v in S} deg(v).
+[[nodiscard]] double conductance_degree_volume(const Graph& g, std::span<const NodeId> set);
+
+/// Per-cluster paper-conductance of a partition.
+[[nodiscard]] std::vector<double> partition_conductances(
+    const Graph& g, std::span<const std::uint32_t> membership, std::uint32_t num_clusters);
+
+/// rho(k) of a given partition = max_i phi_G(S_i).  (The paper's rho(k) is
+/// the minimum over partitions; for planted instances the planted
+/// partition is the natural witness and upper-bounds the true rho(k).)
+[[nodiscard]] double rho(const Graph& g, std::span<const std::uint32_t> membership,
+                         std::uint32_t num_clusters);
+
+/// BFS connectivity.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] std::size_t num_components(const Graph& g);
+
+}  // namespace dgc::graph

@@ -1,0 +1,334 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+namespace {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph random_regular(NodeId n, std::size_t degree, util::Rng& rng) {
+  DGC_REQUIRE(degree > 0 && degree < n, "need 0 < d < n");
+  DGC_REQUIRE((static_cast<std::uint64_t>(n) * degree) % 2 == 0, "n*d must be even");
+
+  // Configuration model: pair up n*d stubs, then repair conflicts
+  // (self-loops / duplicates) by swapping with random valid pairs.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * degree);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  util::shuffle(stubs.begin(), stubs.end(), rng);
+
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(stubs.size());
+  std::vector<Edge> conflicts;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (u == v || present.count(edge_key(u, v)) != 0) {
+      conflicts.emplace_back(u, v);
+    } else {
+      present.insert(edge_key(u, v));
+      edges.emplace_back(u, v);
+    }
+  }
+
+  // Repair: swap a conflicting pair (u,v) with a random accepted edge
+  // (x,y) to form (u,x),(v,y).  Each attempt preserves the stub multiset.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 200 * (conflicts.size() + 1) + 10000;
+  while (!conflicts.empty()) {
+    DGC_REQUIRE(++attempts < max_attempts,
+                "random_regular repair did not converge; d too close to n?");
+    const auto [u, v] = conflicts.back();
+    const std::size_t j = rng.next_below(edges.size());
+    auto [x, y] = edges[j];
+    if (rng.next_bit()) std::swap(x, y);
+    if (u == x || v == y || present.count(edge_key(u, x)) != 0 ||
+        present.count(edge_key(v, y)) != 0 || edge_key(u, x) == edge_key(v, y)) {
+      continue;
+    }
+    conflicts.pop_back();
+    present.erase(edge_key(edges[j].first, edges[j].second));
+    present.insert(edge_key(u, x));
+    present.insert(edge_key(v, y));
+    edges[j] = {u, x};
+    edges.emplace_back(v, y);
+  }
+
+  return Graph::from_edges(n, std::move(edges));
+}
+
+PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng) {
+  const auto k = static_cast<std::uint32_t>(spec.cluster_sizes.size());
+  DGC_REQUIRE(k >= 1, "need at least one cluster");
+  for (const auto s : spec.cluster_sizes) {
+    DGC_REQUIRE(s > spec.degree, "cluster size must exceed degree");
+    DGC_REQUIRE((static_cast<std::uint64_t>(s) * spec.degree) % 2 == 0,
+                "cluster_size*degree must be even");
+  }
+  DGC_REQUIRE(k >= 2 || spec.inter_cluster_swaps == 0,
+              "inter-cluster swaps need at least two clusters");
+
+  // Node id layout: cluster c occupies a contiguous block.
+  std::vector<NodeId> base(k + 1, 0);
+  for (std::uint32_t c = 0; c < k; ++c) base[c + 1] = base[c] + spec.cluster_sizes[c];
+  const NodeId n = base[k];
+
+  std::vector<std::uint32_t> membership(n);
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> present;
+  // Per-cluster list of *intra* edges (indices into `edges`) for O(1)
+  // sampling; maintained with swap-with-last deletion.
+  std::vector<std::vector<std::size_t>> intra(k);
+
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const Graph cluster_graph = random_regular(spec.cluster_sizes[c], spec.degree, rng);
+    cluster_graph.for_each_edge([&](NodeId u, NodeId v) {
+      const Edge e{base[c] + u, base[c] + v};
+      intra[c].push_back(edges.size());
+      edges.push_back(e);
+      present.insert(edge_key(e.first, e.second));
+    });
+    for (NodeId v = base[c]; v < base[c + 1]; ++v) membership[v] = c;
+  }
+
+  // Degree-preserving rewiring: pick intra edges (u1,v1) in cluster a and
+  // (u2,v2) in cluster b, replace with the cross edges (u1,u2),(v1,v2).
+  auto pick_cluster_pair = [&]() -> std::pair<std::uint32_t, std::uint32_t> {
+    if (spec.topology == ClusteredRegularSpec::Topology::kRing && k > 2) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(k));
+      return {a, (a + 1) % k};
+    }
+    const auto a = static_cast<std::uint32_t>(rng.next_below(k));
+    auto b = static_cast<std::uint32_t>(rng.next_below(k - 1));
+    if (b >= a) ++b;
+    return {a, b};
+  };
+
+  std::size_t done = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 400 * (spec.inter_cluster_swaps + 1) + 10000;
+  while (done < spec.inter_cluster_swaps) {
+    DGC_REQUIRE(++attempts < max_attempts,
+                "clustered_regular rewiring did not converge; too many swaps requested");
+    const auto [a, b] = pick_cluster_pair();
+    if (intra[a].empty() || intra[b].empty()) continue;
+    const std::size_t ia = rng.next_below(intra[a].size());
+    const std::size_t ib = rng.next_below(intra[b].size());
+    const std::size_t ea = intra[a][ia];
+    const std::size_t eb = intra[b][ib];
+    auto [u1, v1] = edges[ea];
+    auto [u2, v2] = edges[eb];
+    if (rng.next_bit()) std::swap(u2, v2);  // random orientation
+    if (present.count(edge_key(u1, u2)) != 0 || present.count(edge_key(v1, v2)) != 0) {
+      continue;
+    }
+    present.erase(edge_key(u1, v1));
+    present.erase(edge_key(u2, v2));
+    present.insert(edge_key(u1, u2));
+    present.insert(edge_key(v1, v2));
+    edges[ea] = {u1, u2};  // now inter-cluster
+    edges[eb] = {v1, v2};  // now inter-cluster
+    // Remove both from the intra lists (ea from a, eb from b).
+    intra[a][ia] = intra[a].back();
+    intra[a].pop_back();
+    intra[b][ib] = intra[b].back();
+    intra[b].pop_back();
+    ++done;
+  }
+
+  PlantedGraph out;
+  out.graph = Graph::from_edges(n, std::move(edges));
+  out.membership = std::move(membership);
+  out.num_clusters = k;
+  return out;
+}
+
+std::size_t swaps_for_conductance(const ClusteredRegularSpec& spec, double phi) {
+  DGC_REQUIRE(phi >= 0.0 && phi < 1.0, "phi must be in [0,1)");
+  const auto k = spec.cluster_sizes.size();
+  DGC_REQUIRE(k >= 2, "need at least two clusters");
+  // Every swap adds two cross edges; with kComplete topology a given
+  // cluster is an endpoint of a fraction 2/k of them, so after W swaps
+  // cut_i ≈ 4W/k.  With phi = cut_i / (intra_i + cut_i) and
+  // intra_i ≈ d*s_i/2 the inversion is W ≈ k*phi*intra/(4(1-phi)).
+  double min_size = static_cast<double>(spec.cluster_sizes[0]);
+  for (const auto s : spec.cluster_sizes) min_size = std::min(min_size, double(s));
+  const double intra = static_cast<double>(spec.degree) * min_size / 2.0;
+  const double w = static_cast<double>(k) * phi * intra / (4.0 * (1.0 - phi));
+  return static_cast<std::size_t>(std::llround(w));
+}
+
+namespace {
+
+/// Calls fn(linear_index) for a Bernoulli(p) subset of [0, total) in
+/// expected O(p*total) time via geometric skips.
+template <typename Fn>
+void sample_bernoulli_indices(std::uint64_t total, double p, util::Rng& rng, Fn&& fn) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double cursor = -1.0;
+  for (;;) {
+    // Skip ~ Geometric(p): floor(log(U)/log(1-p)).
+    const double u = std::max(rng.next_double(), 1e-300);
+    cursor += 1.0 + std::floor(std::log(u) / log1mp);
+    if (cursor >= static_cast<double>(total)) return;
+    fn(static_cast<std::uint64_t>(cursor));
+  }
+}
+
+/// Unranks linear index r in [0, s*(s-1)/2) to a pair (i < j) of [0, s).
+std::pair<NodeId, NodeId> unrank_triangular(std::uint64_t r, NodeId s) {
+  // Row i contains (s-1-i) pairs; solve for i by the quadratic formula,
+  // then fix up rounding.
+  const double sd = static_cast<double>(s);
+  const double rd = static_cast<double>(r);
+  double id = std::floor(sd - 0.5 - std::sqrt((sd - 0.5) * (sd - 0.5) - 2.0 * rd));
+  auto i = static_cast<std::uint64_t>(std::max(0.0, id));
+  auto row_start = [&](std::uint64_t row) {
+    return row * (2 * s - row - 1) / 2;
+  };
+  while (i > 0 && row_start(i) > r) --i;
+  while (row_start(i + 1) <= r) ++i;
+  const std::uint64_t j = i + 1 + (r - row_start(i));
+  return {static_cast<NodeId>(i), static_cast<NodeId>(j)};
+}
+
+}  // namespace
+
+PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
+  DGC_REQUIRE(spec.clusters >= 1, "need at least one block");
+  DGC_REQUIRE(spec.nodes_per_cluster >= 2, "blocks need at least two nodes");
+  DGC_REQUIRE(spec.p_in >= 0.0 && spec.p_in <= 1.0, "p_in out of range");
+  DGC_REQUIRE(spec.p_out >= 0.0 && spec.p_out <= 1.0, "p_out out of range");
+
+  const NodeId s = spec.nodes_per_cluster;
+  const std::uint32_t k = spec.clusters;
+  const NodeId n = s * k;
+  std::vector<Edge> edges;
+
+  // Intra-block pairs.
+  const std::uint64_t intra_pairs = static_cast<std::uint64_t>(s) * (s - 1) / 2;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const NodeId block_base = c * s;
+    sample_bernoulli_indices(intra_pairs, spec.p_in, rng, [&](std::uint64_t r) {
+      const auto [i, j] = unrank_triangular(r, s);
+      edges.emplace_back(block_base + i, block_base + j);
+    });
+  }
+  // Inter-block rectangles, one per ordered pair a < b.
+  const std::uint64_t rect = static_cast<std::uint64_t>(s) * s;
+  for (std::uint32_t a = 0; a < k; ++a) {
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      sample_bernoulli_indices(rect, spec.p_out, rng, [&](std::uint64_t r) {
+        const auto i = static_cast<NodeId>(r / s);
+        const auto j = static_cast<NodeId>(r % s);
+        edges.emplace_back(a * s + i, b * s + j);
+      });
+    }
+  }
+
+  PlantedGraph out;
+  out.graph = Graph::from_edges(n, std::move(edges));
+  out.membership.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.membership[v] = v / s;
+  out.num_clusters = k;
+  return out;
+}
+
+PlantedGraph ring_of_cliques(std::uint32_t k, NodeId clique_size) {
+  DGC_REQUIRE(k >= 2, "need at least two cliques");
+  DGC_REQUIRE(clique_size >= 3, "cliques need at least three nodes");
+  const NodeId n = k * clique_size;
+  std::vector<Edge> edges;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const NodeId block_base = c * clique_size;
+    for (NodeId i = 0; i < clique_size; ++i) {
+      for (NodeId j = i + 1; j < clique_size; ++j) {
+        edges.emplace_back(block_base + i, block_base + j);
+      }
+    }
+  }
+  if (k == 2) {
+    // Two disjoint bridges so the graph is simple and 2-edge-connected.
+    edges.emplace_back(0, clique_size);
+    edges.emplace_back(1, clique_size + 1);
+  } else {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const std::uint32_t next = (c + 1) % k;
+      edges.emplace_back(c * clique_size, next * clique_size + 1);
+    }
+  }
+  PlantedGraph out;
+  out.graph = Graph::from_edges(n, std::move(edges));
+  out.membership.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.membership[v] = v / clique_size;
+  out.num_clusters = k;
+  return out;
+}
+
+PlantedGraph almost_regular_clusters(const ClusteredRegularSpec& spec, double drop_prob,
+                                     util::Rng& rng) {
+  DGC_REQUIRE(drop_prob >= 0.0 && drop_prob < 0.5, "drop_prob must be in [0, 0.5)");
+  PlantedGraph planted = clustered_regular(spec, rng);
+  std::vector<Edge> kept;
+  kept.reserve(planted.graph.num_edges());
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    if (!rng.next_bool(drop_prob)) kept.emplace_back(u, v);
+  });
+  planted.graph = Graph::from_edges(planted.graph.num_nodes(), std::move(kept));
+  return planted;
+}
+
+Graph path(NodeId n) {
+  DGC_REQUIRE(n >= 2, "path needs at least two nodes");
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  DGC_REQUIRE(n >= 3, "cycle needs at least three nodes");
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete(NodeId n) {
+  DGC_REQUIRE(n >= 2, "complete graph needs at least two nodes");
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph star(NodeId n) {
+  DGC_REQUIRE(n >= 2, "star needs at least two nodes");
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace dgc::graph

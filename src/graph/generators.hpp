@@ -1,0 +1,93 @@
+// Synthetic graph generators.
+//
+// The paper evaluates nothing empirically, but its motivating instance
+// (§1.2) is explicit: k = Θ(1) clusters of balanced size, each cluster a
+// spectral expander, with outer conductance O(1/polylog n).  No public
+// datasets are referenced, so the harness generates exactly that family:
+//
+//  * `random_regular`          — configuration model with swap repair;
+//                                whp an expander for d ≥ 3.
+//  * `clustered_regular`       — k disjoint random d-regular expanders
+//                                joined by *degree-preserving* edge swaps,
+//                                giving an exactly d-regular graph whose
+//                                inter-cluster edge count (hence rho(k))
+//                                is controlled exactly.  This is the
+//                                paper-faithful instance.
+//  * `stochastic_block_model`  — planted partition (only almost regular;
+//                                used for baseline comparisons, and the
+//                                instance family of Becchetti et al.).
+//  * `ring_of_cliques`, deterministic `path/cycle/complete/star`
+//                              — worst cases and unit-test fixtures.
+//  * `almost_regular_clusters` — random edge deletions on top of
+//                                clustered_regular, exercising the §4.5
+//                                extension (max/min degree ratio bounded).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::graph {
+
+/// Uniform-ish random d-regular simple graph on n nodes (configuration
+/// model with conflict repair).  Requires n*d even, 0 < d < n.
+[[nodiscard]] Graph random_regular(NodeId n, std::size_t degree, util::Rng& rng);
+
+/// Specification for the paper-faithful planted instance.
+struct ClusteredRegularSpec {
+  /// Size of every cluster (all ≥ degree+1; size*degree must be even).
+  std::vector<NodeId> cluster_sizes;
+  /// Common degree d of the final graph (exactly d-regular).
+  std::size_t degree = 16;
+  /// Number of degree-preserving swaps; each swap converts two
+  /// intra-cluster edges into two inter-cluster edges, so the final graph
+  /// has exactly 2*inter_cluster_swaps inter-cluster edges.
+  std::size_t inter_cluster_swaps = 0;
+  /// Which cluster pairs may receive swapped edges.
+  enum class Topology : std::uint8_t {
+    kComplete,  ///< any pair of distinct clusters (default)
+    kRing,      ///< only consecutive clusters i, i+1 (mod k)
+  };
+  Topology topology = Topology::kComplete;
+};
+
+/// Builds the planted instance; ground truth is the generating partition.
+[[nodiscard]] PlantedGraph clustered_regular(const ClusteredRegularSpec& spec,
+                                             util::Rng& rng);
+
+/// Number of swaps that yields (approximately) per-cluster paper
+/// conductance `phi` for equal cluster sizes: each cluster of size s has
+/// about d*s/2 internal edges, and swaps spread uniformly, so
+/// cut_i ≈ 2*swaps*(2/k) and phi_i ≈ cut_i / (d*s/2).
+[[nodiscard]] std::size_t swaps_for_conductance(const ClusteredRegularSpec& spec,
+                                                double phi);
+
+/// Planted-partition stochastic block model with equal-size blocks.
+struct SbmSpec {
+  NodeId nodes_per_cluster = 0;
+  std::uint32_t clusters = 0;
+  double p_in = 0.0;   ///< intra-block edge probability
+  double p_out = 0.0;  ///< inter-block edge probability
+};
+
+/// O(m)-time SBM sampler (geometric skipping, no n^2 pass).
+[[nodiscard]] PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng);
+
+/// k cliques of size s arranged in a ring, one bridge edge between
+/// consecutive cliques.  Requires k ≥ 2 (k = 2 uses two disjoint
+/// bridges), s ≥ 3.
+[[nodiscard]] PlantedGraph ring_of_cliques(std::uint32_t k, NodeId clique_size);
+
+/// clustered_regular followed by independent edge deletions with
+/// probability drop_prob — an almost-regular instance for §4.5.
+[[nodiscard]] PlantedGraph almost_regular_clusters(const ClusteredRegularSpec& spec,
+                                                   double drop_prob, util::Rng& rng);
+
+/// Deterministic fixtures.
+[[nodiscard]] Graph path(NodeId n);
+[[nodiscard]] Graph cycle(NodeId n);
+[[nodiscard]] Graph complete(NodeId n);
+[[nodiscard]] Graph star(NodeId n);
+
+}  // namespace dgc::graph

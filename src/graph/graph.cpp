@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+Graph Graph::from_edges(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) {
+  for (auto& [u, v] : edges) {
+    DGC_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    DGC_REQUIRE(u != v, "self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+  }
+
+  g.max_degree_ = 0;
+  g.min_degree_ = n > 0 ? g.adjacency_.size() : 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    g.max_degree_ = std::max(g.max_degree_, d);
+    g.min_degree_ = std::min(g.min_degree_, d);
+  }
+  return g;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  DGC_REQUIRE(v < num_nodes(), "node out of range");
+  const auto begin = offsets_[v];
+  const auto end = offsets_[v + 1];
+  return {adjacency_.data() + begin, adjacency_.data() + end};
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  DGC_REQUIRE(v < num_nodes(), "node out of range");
+  return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint64_t Graph::volume(std::span<const NodeId> set) const {
+  std::uint64_t total = 0;
+  for (const NodeId v : set) total += degree(v);
+  return total;
+}
+
+std::vector<NodeId> PlantedGraph::cluster(std::uint32_t c) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < membership.size(); ++v) {
+    if (membership[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> PlantedGraph::cluster_sizes() const {
+  std::vector<std::size_t> sizes(num_clusters, 0);
+  for (const auto c : membership) {
+    DGC_REQUIRE(c < num_clusters, "membership label out of range");
+    ++sizes[c];
+  }
+  return sizes;
+}
+
+double PlantedGraph::beta() const {
+  const auto sizes = cluster_sizes();
+  std::size_t min_size = membership.size();
+  for (const auto s : sizes) min_size = std::min(min_size, s);
+  return membership.empty() ? 0.0
+                            : static_cast<double>(min_size) /
+                                  static_cast<double>(membership.size());
+}
+
+}  // namespace dgc::graph

@@ -1,0 +1,93 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# nodes " << g.num_nodes() << '\n';
+  g.for_each_edge([&](NodeId u, NodeId v) { os << u << ' ' << v << '\n'; });
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId n = 0;
+  bool have_n = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      header >> word;
+      if (word == "nodes") {
+        header >> n;
+        have_n = true;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    NodeId u = 0;
+    NodeId v = 0;
+    DGC_REQUIRE(static_cast<bool>(row >> u >> v), "malformed edge list line: " + line);
+    edges.emplace_back(u, v);
+    if (!have_n) n = std::max({n, u + 1, v + 1});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void write_metis(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool first = true;
+    for (const NodeId u : g.neighbors(v)) {
+      if (!first) os << ' ';
+      os << (u + 1);
+      first = false;
+    }
+    os << '\n';
+  }
+}
+
+Graph read_metis(std::istream& is) {
+  std::string line;
+  DGC_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing METIS header");
+  std::istringstream header(line);
+  NodeId n = 0;
+  std::size_t m = 0;
+  DGC_REQUIRE(static_cast<bool>(header >> n >> m), "malformed METIS header");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  for (NodeId v = 0; v < n; ++v) {
+    DGC_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "METIS file ended before all adjacency lines were read");
+    std::istringstream row(line);
+    NodeId u = 0;
+    while (row >> u) {
+      DGC_REQUIRE(u >= 1 && u <= n, "METIS neighbour id out of range");
+      if (u - 1 > v) edges.emplace_back(v, u - 1);
+    }
+  }
+  Graph g = Graph::from_edges(n, std::move(edges));
+  DGC_REQUIRE(g.num_edges() == m, "METIS header edge count mismatch");
+  return g;
+}
+
+void save_edge_list(const std::string& file_path, const Graph& g) {
+  std::ofstream os(file_path);
+  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
+  write_edge_list(os, g);
+}
+
+Graph load_edge_list(const std::string& file_path) {
+  std::ifstream is(file_path);
+  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
+  return read_edge_list(is);
+}
+
+}  // namespace dgc::graph

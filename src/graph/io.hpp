@@ -1,0 +1,30 @@
+// Graph serialisation: whitespace edge lists (one `u v` pair per line,
+// `#` comments, with an optional `# nodes N` header) and the METIS .graph
+// format (header `n m`, then one 1-indexed adjacency line per node).
+// These are the two formats real-world graph datasets usually ship in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dgc::graph {
+
+/// Writes `# nodes N` then one `u v` line per undirected edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Reads the format written by write_edge_list.  Without a `# nodes`
+/// header, n = max endpoint + 1.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// METIS .graph: first line `n m`, then line i (1-based) lists the
+/// neighbours of node i (1-based).
+void write_metis(std::ostream& os, const Graph& g);
+[[nodiscard]] Graph read_metis(std::istream& is);
+
+/// File-path conveniences (throw contract_error on IO failure).
+void save_edge_list(const std::string& file_path, const Graph& g);
+[[nodiscard]] Graph load_edge_list(const std::string& file_path);
+
+}  // namespace dgc::graph

@@ -1,0 +1,71 @@
+#include "linalg/hungarian.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+AssignmentResult hungarian_min_cost(const std::vector<double>& cost, std::size_t rows,
+                                    std::size_t cols) {
+  DGC_REQUIRE(rows >= 1 && cols >= rows, "need 1 <= rows <= cols");
+  DGC_REQUIRE(cost.size() == rows * cols, "cost matrix size mismatch");
+
+  constexpr double kInf = std::numeric_limits<double>::max() / 4;
+  // Potentials formulation with 1-based sentinel row/column 0.
+  std::vector<double> u(rows + 1, 0.0);
+  std::vector<double> v(cols + 1, 0.0);
+  std::vector<std::size_t> match(cols + 1, 0);  // match[c] = row assigned to c
+  std::vector<std::size_t> way(cols + 1, 0);
+
+  for (std::size_t r = 1; r <= rows; ++r) {
+    match[0] = r;
+    std::size_t j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<char> used(cols + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(rows, 0);
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (match[j] != 0) result.row_to_col[match[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    result.total_cost += cost[r * cols + result.row_to_col[r]];
+  }
+  return result;
+}
+
+}  // namespace dgc::linalg

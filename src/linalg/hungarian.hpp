@@ -1,0 +1,23 @@
+// Exact minimum-cost assignment (Hungarian algorithm, O(n^2 m) potentials
+// formulation).  The metrics layer uses it on the k x k confusion matrix
+// to find the label permutation sigma of Theorem 1.1 that minimises the
+// number of misclassified nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dgc::linalg {
+
+struct AssignmentResult {
+  /// row_to_col[r] = assigned column of row r.
+  std::vector<std::size_t> row_to_col;
+  double total_cost = 0.0;
+};
+
+/// Solves min-cost perfect assignment of `rows` rows to `cols` columns
+/// (rows <= cols) over the row-major cost matrix.
+[[nodiscard]] AssignmentResult hungarian_min_cost(const std::vector<double>& cost,
+                                                  std::size_t rows, std::size_t cols);
+
+}  // namespace dgc::linalg

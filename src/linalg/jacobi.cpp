@@ -1,0 +1,77 @@
+#include "linalg/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+DenseEigen jacobi_eigen(std::vector<double> a, std::size_t n, double tolerance,
+                        std::size_t max_sweeps) {
+  DGC_REQUIRE(n > 0, "empty matrix");
+  DGC_REQUIRE(a.size() == n * n, "matrix size mismatch");
+
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_norm = [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps && off_norm() > tolerance; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a[i * n + p];
+          const double aiq = a[i * n + q];
+          a[i * n + p] = c * aip - s * aiq;
+          a[i * n + q] = s * aip + c * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const double apj = a[p * n + j];
+          const double aqj = a[q * n + j];
+          a[p * n + j] = c * apj - s * aqj;
+          a[q * n + j] = s * apj + c * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x * n + x] < a[y * n + y]; });
+
+  DenseEigen out;
+  out.values.resize(n);
+  out.vectors.assign(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a[order[j] * n + order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + j] = v[i * n + order[j]];
+  }
+  return out;
+}
+
+}  // namespace dgc::linalg

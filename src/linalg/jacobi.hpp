@@ -1,0 +1,24 @@
+// Cyclic Jacobi eigensolver for small dense symmetric matrices.
+// Used as the ground-truth oracle in tests (vs Lanczos) and for the
+// k x k Gram matrices inside Lemma 4.2's orthonormalisation diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dgc::linalg {
+
+struct DenseEigen {
+  /// Eigenvalues ascending.
+  std::vector<double> values;
+  /// Row-major n x n; column j is the eigenvector of values[j].
+  std::vector<double> vectors;
+};
+
+/// Diagonalises the row-major symmetric matrix `a` (n x n).  O(n^3) per
+/// sweep; fine for n up to a few hundred.
+[[nodiscard]] DenseEigen jacobi_eigen(std::vector<double> a, std::size_t n,
+                                      double tolerance = 1e-12,
+                                      std::size_t max_sweeps = 64);
+
+}  // namespace dgc::linalg

@@ -1,0 +1,138 @@
+#include "linalg/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+namespace {
+
+double sq_dist(std::span<const double> points, std::size_t p, std::span<const double> c,
+               std::size_t cid, std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double d = points[p * dim + j] - c[cid * dim + j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+KMeansResult run_once(std::span<const double> points, std::size_t num_points,
+                      std::size_t dim, std::uint32_t k, std::size_t max_iterations,
+                      util::Rng& rng) {
+  // k-means++ seeding.
+  std::vector<double> centroids(static_cast<std::size_t>(k) * dim, 0.0);
+  std::vector<double> min_dist(num_points, std::numeric_limits<double>::max());
+  {
+    const std::size_t first = rng.next_below(num_points);
+    std::copy_n(points.begin() + static_cast<std::ptrdiff_t>(first * dim), dim,
+                centroids.begin());
+  }
+  for (std::uint32_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t p = 0; p < num_points; ++p) {
+      min_dist[p] = std::min(min_dist[p], sq_dist(points, p, centroids, c - 1, dim));
+      total += min_dist[p];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t p = 0; p < num_points; ++p) {
+        target -= min_dist[p];
+        if (target <= 0.0) {
+          chosen = p;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.next_below(num_points);
+    }
+    std::copy_n(points.begin() + static_cast<std::ptrdiff_t>(chosen * dim), dim,
+                centroids.begin() + static_cast<std::ptrdiff_t>(c) * static_cast<std::ptrdiff_t>(dim));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(num_points, 0);
+  std::vector<std::size_t> counts(k, 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t p = 0; p < num_points; ++p) {
+      double best = std::numeric_limits<double>::max();
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = sq_dist(points, p, centroids, c, dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[p] != best_c) {
+        result.assignment[p] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    std::fill(centroids.begin(), centroids.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t p = 0; p < num_points; ++p) {
+      const std::uint32_t c = result.assignment[p];
+      ++counts[c];
+      for (std::size_t j = 0; j < dim; ++j) centroids[c * dim + j] += points[p * dim + j];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t p = 0; p < num_points; ++p) {
+          const double d = sq_dist(points, p, centroids, result.assignment[p], dim);
+          if (d > far_d) {
+            far_d = d;
+            far = p;
+          }
+        }
+        std::copy_n(points.begin() + static_cast<std::ptrdiff_t>(far * dim), dim,
+                    centroids.begin() + static_cast<std::ptrdiff_t>(c) * static_cast<std::ptrdiff_t>(dim));
+      } else {
+        for (std::size_t j = 0; j < dim; ++j) {
+          centroids[c * dim + j] /= static_cast<double>(counts[c]);
+        }
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t p = 0; p < num_points; ++p) {
+    result.inertia += sq_dist(points, p, centroids, result.assignment[p], dim);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const double> points, std::size_t num_points,
+                    std::size_t dim, const KMeansOptions& options) {
+  DGC_REQUIRE(options.clusters >= 1, "need at least one cluster");
+  DGC_REQUIRE(num_points >= options.clusters, "fewer points than clusters");
+  DGC_REQUIRE(points.size() == num_points * dim, "points size mismatch");
+  DGC_REQUIRE(options.restarts >= 1, "need at least one restart");
+
+  util::Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult candidate = run_once(points, num_points, dim, options.clusters,
+                                      options.max_iterations, rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace dgc::linalg

@@ -1,0 +1,33 @@
+// Lloyd's k-means with k-means++ seeding, on row-major point sets.
+// Consumed by the spectral-clustering baseline (points = rows of the
+// n x k eigenvector embedding).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dgc::linalg {
+
+struct KMeansOptions {
+  std::uint32_t clusters = 2;
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 3;      ///< independent k-means++ restarts; best kept
+  std::uint64_t seed = 11;
+};
+
+struct KMeansResult {
+  std::vector<std::uint32_t> assignment;  ///< size = #points, labels in [0,k)
+  std::vector<double> centroids;          ///< row-major k x dim
+  double inertia = 0.0;                   ///< sum of squared distances
+  std::size_t iterations = 0;             ///< of the best restart
+};
+
+/// Clusters `num_points` points of dimension `dim` stored row-major in
+/// `points`.  Deterministic given options.seed.
+[[nodiscard]] KMeansResult kmeans(std::span<const double> points, std::size_t num_points,
+                                  std::size_t dim, const KMeansOptions& options);
+
+}  // namespace dgc::linalg

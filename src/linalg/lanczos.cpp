@@ -1,0 +1,96 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/tridiag.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+EigenPairs lanczos_top_eigenpairs(std::size_t n, const SymmetricOperator& op,
+                                  const LanczosOptions& options) {
+  const std::size_t k = options.num_eigenpairs;
+  DGC_REQUIRE(k >= 1, "need at least one eigenpair");
+  DGC_REQUIRE(n >= k, "operator dimension smaller than requested pairs");
+
+  std::size_t m = options.max_iterations;
+  if (m == 0) m = 3 * k + 40;
+  m = std::min(m, n);
+  m = std::max(m, k);
+
+  util::Rng rng(options.seed);
+
+  // Krylov basis with full reorthogonalisation (memory m*n; m is small).
+  std::vector<std::vector<double>> basis;
+  basis.reserve(m);
+  std::vector<double> alpha;  // tridiagonal diagonal
+  std::vector<double> beta;   // tridiagonal offdiagonal
+
+  auto random_unit_orthogonal = [&]() {
+    std::vector<double> v(n);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      for (auto& x : v) x = rng.next_double() - 0.5;
+      orthogonalize_against(v, basis);
+      if (normalize(v) > 1e-8) return v;
+    }
+    DGC_REQUIRE(false, "could not expand Krylov space");
+    return v;
+  };
+
+  basis.push_back(random_unit_orthogonal());
+  std::vector<double> w(n);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    op(basis[j], w);
+    const double a = dot(w, basis[j]);
+    alpha.push_back(a);
+    if (j + 1 == m) break;
+
+    // w -= alpha_j v_j + beta_{j-1} v_{j-1}, then full reorthogonalise
+    // (two passes) to defeat the classical Lanczos loss of orthogonality.
+    axpy(-a, basis[j], w);
+    if (j > 0) axpy(-beta[j - 1], basis[j - 1], w);
+    for (int pass = 0; pass < 2; ++pass) orthogonalize_against(w, basis);
+
+    const double b = norm(w);
+    if (b < options.tolerance) {
+      // Invariant subspace found.  Restart the recurrence in the
+      // orthogonal complement (beta = 0 decouples the tridiagonal
+      // blocks); this is what recovers *multiplicities* — a single
+      // Krylov sequence contains at most one direction per eigenspace.
+      beta.push_back(0.0);
+      basis.push_back(random_unit_orthogonal());
+      continue;
+    }
+    beta.push_back(b);
+    scale(w, 1.0 / b);
+    basis.push_back(w);
+  }
+
+  const std::size_t steps = alpha.size();
+  DGC_REQUIRE(steps >= k, "Lanczos produced too few steps");
+  beta.resize(steps - 1);
+
+  const TridiagEigen tri = tridiagonal_eigen(alpha, beta);
+
+  // Ritz pairs: take the k largest eigenvalues of the tridiagonal matrix
+  // and lift their eigenvectors through the basis.
+  EigenPairs out;
+  out.values.reserve(k);
+  out.vectors.reserve(k);
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    const std::size_t col = steps - 1 - idx;  // ascending order -> from back
+    out.values.push_back(tri.values[col]);
+    std::vector<double> ritz(n, 0.0);
+    for (std::size_t i = 0; i < steps; ++i) {
+      axpy(tri.vectors[i * steps + col], basis[i], ritz);
+    }
+    normalize(ritz);
+    out.vectors.push_back(std::move(ritz));
+  }
+  return out;
+}
+
+}  // namespace dgc::linalg

@@ -1,0 +1,45 @@
+// Lanczos iteration with full reorthogonalisation for the extreme
+// eigenpairs of a symmetric matrix-free operator.
+//
+// The library needs the top k+1 eigenpairs of the random walk matrix P
+// for three purposes: estimating the round count T = Θ(log n/(1−λ_{k+1})),
+// computing the structure quantities of Lemma 4.2 (χ̂_i, ϒ, α_v), and the
+// spectral-clustering baseline.  Clustered graphs have a large gap after
+// λ_k, which is exactly the regime where Lanczos converges in O(k + log n)
+// iterations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dgc::linalg {
+
+/// out = M * in for a symmetric M.
+using SymmetricOperator =
+    std::function<void(std::span<const double> in, std::span<double> out)>;
+
+struct LanczosOptions {
+  std::size_t num_eigenpairs = 1;   ///< how many top (largest) pairs to return
+  std::size_t max_iterations = 0;   ///< 0 = auto (3*k + 40, capped at n)
+  double tolerance = 1e-10;         ///< residual tolerance for convergence
+  std::uint64_t seed = 7;           ///< start-vector seed
+};
+
+struct EigenPairs {
+  /// Eigenvalues in descending order (largest first).
+  std::vector<double> values;
+  /// vectors[j] is the unit eigenvector of values[j].
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Computes the `num_eigenpairs` algebraically largest eigenpairs of the
+/// n-dimensional symmetric operator.  Throws contract_error if the Krylov
+/// space cannot be expanded (n smaller than requested pairs).
+[[nodiscard]] EigenPairs lanczos_top_eigenpairs(std::size_t n, const SymmetricOperator& op,
+                                                const LanczosOptions& options);
+
+}  // namespace dgc::linalg

@@ -1,0 +1,91 @@
+#include "linalg/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+TridiagEigen tridiagonal_eigen(std::vector<double> diag, std::vector<double> offdiag) {
+  const std::size_t n = diag.size();
+  DGC_REQUIRE(n > 0, "empty matrix");
+  DGC_REQUIRE(offdiag.size() + 1 == n, "offdiag must have size n-1");
+
+  // Implicit QL with Wilkinson shifts (tqli).  Convention: e[i] couples
+  // rows i and i+1; e[n-1] is scratch.
+  std::vector<double> d = std::move(diag);
+  std::vector<double> e(n, 0.0);
+  std::copy(offdiag.begin(), offdiag.end(), e.begin());
+
+  std::vector<double> z(n * n, 0.0);  // accumulated rotations, row-major
+  for (std::size_t i = 0; i < n; ++i) z[i * n + i] = 1.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    for (;;) {
+      std::size_t m = l;
+      while (m + 1 < n) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+        ++m;
+      }
+      if (m == l) break;
+      DGC_REQUIRE(++iter <= 64, "tqli failed to converge");
+
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow = false;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        for (std::size_t row = 0; row < n; ++row) {
+          f = z[row * n + i + 1];
+          z[row * n + i + 1] = s * z[row * n + i] + c * f;
+          z[row * n + i] = c * z[row * n + i] - s * f;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagEigen out;
+  out.values.resize(n);
+  out.vectors.assign(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + j] = z[i * n + order[j]];
+  }
+  return out;
+}
+
+}  // namespace dgc::linalg

@@ -1,0 +1,24 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts —
+// the classic EISPACK tql2 routine).  Used by the Lanczos driver to
+// diagonalise the projected tridiagonal matrix.
+#pragma once
+
+#include <vector>
+
+namespace dgc::linalg {
+
+struct TridiagEigen {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Row-major n x n; column j (entries vectors[i*n+j]) is the
+  /// eigenvector of values[j].
+  std::vector<double> vectors;
+};
+
+/// Diagonalises the symmetric tridiagonal matrix with diagonal `diag`
+/// (size n) and sub/super-diagonal `offdiag` (size n-1; offdiag[i]
+/// couples i and i+1).  Throws if the QL iteration fails to converge.
+[[nodiscard]] TridiagEigen tridiagonal_eigen(std::vector<double> diag,
+                                             std::vector<double> offdiag);
+
+}  // namespace dgc::linalg

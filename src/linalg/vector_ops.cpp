@@ -1,0 +1,77 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  DGC_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_diff(std::span<const double> x, std::span<const double> y) {
+  DGC_REQUIRE(x.size() == y.size(), "norm_diff: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  DGC_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<double> x, double a) {
+  for (auto& xi : x) xi *= a;
+}
+
+double normalize(std::span<double> x) {
+  const double n = norm(x);
+  if (n > 0.0) scale(x, 1.0 / n);
+  return n;
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double xi : x) acc += xi;
+  return acc;
+}
+
+void orthogonalize_against(std::span<double> x,
+                           const std::vector<std::vector<double>>& basis) {
+  for (const auto& b : basis) {
+    const double c = dot(x, b);
+    axpy(-c, b, x);
+  }
+}
+
+std::size_t gram_schmidt(std::vector<std::vector<double>>& vectors, double tol) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    auto& v = vectors[i];
+    // Two MGS passes for numerical robustness ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t j = 0; j < kept; ++j) {
+        const double c = dot(v, vectors[j]);
+        axpy(-c, vectors[j], v);
+      }
+    }
+    if (normalize(v) > tol) {
+      if (kept != i) vectors[kept] = std::move(v);
+      ++kept;
+    }
+  }
+  vectors.resize(kept);
+  return kept;
+}
+
+}  // namespace dgc::linalg

@@ -1,0 +1,34 @@
+// Dense vector kernels.  Everything operates on std::span<double> so the
+// load-balancing engine can run the same kernels over rows of its
+// s-dimensional state matrix without copies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dgc::linalg {
+
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+[[nodiscard]] double norm(std::span<const double> x);
+[[nodiscard]] double norm_diff(std::span<const double> x, std::span<const double> y);
+
+/// y += a*x
+void axpy(double a, std::span<const double> x, std::span<double> y);
+/// x *= a
+void scale(std::span<double> x, double a);
+/// x /= ||x||; returns the original norm (0 if x == 0, x untouched).
+double normalize(std::span<double> x);
+/// Sum of entries.
+[[nodiscard]] double sum(std::span<const double> x);
+
+/// Removes from x its components along each of the given orthonormal
+/// basis vectors (one modified-Gram-Schmidt pass).
+void orthogonalize_against(std::span<double> x,
+                           const std::vector<std::vector<double>>& basis);
+
+/// Modified Gram-Schmidt: orthonormalises `vectors` in place.  Vectors
+/// whose residual norm falls below `tol` are dropped.  Returns the number
+/// of vectors kept (they occupy the front of the vector).
+std::size_t gram_schmidt(std::vector<std::vector<double>>& vectors, double tol = 1e-12);
+
+}  // namespace dgc::linalg

@@ -1,0 +1,75 @@
+#include "linalg/walk_matrix.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dgc::linalg {
+
+WalkOperator::WalkOperator(const graph::Graph& g) : graph_(&g) {
+  DGC_REQUIRE(g.num_nodes() > 0, "empty graph");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  inv_sqrt_degree_.resize(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    inv_sqrt_degree_[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
+  }
+}
+
+void WalkOperator::apply_walk(std::span<const double> in, std::span<double> out) const {
+  DGC_REQUIRE(graph_->is_regular(), "apply_walk requires a regular graph");
+  DGC_REQUIRE(in.size() == dimension() && out.size() == dimension(), "size mismatch");
+  const double inv_d = 1.0 / static_cast<double>(graph_->max_degree());
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    double acc = 0.0;
+    for (const graph::NodeId u : graph_->neighbors(v)) acc += in[u];
+    out[v] = acc * inv_d;
+  }
+}
+
+void WalkOperator::apply_normalized(std::span<const double> in,
+                                    std::span<double> out) const {
+  DGC_REQUIRE(in.size() == dimension() && out.size() == dimension(), "size mismatch");
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    double acc = 0.0;
+    for (const graph::NodeId u : graph_->neighbors(v)) acc += in[u] * inv_sqrt_degree_[u];
+    out[v] = acc * inv_sqrt_degree_[v];
+  }
+}
+
+void WalkOperator::apply_row_stochastic(std::span<const double> in,
+                                        std::span<double> out) const {
+  DGC_REQUIRE(in.size() == dimension() && out.size() == dimension(), "size mismatch");
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    double acc = 0.0;
+    for (const graph::NodeId u : graph_->neighbors(v)) acc += in[u];
+    out[v] = acc / static_cast<double>(graph_->degree(v));
+  }
+}
+
+void WalkOperator::apply_lazy_walk(std::span<const double> in, std::span<double> out,
+                                   double gamma) const {
+  DGC_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "gamma out of range");
+  apply_walk(in, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (1.0 - gamma) * in[i] + gamma * out[i];
+  }
+}
+
+double WalkOperator::d_bar() const {
+  DGC_REQUIRE(graph_->is_regular(), "d_bar defined for regular graphs");
+  const double d = static_cast<double>(graph_->max_degree());
+  return std::pow(1.0 - 1.0 / (2.0 * d), d - 1.0);
+}
+
+std::vector<double> dense_walk_matrix(const graph::Graph& g) {
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  const std::size_t n = g.num_nodes();
+  std::vector<double> p(n * n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double inv_d = 1.0 / static_cast<double>(g.degree(v));
+    for (const graph::NodeId u : g.neighbors(v)) p[v * n + u] = inv_d;
+  }
+  return p;
+}
+
+}  // namespace dgc::linalg

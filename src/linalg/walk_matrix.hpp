@@ -1,0 +1,50 @@
+// Matrix-free application of the random walk matrix P and friends.
+//
+// For a d-regular graph the paper's P = A/d is symmetric and its
+// spectrum drives everything (Cheeger bounds, the gap condition (2),
+// the round count T).  For non-regular graphs we expose the symmetric
+// normalised adjacency N = D^{-1/2} A D^{-1/2}, whose spectrum equals
+// that of the (row-stochastic) walk matrix D^{-1}A.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dgc::linalg {
+
+/// Matrix-free operator view over a graph.
+class WalkOperator {
+ public:
+  explicit WalkOperator(const graph::Graph& g);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return graph_->num_nodes(); }
+
+  /// out = (A/d) in — requires a regular graph.
+  void apply_walk(std::span<const double> in, std::span<double> out) const;
+
+  /// out = D^{-1/2} A D^{-1/2} in — any graph without isolated nodes.
+  void apply_normalized(std::span<const double> in, std::span<double> out) const;
+
+  /// out = D^{-1} A in — the row-stochastic walk matrix of any graph
+  /// (equals apply_walk on regular graphs).
+  void apply_row_stochastic(std::span<const double> in, std::span<double> out) const;
+
+  /// out = ((1-gamma) I + gamma A/d) in — the lazy walk matching the
+  /// expected matching matrix of Lemma 2.1 with gamma = d_bar/4.
+  void apply_lazy_walk(std::span<const double> in, std::span<double> out,
+                       double gamma) const;
+
+  /// The paper's d_bar = (1 - 1/(2d))^{d-1} for regular degree d.
+  [[nodiscard]] double d_bar() const;
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<double> inv_sqrt_degree_;
+};
+
+/// Dense n x n random walk matrix (tests only; O(n^2) memory).
+[[nodiscard]] std::vector<double> dense_walk_matrix(const graph::Graph& g);
+
+}  // namespace dgc::linalg

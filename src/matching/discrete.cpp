@@ -1,0 +1,54 @@
+#include "matching/discrete.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+DiscreteLoadState::DiscreteLoadState(std::size_t num_nodes, std::uint64_t seed)
+    : tokens_(num_nodes, 0), rng_(seed) {
+  DGC_REQUIRE(num_nodes > 0, "need at least one node");
+}
+
+void DiscreteLoadState::set(graph::NodeId v, std::int64_t tokens) {
+  DGC_REQUIRE(v < tokens_.size(), "node out of range");
+  tokens_[v] = tokens;
+}
+
+std::int64_t DiscreteLoadState::at(graph::NodeId v) const {
+  DGC_REQUIRE(v < tokens_.size(), "node out of range");
+  return tokens_[v];
+}
+
+void DiscreteLoadState::apply(const Matching& m) {
+  DGC_REQUIRE(m.partner.size() == tokens_.size(), "matching size mismatch");
+  for (const auto& [u, v] : m.edges) {
+    const std::int64_t sum = tokens_[u] + tokens_[v];
+    const std::int64_t low = sum >= 0 ? sum / 2 : (sum - 1) / 2;  // floor
+    const std::int64_t high = sum - low;
+    if (low == high) {
+      tokens_[u] = low;
+      tokens_[v] = low;
+    } else if (rng_.next_bit()) {
+      tokens_[u] = high;
+      tokens_[v] = low;
+    } else {
+      tokens_[u] = low;
+      tokens_[v] = high;
+    }
+  }
+}
+
+std::int64_t DiscreteLoadState::total() const {
+  std::int64_t acc = 0;
+  for (const auto t : tokens_) acc += t;
+  return acc;
+}
+
+std::int64_t DiscreteLoadState::discrepancy() const {
+  const auto [lo, hi] = std::minmax_element(tokens_.begin(), tokens_.end());
+  return *hi - *lo;
+}
+
+}  // namespace dgc::matching

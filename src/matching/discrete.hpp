@@ -1,0 +1,48 @@
+// Discrete (indivisible-token) load balancing in the matching model with
+// randomized rounding — the Berenbrink et al. / Friedrich–Sauerwald
+// variant the paper cites ([4], [15]).  Matched pairs split their token
+// sum evenly; an odd token goes to either endpoint by a fair coin
+// ("randomized rounding"), which keeps the process unbiased:
+// E[tokens after] equals the continuous average.
+//
+// Included as an extension study: the clustering algorithm works with
+// continuous loads, and this module quantifies what indivisibility costs
+// (discrepancy stalls at O(1) instead of vanishing — see the tests and
+// bench E13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::matching {
+
+/// Integer token vector balanced over random matchings.
+class DiscreteLoadState {
+ public:
+  DiscreteLoadState(std::size_t num_nodes, std::uint64_t seed);
+
+  void set(graph::NodeId v, std::int64_t tokens);
+  [[nodiscard]] std::int64_t at(graph::NodeId v) const;
+
+  /// Applies a matching: each matched pair rebalances to
+  /// ⌊(a+b)/2⌋ / ⌈(a+b)/2⌉ with the extra token placed by a fair coin.
+  void apply(const Matching& m);
+
+  /// Sum of all tokens — invariant under apply().
+  [[nodiscard]] std::int64_t total() const;
+
+  /// max_v tokens − min_v tokens.
+  [[nodiscard]] std::int64_t discrepancy() const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return tokens_.size(); }
+
+ private:
+  std::vector<std::int64_t> tokens_;
+  util::Rng rng_;
+};
+
+}  // namespace dgc::matching

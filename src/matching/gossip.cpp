@@ -1,0 +1,87 @@
+#include "matching/gossip.hpp"
+
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+AsyncGossip::AsyncGossip(const graph::Graph& g, std::uint64_t seed)
+    : graph_(&g), rng_(seed) {
+  DGC_REQUIRE(g.num_nodes() > 1, "graph too small");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+}
+
+void AsyncGossip::tick(MultiLoadState& state) {
+  DGC_REQUIRE(state.num_nodes() == graph_->num_nodes(), "state size mismatch");
+  const auto v = static_cast<graph::NodeId>(rng_.next_below(graph_->num_nodes()));
+  const auto nbrs = graph_->neighbors(v);
+  const graph::NodeId u = nbrs[rng_.next_below(nbrs.size())];
+  state.average_pair(v, u);
+  ++exchanges_;
+}
+
+void AsyncGossip::run(MultiLoadState& state, std::size_t ticks) {
+  for (std::size_t t = 0; t < ticks; ++t) tick(state);
+}
+
+RumorSpreading::RumorSpreading(const graph::Graph& g, std::uint64_t seed)
+    : graph_(&g), rng_(seed) {
+  DGC_REQUIRE(g.num_nodes() > 0, "empty graph");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  informed_.assign(g.num_nodes(), 0);
+}
+
+void RumorSpreading::start(graph::NodeId source) {
+  DGC_REQUIRE(source < graph_->num_nodes(), "source out of range");
+  std::fill(informed_.begin(), informed_.end(), 0);
+  informed_[source] = 1;
+  informed_count_ = 1;
+}
+
+std::size_t RumorSpreading::round() {
+  DGC_REQUIRE(informed_count_ > 0, "call start() first");
+  const graph::NodeId n = graph_->num_nodes();
+  std::vector<char> next = informed_;
+  std::size_t newly = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto nbrs = graph_->neighbors(v);
+    const graph::NodeId target = nbrs[rng_.next_below(nbrs.size())];
+    if (informed_[v] && !next[target]) {
+      next[target] = 1;  // push
+      ++newly;
+    } else if (!informed_[v] && informed_[target] && !next[v]) {
+      next[v] = 1;  // pull
+      ++newly;
+    }
+  }
+  informed_ = std::move(next);
+  informed_count_ += newly;
+  return newly;
+}
+
+bool RumorSpreading::informed(graph::NodeId v) const {
+  DGC_REQUIRE(v < graph_->num_nodes(), "node out of range");
+  return informed_[v] != 0;
+}
+
+std::size_t RumorSpreading::informed_within(std::span<const graph::NodeId> members) const {
+  std::size_t count = 0;
+  for (const auto v : members) {
+    DGC_REQUIRE(v < graph_->num_nodes(), "member out of range");
+    count += informed_[v] != 0;
+  }
+  return count;
+}
+
+std::size_t RumorSpreading::rounds_to_saturation(const graph::Graph& g,
+                                                 graph::NodeId source, std::uint64_t seed,
+                                                 std::size_t max_rounds) {
+  RumorSpreading process(g, seed);
+  process.start(source);
+  for (std::size_t t = 1; t <= max_rounds; ++t) {
+    process.round();
+    if (process.informed_count() == g.num_nodes()) return t;
+  }
+  return max_rounds;
+}
+
+}  // namespace dgc::matching

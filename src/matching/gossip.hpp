@@ -1,0 +1,77 @@
+// Other gossip processes on the same substrate — the paper's abstract
+// suggests its algebraic tool "can be further applied to analyse other
+// gossip processes, such as rumour spreading and averaging processes".
+// This header provides the two canonical ones for the extension study
+// (bench E13):
+//
+//  * AsyncGossip — Boyd et al.'s asynchronous pairwise averaging: at
+//    every tick one uniformly random node wakes and averages (all load
+//    dimensions) with one uniformly random neighbour.  n ticks are the
+//    natural unit comparable to one synchronous matching round.
+//
+//  * RumorSpreading — synchronous push–pull: every round, every informed
+//    node pushes the rumour to a random neighbour, and every uninformed
+//    node pulls from a random neighbour.  On clustered graphs a rumour
+//    saturates its own cluster before crossing the sparse cut — the same
+//    early/late behaviour split that drives the clustering algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/load_state.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::matching {
+
+/// Asynchronous pairwise averaging gossip.
+class AsyncGossip {
+ public:
+  AsyncGossip(const graph::Graph& g, std::uint64_t seed);
+
+  /// One wake-up: a random node averages with a random neighbour.
+  void tick(MultiLoadState& state);
+
+  /// Runs `ticks` wake-ups.
+  void run(MultiLoadState& state, std::size_t ticks);
+
+  [[nodiscard]] std::size_t total_exchanges() const noexcept { return exchanges_; }
+
+ private:
+  const graph::Graph* graph_;
+  util::Rng rng_;
+  std::size_t exchanges_ = 0;
+};
+
+/// Synchronous push–pull rumour spreading.
+class RumorSpreading {
+ public:
+  RumorSpreading(const graph::Graph& g, std::uint64_t seed);
+
+  /// Starts the rumour at `source` (resets any previous run).
+  void start(graph::NodeId source);
+
+  /// One synchronous push–pull round; returns newly informed count.
+  std::size_t round();
+
+  [[nodiscard]] bool informed(graph::NodeId v) const;
+  [[nodiscard]] std::size_t informed_count() const noexcept { return informed_count_; }
+
+  /// Informed nodes within `members` (for per-cluster saturation curves).
+  [[nodiscard]] std::size_t informed_within(std::span<const graph::NodeId> members) const;
+
+  /// Rounds until everyone is informed (capped), from `source`.
+  [[nodiscard]] static std::size_t rounds_to_saturation(const graph::Graph& g,
+                                                        graph::NodeId source,
+                                                        std::uint64_t seed,
+                                                        std::size_t max_rounds);
+
+ private:
+  const graph::Graph* graph_;
+  util::Rng rng_;
+  std::vector<char> informed_;
+  std::size_t informed_count_ = 0;
+};
+
+}  // namespace dgc::matching

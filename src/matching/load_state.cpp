@@ -1,0 +1,64 @@
+#include "matching/load_state.hpp"
+
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+MultiLoadState::MultiLoadState(std::size_t num_nodes, std::size_t dimensions)
+    : num_nodes_(num_nodes), dimensions_(dimensions) {
+  DGC_REQUIRE(num_nodes > 0, "need at least one node");
+  DGC_REQUIRE(dimensions > 0, "need at least one dimension");
+  data_.assign(num_nodes * dimensions, 0.0);
+}
+
+std::span<double> MultiLoadState::row(graph::NodeId v) {
+  DGC_REQUIRE(v < num_nodes_, "node out of range");
+  return {data_.data() + static_cast<std::size_t>(v) * dimensions_, dimensions_};
+}
+
+std::span<const double> MultiLoadState::row(graph::NodeId v) const {
+  DGC_REQUIRE(v < num_nodes_, "node out of range");
+  return {data_.data() + static_cast<std::size_t>(v) * dimensions_, dimensions_};
+}
+
+double MultiLoadState::at(graph::NodeId v, std::size_t dim) const {
+  DGC_REQUIRE(dim < dimensions_, "dimension out of range");
+  return row(v)[dim];
+}
+
+void MultiLoadState::set(graph::NodeId v, std::size_t dim, double value) {
+  DGC_REQUIRE(dim < dimensions_, "dimension out of range");
+  row(v)[dim] = value;
+}
+
+void MultiLoadState::average_pair(graph::NodeId u, graph::NodeId v) {
+  DGC_REQUIRE(u != v, "cannot average a node with itself");
+  auto ru = row(u);
+  auto rv = row(v);
+  for (std::size_t i = 0; i < dimensions_; ++i) {
+    const double avg = 0.5 * (ru[i] + rv[i]);
+    ru[i] = avg;
+    rv[i] = avg;
+  }
+}
+
+void MultiLoadState::apply(const Matching& m) {
+  DGC_REQUIRE(m.partner.size() == num_nodes_, "matching size mismatch");
+  for (const auto& [u, v] : m.edges) average_pair(u, v);
+}
+
+std::vector<double> MultiLoadState::column(std::size_t dim) const {
+  DGC_REQUIRE(dim < dimensions_, "dimension out of range");
+  std::vector<double> out(num_nodes_);
+  for (std::size_t v = 0; v < num_nodes_; ++v) out[v] = data_[v * dimensions_ + dim];
+  return out;
+}
+
+double MultiLoadState::total(std::size_t dim) const {
+  DGC_REQUIRE(dim < dimensions_, "dimension out of range");
+  double acc = 0.0;
+  for (std::size_t v = 0; v < num_nodes_; ++v) acc += data_[v * dimensions_ + dim];
+  return acc;
+}
+
+}  // namespace dgc::matching

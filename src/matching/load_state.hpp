@@ -1,0 +1,48 @@
+// Multi-dimensional load state: the s load vectors x^(t,1) … x^(t,s) of
+// §3.2, stored row-major (node-major) so that averaging a matched pair
+// touches two contiguous rows — one cache line per few dimensions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/protocol.hpp"
+
+namespace dgc::matching {
+
+class MultiLoadState {
+ public:
+  /// n nodes, s dimensions, all loads zero.
+  MultiLoadState(std::size_t num_nodes, std::size_t dimensions);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dimensions_; }
+
+  /// Mutable view of node v's s values.
+  [[nodiscard]] std::span<double> row(graph::NodeId v);
+  [[nodiscard]] std::span<const double> row(graph::NodeId v) const;
+
+  [[nodiscard]] double at(graph::NodeId v, std::size_t dim) const;
+  void set(graph::NodeId v, std::size_t dim, double value);
+
+  /// Averages rows u and v in every dimension (one matched pair).
+  void average_pair(graph::NodeId u, graph::NodeId v);
+
+  /// Applies a whole matching.
+  void apply(const Matching& m);
+
+  /// Copy of dimension `dim` as an n-vector (for analysis).
+  [[nodiscard]] std::vector<double> column(std::size_t dim) const;
+
+  /// Sum over nodes of dimension `dim` — invariant under apply().
+  [[nodiscard]] double total(std::size_t dim) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t dimensions_;
+  std::vector<double> data_;
+};
+
+}  // namespace dgc::matching

@@ -1,0 +1,55 @@
+#include "matching/process.hpp"
+
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+ProcessStats run_process(MatchingGenerator& generator, MultiLoadState& state,
+                         std::size_t rounds,
+                         const std::function<void(std::size_t, const Matching&)>& on_round) {
+  DGC_REQUIRE(generator.graph().num_nodes() == state.num_nodes(),
+              "generator/state node count mismatch");
+  ProcessStats stats;
+  stats.rounds = rounds;
+  const double half_n = static_cast<double>(state.num_nodes()) / 2.0;
+  for (std::size_t t = 1; t <= rounds; ++t) {
+    const Matching m = generator.next();
+    state.apply(m);
+    stats.total_matched_edges += m.edges.size();
+    stats.mean_matched_fraction += static_cast<double>(m.edges.size()) / half_n;
+    if (on_round) on_round(t, m);
+  }
+  if (rounds > 0) stats.mean_matched_fraction /= static_cast<double>(rounds);
+  return stats;
+}
+
+std::vector<double> run_lazy_walk(const graph::Graph& g, std::vector<double> x,
+                                  std::size_t rounds) {
+  const linalg::WalkOperator op(g);
+  DGC_REQUIRE(x.size() == op.dimension(), "vector size mismatch");
+  const double gamma = op.d_bar() / 4.0;
+  std::vector<double> next(x.size());
+  for (std::size_t t = 0; t < rounds; ++t) {
+    op.apply_lazy_walk(x, next, gamma);
+    x.swap(next);
+  }
+  return x;
+}
+
+std::vector<std::vector<double>> trajectory_1d(MatchingGenerator& generator,
+                                               std::vector<double> x, std::size_t rounds) {
+  const std::size_t n = generator.graph().num_nodes();
+  DGC_REQUIRE(x.size() == n, "vector size mismatch");
+  MultiLoadState state(n, 1);
+  for (graph::NodeId v = 0; v < n; ++v) state.set(v, 0, x[v]);
+  std::vector<std::vector<double>> snapshots;
+  snapshots.reserve(rounds + 1);
+  snapshots.push_back(state.column(0));
+  run_process(generator, state, rounds, [&](std::size_t, const Matching&) {
+    snapshots.push_back(state.column(0));
+  });
+  return snapshots;
+}
+
+}  // namespace dgc::matching

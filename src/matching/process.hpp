@@ -1,0 +1,43 @@
+// Drivers for the load-balancing processes analysed in §4:
+//  * run_process      — the real random-matching process (x ← M(t) x)
+//  * run_lazy_walk    — the expectation reference: x ← E[M] x per round,
+//                       i.e. the lazy random walk of Lemma 2.1
+//  * trajectory_1d    — 1-D process recording per-round snapshots, used
+//                       by the Lemma 4.1 early-behaviour experiment (E6)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "matching/load_state.hpp"
+#include "matching/protocol.hpp"
+
+namespace dgc::matching {
+
+/// Statistics of one run of the matching process.
+struct ProcessStats {
+  std::size_t rounds = 0;
+  std::size_t total_matched_edges = 0;   ///< sum over rounds of |M(t)|
+  double mean_matched_fraction = 0.0;    ///< mean of |M(t)| / (n/2)
+};
+
+/// Runs `rounds` rounds of the random matching process on `state`.
+/// `on_round(t, matching)` is invoked after each application (t from 1).
+ProcessStats run_process(
+    MatchingGenerator& generator, MultiLoadState& state, std::size_t rounds,
+    const std::function<void(std::size_t, const Matching&)>& on_round = {});
+
+/// Applies the *expected* matching matrix E[M] = (1−d̄/4)I + (d̄/4)P for
+/// `rounds` rounds to an n-vector (regular graphs only).
+[[nodiscard]] std::vector<double> run_lazy_walk(const graph::Graph& g,
+                                                std::vector<double> x,
+                                                std::size_t rounds);
+
+/// 1-D process from initial vector x, recording ||snapshots|| on demand:
+/// returns the state after every round (rounds+1 snapshots incl. t=0).
+[[nodiscard]] std::vector<std::vector<double>> trajectory_1d(MatchingGenerator& generator,
+                                                             std::vector<double> x,
+                                                             std::size_t rounds);
+
+}  // namespace dgc::matching

@@ -1,0 +1,105 @@
+#include "matching/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+bool Matching::valid(const graph::Graph& g) const {
+  if (partner.size() != g.num_nodes()) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId u = partner[v];
+    if (u == kInvalidNode) continue;
+    if (u >= g.num_nodes() || u == v) return false;
+    if (partner[u] != v) return false;
+    if (!g.has_edge(u, v)) return false;
+  }
+  for (const auto& [a, b] : edges) {
+    if (a >= b) return false;
+    if (partner[a] != b || partner[b] != a) return false;
+  }
+  // Every matched node appears in exactly one edge.
+  std::size_t matched = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (partner[v] != kInvalidNode) ++matched;
+  }
+  return matched == 2 * edges.size();
+}
+
+MatchingGenerator::MatchingGenerator(const graph::Graph& g, std::uint64_t seed,
+                                     ProtocolOptions options)
+    : graph_(&g), options_(options) {
+  DGC_REQUIRE(g.num_nodes() > 0, "empty graph");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  if (options_.virtual_degree != 0) {
+    DGC_REQUIRE(options_.virtual_degree >= g.max_degree(),
+                "virtual_degree must cover the maximum degree");
+  }
+  DGC_REQUIRE(!options_.degree_biased_activation || options_.virtual_degree != 0,
+              "degree-biased activation needs a virtual degree D");
+  util::Rng master(seed);
+  node_rng_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_rng_.push_back(master.fork(v));
+}
+
+MatchingGenerator::Coins MatchingGenerator::flip_round_coins() {
+  const NodeId n = graph_->num_nodes();
+  Coins coins;
+  coins.active.assign(n, 0);
+  coins.probe.assign(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& rng = node_rng_[v];
+    const std::size_t degree = graph_->degree(v);
+    const std::size_t slots =
+        options_.virtual_degree == 0 ? degree : options_.virtual_degree;
+
+    double activation = 0.5;
+    if (options_.degree_biased_activation) {
+      const double dd = static_cast<double>(slots);
+      activation = 0.5 + (dd - static_cast<double>(degree)) / (2.0 * dd);
+    }
+    // Every node burns exactly two draws per round regardless of the
+    // branch taken, so RNG streams stay aligned across protocol variants.
+    const bool active = rng.next_bool(activation);
+    const std::size_t slot = rng.next_below(slots);
+    coins.active[v] = active ? 1 : 0;
+    if (active && slot < degree) {
+      coins.probe[v] = graph_->neighbors(v)[slot];
+    }
+  }
+  return coins;
+}
+
+Matching MatchingGenerator::resolve(const graph::Graph& g, const Coins& coins) {
+  const NodeId n = g.num_nodes();
+  DGC_REQUIRE(coins.active.size() == n && coins.probe.size() == n, "coin size mismatch");
+  std::vector<std::uint32_t> probes_received(n, 0);
+  std::vector<NodeId> prober(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId target = coins.probe[v];
+    if (target == kInvalidNode) continue;
+    ++probes_received[target];
+    prober[target] = v;
+  }
+  Matching m;
+  m.partner.assign(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (coins.active[v] || probes_received[v] != 1) continue;
+    const NodeId u = prober[v];
+    // u is active (it probed) so it cannot itself accept a probe; the
+    // pair (u, v) is therefore conflict-free.
+    m.partner[v] = u;
+    m.partner[u] = v;
+    m.edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(m.edges.begin(), m.edges.end());
+  return m;
+}
+
+Matching MatchingGenerator::next() { return resolve(*graph_, flip_round_coins()); }
+
+}  // namespace dgc::matching

@@ -1,0 +1,91 @@
+// The random matching model (Boyd et al. [5], §2.2 of the paper).
+//
+// One round of the protocol, run by every node with private coins:
+//   (1) every node is active with probability 1/2 (independently);
+//   (2) every active node chooses one of its neighbours uniformly at
+//       random and probes it;
+//   (3) every NON-active node probed by exactly one neighbour is matched
+//       to that neighbour.
+// Active nodes never accept probes, and a probe from an active node to
+// another active node (or to a node probed more than once) fails, so the
+// result is always a valid matching with at most ⌊n/2⌋ edges.
+//
+// Lemma 2.1 follows from this exact procedure:
+//   E[M(t)] = (1 − d̄/4) I + (d̄/4) P with d̄ = (1 − 1/(2d))^{d−1}.
+//
+// Almost-regular graphs (§4.5): the protocol conceptually runs on the
+// D-regular padded graph G* obtained by adding D − deg(v) self-loops at
+// every node.  We never materialise the loops — an active node picks one
+// of D slots, and a self-loop slot is simply a failed probe (matching a
+// node to itself averages nothing, exactly as G*'s self-loop matchings
+// would).  Activation can optionally be biased to 1/2 + (D−deg(v))/(2D),
+// the literal modification stated in §4.5; bench E9 compares the two.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dgc::matching {
+
+/// One sampled matching.
+struct Matching {
+  /// partner[v] = matched neighbour of v, or graph::kInvalidNode.
+  std::vector<graph::NodeId> partner;
+  /// Matched edges with first < second.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+
+  [[nodiscard]] bool is_matched(graph::NodeId v) const {
+    return partner[v] != graph::kInvalidNode;
+  }
+  /// Validates the matching invariants (symmetry, edge existence).
+  [[nodiscard]] bool valid(const graph::Graph& g) const;
+};
+
+struct ProtocolOptions {
+  /// Virtual degree D of the padded graph G*.  0 means "use each node's
+  /// own degree" (the plain protocol; correct for regular graphs).
+  /// Otherwise must be >= the maximum degree.
+  std::size_t virtual_degree = 0;
+  /// §4.5 literal variant: node v is active with probability
+  /// 1/2 + (D − deg(v))/(2D) instead of 1/2.
+  bool degree_biased_activation = false;
+};
+
+/// Stateful per-round matching sampler.  Every node owns an independent
+/// RNG stream forked from `seed`, so the sequence of matchings is a pure
+/// function of (graph, seed, options) — this is what lets the in-memory
+/// and message-passing engines replay identical randomness.
+class MatchingGenerator {
+ public:
+  MatchingGenerator(const graph::Graph& g, std::uint64_t seed,
+                    ProtocolOptions options = {});
+
+  /// Samples the matching of the next round.
+  [[nodiscard]] Matching next();
+
+  /// Per-node view of one round's coin flips — used by the distributed
+  /// engine so its nodes flip the *same* coins through messages.
+  struct Coins {
+    std::vector<char> active;            ///< active[v]
+    std::vector<graph::NodeId> probe;    ///< probed neighbour or kInvalidNode
+  };
+  [[nodiscard]] Coins flip_round_coins();
+
+  /// Deterministically resolves a matching from a set of coins (static:
+  /// pure function; the distributed engine resolves via messages and must
+  /// agree with this).
+  [[nodiscard]] static Matching resolve(const graph::Graph& g, const Coins& coins);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const graph::Graph* graph_;
+  ProtocolOptions options_;
+  std::vector<util::Rng> node_rng_;
+};
+
+}  // namespace dgc::matching

@@ -1,0 +1,215 @@
+#include "metrics/clustering_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "linalg/hungarian.hpp"
+#include "util/require.hpp"
+
+namespace dgc::metrics {
+
+CompactLabels compact(std::span<const std::uint64_t> raw) {
+  CompactLabels out;
+  out.labels.resize(raw.size());
+  std::unordered_map<std::uint64_t, std::uint32_t> remap;
+  bool has_unclustered = false;
+  for (const auto label : raw) {
+    if (label == kUnclustered) {
+      has_unclustered = true;
+      continue;
+    }
+    remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+  }
+  std::uint32_t next = static_cast<std::uint32_t>(remap.size());
+  const std::uint32_t unclustered_label = next;
+  if (has_unclustered) ++next;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out.labels[i] = raw[i] == kUnclustered ? unclustered_label : remap.at(raw[i]);
+  }
+  out.num_labels = next;
+  return out;
+}
+
+std::vector<std::uint64_t> confusion_matrix(std::span<const std::uint32_t> truth,
+                                            std::uint32_t truth_k,
+                                            std::span<const std::uint32_t> predicted,
+                                            std::uint32_t predicted_k) {
+  DGC_REQUIRE(truth.size() == predicted.size(), "label vectors must have equal length");
+  std::vector<std::uint64_t> confusion(static_cast<std::size_t>(truth_k) * predicted_k, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    DGC_REQUIRE(truth[i] < truth_k, "truth label out of range");
+    DGC_REQUIRE(predicted[i] < predicted_k, "predicted label out of range");
+    ++confusion[static_cast<std::size_t>(truth[i]) * predicted_k + predicted[i]];
+  }
+  return confusion;
+}
+
+std::uint64_t misclassified_nodes(std::span<const std::uint32_t> truth,
+                                  std::uint32_t truth_k,
+                                  std::span<const std::uint32_t> predicted,
+                                  std::uint32_t predicted_k) {
+  DGC_REQUIRE(truth_k >= 1, "need at least one ground-truth cluster");
+  const std::size_t n = truth.size();
+  // Pad predicted labels so the assignment is always feasible; phantom
+  // columns have zero agreement.
+  const std::uint32_t cols = std::max(truth_k, predicted_k);
+  const auto confusion = confusion_matrix(truth, truth_k, predicted, predicted_k);
+  // Hungarian minimises cost; we want to maximise agreement, so cost =
+  // row_total - agreement (non-negative).
+  std::vector<double> cost(static_cast<std::size_t>(truth_k) * cols, 0.0);
+  std::vector<std::uint64_t> row_total(truth_k, 0);
+  for (std::uint32_t r = 0; r < truth_k; ++r) {
+    for (std::uint32_t c = 0; c < predicted_k; ++c) {
+      row_total[r] += confusion[static_cast<std::size_t>(r) * predicted_k + c];
+    }
+  }
+  for (std::uint32_t r = 0; r < truth_k; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const std::uint64_t agree =
+          c < predicted_k ? confusion[static_cast<std::size_t>(r) * predicted_k + c] : 0;
+      cost[static_cast<std::size_t>(r) * cols + c] =
+          static_cast<double>(row_total[r]) - static_cast<double>(agree);
+    }
+  }
+  const auto assignment = linalg::hungarian_min_cost(cost, truth_k, cols);
+  std::uint64_t agreement = 0;
+  for (std::uint32_t r = 0; r < truth_k; ++r) {
+    const std::size_t c = assignment.row_to_col[r];
+    if (c < predicted_k) {
+      agreement += confusion[static_cast<std::size_t>(r) * predicted_k + c];
+    }
+  }
+  return static_cast<std::uint64_t>(n) - agreement;
+}
+
+double misclassification_rate(std::span<const std::uint32_t> truth, std::uint32_t truth_k,
+                              std::span<const std::uint32_t> predicted,
+                              std::uint32_t predicted_k) {
+  if (truth.empty()) return 0.0;
+  return static_cast<double>(misclassified_nodes(truth, truth_k, predicted, predicted_k)) /
+         static_cast<double>(truth.size());
+}
+
+std::uint64_t misclassified_nodes(std::span<const std::uint32_t> truth,
+                                  std::uint32_t truth_k,
+                                  std::span<const std::uint64_t> raw_predicted) {
+  DGC_REQUIRE(truth.size() == raw_predicted.size(),
+              "label vectors must have equal length");
+  // Sentinel nodes are unconditional errors: the paper's fallback is an
+  // *arbitrary per-node* ID, so a shared "unclustered" bucket must never
+  // be creditable as a cluster.  Run the optimal assignment on the
+  // clustered nodes only.
+  std::vector<std::uint32_t> masked_truth;
+  std::vector<std::uint64_t> masked_predicted;
+  masked_truth.reserve(truth.size());
+  masked_predicted.reserve(truth.size());
+  std::uint64_t unclustered = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (raw_predicted[i] == kUnclustered) {
+      ++unclustered;
+    } else {
+      masked_truth.push_back(truth[i]);
+      masked_predicted.push_back(raw_predicted[i]);
+    }
+  }
+  if (masked_truth.empty()) return unclustered;
+  const CompactLabels compacted = compact(masked_predicted);
+  return unclustered + misclassified_nodes(masked_truth, truth_k, compacted.labels,
+                                           std::max<std::uint32_t>(1, compacted.num_labels));
+}
+
+double misclassification_rate(std::span<const std::uint32_t> truth, std::uint32_t truth_k,
+                              std::span<const std::uint64_t> raw_predicted) {
+  if (truth.empty()) return 0.0;
+  return static_cast<double>(misclassified_nodes(truth, truth_k, raw_predicted)) /
+         static_cast<double>(truth.size());
+}
+
+namespace {
+
+std::uint32_t max_label_plus_one(std::span<const std::uint32_t> labels) {
+  std::uint32_t k = 0;
+  for (const auto label : labels) k = std::max(k, label + 1);
+  return k;
+}
+
+double comb2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+double adjusted_rand_index(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+  DGC_REQUIRE(a.size() == b.size(), "label vectors must have equal length");
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  const std::uint32_t ka = max_label_plus_one(a);
+  const std::uint32_t kb = max_label_plus_one(b);
+  const auto confusion = confusion_matrix(a, ka, b, kb);
+  std::vector<std::uint64_t> row(ka, 0);
+  std::vector<std::uint64_t> col(kb, 0);
+  double sum_cells = 0.0;
+  for (std::uint32_t i = 0; i < ka; ++i) {
+    for (std::uint32_t j = 0; j < kb; ++j) {
+      const auto nij = confusion[static_cast<std::size_t>(i) * kb + j];
+      row[i] += nij;
+      col[j] += nij;
+      sum_cells += comb2(static_cast<double>(nij));
+    }
+  }
+  double sum_row = 0.0;
+  double sum_col = 0.0;
+  for (const auto r : row) sum_row += comb2(static_cast<double>(r));
+  for (const auto c : col) sum_col += comb2(static_cast<double>(c));
+  const double expected = sum_row * sum_col / comb2(static_cast<double>(n));
+  const double maximum = 0.5 * (sum_row + sum_col);
+  if (maximum == expected) return 1.0;
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double normalized_mutual_information(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b) {
+  DGC_REQUIRE(a.size() == b.size(), "label vectors must have equal length");
+  const std::size_t n = a.size();
+  if (n == 0) return 1.0;
+  const std::uint32_t ka = max_label_plus_one(a);
+  const std::uint32_t kb = max_label_plus_one(b);
+  const auto confusion = confusion_matrix(a, ka, b, kb);
+  std::vector<std::uint64_t> row(ka, 0);
+  std::vector<std::uint64_t> col(kb, 0);
+  for (std::uint32_t i = 0; i < ka; ++i) {
+    for (std::uint32_t j = 0; j < kb; ++j) {
+      const auto nij = confusion[static_cast<std::size_t>(i) * kb + j];
+      row[i] += nij;
+      col[j] += nij;
+    }
+  }
+  const double nd = static_cast<double>(n);
+  double mi = 0.0;
+  for (std::uint32_t i = 0; i < ka; ++i) {
+    for (std::uint32_t j = 0; j < kb; ++j) {
+      const auto nij = confusion[static_cast<std::size_t>(i) * kb + j];
+      if (nij == 0) continue;
+      const double pij = static_cast<double>(nij) / nd;
+      const double pi = static_cast<double>(row[i]) / nd;
+      const double pj = static_cast<double>(col[j]) / nd;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  auto entropy = [&](const std::vector<std::uint64_t>& counts) {
+    double h = 0.0;
+    for (const auto c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / nd;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(row);
+  const double hb = entropy(col);
+  if (ha == 0.0 && hb == 0.0) return 1.0;
+  const double denom = 0.5 * (ha + hb);
+  return denom == 0.0 ? 0.0 : mi / denom;
+}
+
+}  // namespace dgc::metrics

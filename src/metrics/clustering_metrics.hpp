@@ -1,0 +1,66 @@
+// Clustering quality metrics.
+//
+// Theorem 1.1's guarantee is stated as: there exists a permutation σ of
+// the output labels such that |{v in S_i with ℓ_v ≠ σ(i)}| = o(n).
+// `misclassified_nodes` computes exactly that optimum — the confusion
+// matrix is built and the best label-to-cluster assignment is found with
+// the exact Hungarian algorithm (k is small, so this is cheap).
+// ARI and NMI are included because the baselines (spectral clustering,
+// label propagation) can emit more or fewer clusters than planted, where
+// permutation accuracy alone is too blunt.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dgc::metrics {
+
+/// Sentinel label for nodes the query procedure could not classify.
+/// Always counted as misclassified (metrics never match it to a cluster).
+inline constexpr std::uint64_t kUnclustered = ~std::uint64_t{0};
+
+/// Renumbers arbitrary labels (e.g. seed IDs) to dense 0..c-1; the
+/// kUnclustered sentinel maps to its own dedicated label.
+struct CompactLabels {
+  std::vector<std::uint32_t> labels;
+  std::uint32_t num_labels = 0;
+};
+[[nodiscard]] CompactLabels compact(std::span<const std::uint64_t> raw);
+
+/// Confusion matrix: rows = ground-truth clusters, cols = predicted.
+[[nodiscard]] std::vector<std::uint64_t> confusion_matrix(
+    std::span<const std::uint32_t> truth, std::uint32_t truth_k,
+    std::span<const std::uint32_t> predicted, std::uint32_t predicted_k);
+
+/// Minimum number of misclassified nodes over all injective mappings of
+/// ground-truth clusters to predicted labels (Theorem 1.1's criterion).
+/// If predicted_k < truth_k the deficit clusters count fully.
+[[nodiscard]] std::uint64_t misclassified_nodes(std::span<const std::uint32_t> truth,
+                                                std::uint32_t truth_k,
+                                                std::span<const std::uint32_t> predicted,
+                                                std::uint32_t predicted_k);
+
+/// misclassified_nodes / n.
+[[nodiscard]] double misclassification_rate(std::span<const std::uint32_t> truth,
+                                            std::uint32_t truth_k,
+                                            std::span<const std::uint32_t> predicted,
+                                            std::uint32_t predicted_k);
+
+/// Convenience overloads that take raw uint64 labels (with sentinel).
+[[nodiscard]] std::uint64_t misclassified_nodes(std::span<const std::uint32_t> truth,
+                                                std::uint32_t truth_k,
+                                                std::span<const std::uint64_t> raw_predicted);
+[[nodiscard]] double misclassification_rate(std::span<const std::uint32_t> truth,
+                                            std::uint32_t truth_k,
+                                            std::span<const std::uint64_t> raw_predicted);
+
+/// Adjusted Rand index in [-1, 1]; 1 = identical partitions.
+[[nodiscard]] double adjusted_rand_index(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b);
+
+/// Normalised mutual information in [0, 1] (arithmetic-mean normalised).
+[[nodiscard]] double normalized_mutual_information(std::span<const std::uint32_t> a,
+                                                   std::span<const std::uint32_t> b);
+
+}  // namespace dgc::metrics

@@ -1,0 +1,33 @@
+#include "metrics/graph_metrics.hpp"
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dgc::metrics {
+
+double modularity(const graph::Graph& g, std::span<const std::uint32_t> membership,
+                  std::uint32_t num_clusters) {
+  DGC_REQUIRE(membership.size() == g.num_nodes(), "membership size mismatch");
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+  std::vector<std::uint64_t> internal(num_clusters, 0);
+  std::vector<std::uint64_t> degree_sum(num_clusters, 0);
+  g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+    DGC_REQUIRE(membership[u] < num_clusters && membership[v] < num_clusters,
+                "label out of range");
+    if (membership[u] == membership[v]) ++internal[membership[u]];
+  });
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree_sum[membership[v]] += g.degree(v);
+  }
+  double q = 0.0;
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    const double ec = static_cast<double>(internal[c]) / m;
+    const double dc = static_cast<double>(degree_sum[c]) / (2.0 * m);
+    q += ec - dc * dc;
+  }
+  return q;
+}
+
+}  // namespace dgc::metrics

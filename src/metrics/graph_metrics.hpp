@@ -1,0 +1,16 @@
+// Partition quality metrics that need the graph (not just the labels).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace dgc::metrics {
+
+/// Newman modularity Q = sum_c (e_c/m - (deg_c/(2m))^2) of a labelling.
+[[nodiscard]] double modularity(const graph::Graph& g,
+                                std::span<const std::uint32_t> membership,
+                                std::uint32_t num_clusters);
+
+}  // namespace dgc::metrics

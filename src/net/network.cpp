@@ -1,0 +1,44 @@
+#include "net/network.hpp"
+
+#include "util/require.hpp"
+
+namespace dgc::net {
+
+Network::Network(const graph::Graph& g) : graph_(&g) {
+  inboxes_.resize(g.num_nodes());
+}
+
+void Network::send(Message message) {
+  DGC_REQUIRE(message.from < graph_->num_nodes() && message.to < graph_->num_nodes(),
+              "endpoint out of range");
+  DGC_REQUIRE(graph_->has_edge(message.from, message.to),
+              "messages may only travel along graph edges");
+  stats_.messages += 1;
+  stats_.words += words_of(message);
+  in_flight_.push_back(std::move(message));
+}
+
+void Network::deliver() {
+  for (auto& inbox : inboxes_) inbox.clear();
+  for (auto& message : in_flight_) {
+    if (drop_probability_ > 0.0 && drop_rng_ && drop_rng_->next_bool(drop_probability_)) {
+      stats_.dropped_messages += 1;
+      continue;
+    }
+    inboxes_[message.to].push_back(std::move(message));
+  }
+  in_flight_.clear();
+}
+
+const std::vector<Message>& Network::inbox(graph::NodeId v) const {
+  DGC_REQUIRE(v < graph_->num_nodes(), "node out of range");
+  return inboxes_[v];
+}
+
+void Network::set_drop_probability(double p, std::uint64_t seed) {
+  DGC_REQUIRE(p >= 0.0 && p < 1.0, "drop probability out of range");
+  drop_probability_ = p;
+  drop_rng_.emplace(seed);
+}
+
+}  // namespace dgc::net

@@ -1,0 +1,28 @@
+// Tiny `--flag=value` command-line parser used by bench and example
+// binaries so every experiment is re-runnable with different parameters
+// without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dgc::util {
+
+class Cli {
+ public:
+  /// Parses `--name=value` and bare `--name` (value "1") arguments.
+  /// Unrecognised positional arguments raise contract_error.
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dgc::util

@@ -1,0 +1,45 @@
+// Precondition / invariant checking.
+//
+// DGC_REQUIRE is used at public API boundaries: it is always on (also in
+// release builds) and throws std::invalid_argument so callers can test
+// error paths.  DGC_ASSERT guards internal invariants and compiles away in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgc::util {
+
+/// Thrown by DGC_REQUIRE on contract violation at a public API boundary.
+class contract_error : public std::invalid_argument {
+ public:
+  explicit contract_error(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dgc::util
+
+#define DGC_REQUIRE(expr, msg)                                                   \
+  do {                                                                           \
+    if (!(expr)) ::dgc::util::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DGC_ASSERT(expr) ((void)0)
+#else
+#define DGC_ASSERT(expr)                                                         \
+  do {                                                                           \
+    if (!(expr)) ::dgc::util::detail::require_failed(#expr, __FILE__, __LINE__, "assert"); \
+  } while (false)
+#endif

@@ -1,0 +1,124 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The distributed algorithm needs one independent RNG stream *per node*
+// (every node flips its own coins in the matching protocol and in the
+// seeding procedure).  We use xoshiro256++ seeded through splitmix64, the
+// standard recipe: distinct seeds give statistically independent streams,
+// and the whole simulation is reproducible from a single master seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace dgc::util {
+
+/// SplitMix64 — used to expand a 64-bit seed into xoshiro state, and as a
+/// tiny standalone generator for hashing-style use.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ — the workhorse generator.  Satisfies the
+/// UniformRandomBitGenerator concept so it can drive <random>
+/// distributions, but we provide the hot-path helpers directly.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x2545F4914F6CDD1DULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift: maps a 64-bit uniform x to floor(x*bound / 2^64).
+    // The rejection loop removes the O(bound/2^64) bias, which matters for
+    // statistical tests even though it almost never triggers.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) coin flip.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Fair coin.
+  bool next_bit() noexcept { return (next() >> 63) != 0; }
+
+  /// Derives an independent child stream (for per-node RNGs).
+  Rng fork(std::uint64_t stream_id) noexcept {
+    SplitMix64 sm(next() ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1)));
+    Rng child(sm.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle driven by Rng (std::shuffle requires a
+/// distribution object per call; this is the allocation-free hot path).
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace dgc::util

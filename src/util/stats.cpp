@@ -1,0 +1,57 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dgc::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+  DGC_REQUIRE(!sample.empty(), "quantile of empty sample");
+  DGC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order out of range");
+  // Nearest-rank with linear interpolation (type-7, the numpy default).
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(lo),
+                   sample.end());
+  const double vlo = sample[lo];
+  std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(hi),
+                   sample.end());
+  const double vhi = sample[hi];
+  const double frac = pos - static_cast<double>(lo);
+  return vlo + frac * (vhi - vlo);
+}
+
+double median(std::vector<double> sample) { return quantile(std::move(sample), 0.5); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  DGC_REQUIRE(hi > lo, "histogram range must be non-empty");
+  DGC_REQUIRE(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  DGC_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  DGC_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+}  // namespace dgc::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace dgc::util {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  if (v == 0.0) return "0";
+  const double av = std::abs(v);
+  if (av >= 1e6 || av < 1e-4) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else if (std::floor(v) == v && av < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.5f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  DGC_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row(std::vector<std::variant<std::string, double, std::int64_t>> cells) {
+  DGC_REQUIRE(cells.size() == columns_.size(), "row width must match header");
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (auto& cell : cells) {
+    if (std::holds_alternative<std::string>(cell)) {
+      out.push_back(std::get<std::string>(std::move(cell)));
+    } else if (std::holds_alternative<double>(cell)) {
+      out.push_back(format_double(std::get<double>(cell)));
+    } else {
+      out.push_back(std::to_string(std::get<std::int64_t>(cell)));
+    }
+  }
+  rows_.push_back(std::move(out));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  os << "# " << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        for (std::size_t pad = cells[c].size(); pad < width[c] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& r : rows_) emit(r);
+  os << '\n';
+}
+
+}  // namespace dgc::util

@@ -1,0 +1,35 @@
+// Column-aligned plain-text table printer for the experiment harness.
+//
+// Every bench binary prints one or more of these tables; the format is
+// stable and machine-parsable: a `#`-prefixed title, a header row, and
+// whitespace-separated data rows.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dgc::util {
+
+class Table {
+ public:
+  /// `title` becomes a `# title` comment line above the header.
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; cells are stringified with sensible float formatting.
+  Table& row(std::vector<std::variant<std::string, double, std::int64_t>> cells);
+
+  /// Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgc::util

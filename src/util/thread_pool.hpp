@@ -1,0 +1,54 @@
+// Minimal work-stealing-free thread pool used by the experiment harness to
+// run independent Monte-Carlo trials in parallel.
+//
+// The *algorithms* in this library are single-threaded by design (they
+// simulate a distributed protocol whose rounds are globally synchronous);
+// parallelism lives only at the trial level, which keeps every run
+// bit-reproducible: each trial owns its seed and its outputs slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dgc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Convenience wrapper for embarrassingly parallel trial sweeps.
+  static void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                           std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dgc::util

@@ -1,0 +1,129 @@
+// Tests for the baseline algorithms.
+#include <gtest/gtest.h>
+
+#include "baselines/averaging_dynamics.hpp"
+#include "baselines/label_propagation.hpp"
+#include "baselines/power_iteration.hpp"
+#include "baselines/spectral.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  std::size_t swaps, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = swaps;
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(Spectral, RecoversPlantedPartition) {
+  const auto planted = make_instance(3, 300, 12, 30, 1);
+  baselines::SpectralOptions options;
+  options.clusters = 3;
+  const auto result = baselines::spectral_clustering(planted.graph, options);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 3, result.labels, 3);
+  EXPECT_LT(rate, 0.02);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-6);
+}
+
+TEST(Spectral, WorksOnSbmInstances) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 250;
+  spec.clusters = 2;
+  spec.p_in = 0.06;
+  spec.p_out = 0.004;
+  util::Rng rng(3);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  baselines::SpectralOptions options;
+  options.clusters = 2;
+  const auto result = baselines::spectral_clustering(planted.graph, options);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 2, result.labels, 2);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Spectral, DeterministicGivenSeed) {
+  const auto planted = make_instance(2, 150, 10, 15, 5);
+  baselines::SpectralOptions options;
+  options.clusters = 2;
+  const auto a = baselines::spectral_clustering(planted.graph, options);
+  const auto b = baselines::spectral_clustering(planted.graph, options);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(LabelPropagation, SeparatesRingOfCliques) {
+  const auto planted = graph::ring_of_cliques(5, 8);
+  baselines::LabelPropagationOptions options;
+  const auto result = baselines::label_propagation(planted.graph, options);
+  const double rate = metrics::misclassification_rate(
+      planted.membership, 5, result.labels, std::max(1u, result.num_labels));
+  EXPECT_LT(rate, 0.05);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(LabelPropagation, ReachesFixpointOnDisconnectedCliques) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 20;
+  spec.clusters = 3;
+  spec.p_in = 1.0;
+  spec.p_out = 0.0;
+  util::Rng rng(7);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  const auto result = baselines::label_propagation(planted.graph, {});
+  EXPECT_EQ(result.num_labels, 3u);
+  EXPECT_EQ(metrics::misclassified_nodes(planted.membership, 3, result.labels, 3), 0u);
+}
+
+TEST(AveragingDynamics, TwoCommunities) {
+  const auto planted = make_instance(2, 400, 14, 30, 9);
+  baselines::AveragingOptions options;
+  options.clusters = 2;
+  const auto result = baselines::averaging_dynamics(planted.graph, options);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 2, result.labels, 2);
+  EXPECT_LT(rate, 0.05);
+  // Message cost: 2m per round per sketch — necessarily ≥ rounds * 2m.
+  EXPECT_GE(result.messages,
+            result.rounds * 2 * planted.graph.num_edges());
+}
+
+TEST(AveragingDynamics, FourCommunitiesViaSketches) {
+  const auto planted = make_instance(4, 250, 14, 40, 11);
+  baselines::AveragingOptions options;
+  options.clusters = 4;
+  const auto result = baselines::averaging_dynamics(planted.graph, options);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 4, result.labels, 4);
+  EXPECT_LT(rate, 0.15);  // the k>2 extension is heuristic
+}
+
+TEST(PowerIteration, TwoClusters) {
+  const auto planted = make_instance(2, 300, 12, 20, 13);
+  baselines::PicOptions options;
+  options.clusters = 2;
+  const auto result = baselines::power_iteration_clustering(planted.graph, options);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 2, result.labels, 2);
+  EXPECT_LT(rate, 0.05);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(PowerIteration, StopsBeforeMaxIterationsOnEasyInstance) {
+  const auto planted = make_instance(2, 200, 10, 10, 15);
+  baselines::PicOptions options;
+  options.clusters = 2;
+  options.max_iterations = 500;
+  const auto result = baselines::power_iteration_clustering(planted.graph, options);
+  EXPECT_LT(result.iterations, 500u);
+}
+
+}  // namespace

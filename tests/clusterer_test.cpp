@@ -1,0 +1,226 @@
+// End-to-end tests of the in-memory engine: accuracy on planted
+// instances, query-rule behaviour, determinism, config validation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/clusterer.hpp"
+#include "core/seeding.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  double phi, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(Clusterer, RecoversTwoClusters) {
+  const auto planted = make_instance(2, 500, 16, 0.02, 1);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.seed = 7;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 2, result.labels);
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST(Clusterer, RecoversFourClusters) {
+  const auto planted = make_instance(4, 400, 16, 0.02, 2);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.k_hint = 4;
+  config.rounds_multiplier = 2.0;
+  // Double the seeding trials: the paper's s̄ only covers every cluster
+  // with constant probability, and this test pins one seed.
+  config.seeding_trials = 2 * core::default_seeding_trials(config.beta);
+  config.seed = 11;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 4, result.labels);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Clusterer, LabelsAreClusterConsistent) {
+  // All nodes of one planted cluster should receive the same label.
+  const auto planted = make_instance(3, 300, 12, 0.01, 3);
+  core::ClusterConfig config;
+  config.beta = 1.0 / 3.0;
+  config.k_hint = 3;
+  config.rounds_multiplier = 2.0;
+  config.seed = 13;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  // Count the dominant label per cluster; dominance should be near-total.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    std::map<std::uint64_t, std::size_t> counts;
+    for (const auto v : planted.cluster(c)) ++counts[result.labels[v]];
+    std::size_t dominant = 0;
+    for (const auto& [label, count] : counts) dominant = std::max(dominant, count);
+    EXPECT_GT(dominant, 280u) << "cluster " << c;
+  }
+}
+
+TEST(Clusterer, DeterministicGivenSeed) {
+  const auto planted = make_instance(2, 200, 12, 0.03, 4);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.seed = 99;
+  const auto a = core::Clusterer(planted.graph, config).run();
+  const auto b = core::Clusterer(planted.graph, config).run();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Clusterer, DifferentSeedsUsuallyDifferInSeeds) {
+  const auto planted = make_instance(2, 200, 12, 0.03, 5);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.seed = 1;
+  const auto a = core::Clusterer(planted.graph, config).run();
+  config.seed = 2;
+  const auto b = core::Clusterer(planted.graph, config).run();
+  EXPECT_NE(a.seeds, b.seeds);
+}
+
+TEST(Clusterer, ExplicitRoundsAreRespected) {
+  const auto planted = make_instance(2, 100, 8, 0.05, 6);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 37;
+  config.seed = 3;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  EXPECT_EQ(result.rounds, 37u);
+  EXPECT_EQ(result.lambda_k1, 0.0);  // not estimated
+}
+
+TEST(Clusterer, ArgmaxRuleNeverLeavesNodesUnclustered) {
+  const auto planted = make_instance(2, 300, 12, 0.03, 7);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 5;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  for (const auto label : result.labels) EXPECT_NE(label, metrics::kUnclustered);
+  const double rate = metrics::misclassification_rate(planted.membership, 2, result.labels);
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST(Clusterer, TooFewRoundsLeavesManyNodesUnclustered) {
+  const auto planted = make_instance(2, 500, 16, 0.02, 8);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 1;  // far below the mixing time
+  config.seed = 5;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  std::size_t unclustered = 0;
+  for (const auto label : result.labels) unclustered += label == metrics::kUnclustered;
+  EXPECT_GT(unclustered, 900u);
+}
+
+TEST(Clusterer, QueryThresholdFormula) {
+  // τ = scale / (sqrt(2β) n).
+  EXPECT_NEAR(core::Clusterer::query_threshold(1.0, 0.5, 100), 0.01, 1e-12);
+  EXPECT_NEAR(core::Clusterer::query_threshold(2.0, 0.125, 1000),
+              2.0 / (0.5 * 1000.0), 1e-12);
+}
+
+TEST(Clusterer, QueryLabelRules) {
+  const std::vector<double> values{0.1, 0.5, 0.5};
+  const std::vector<std::uint64_t> ids{10, 30, 20};
+  // Paper rule with threshold 0.4: ids 30 and 20 qualify; min is 20.
+  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.4, core::QueryRule::kPaperMinId),
+            20u);
+  // Threshold too high: unclustered.
+  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.9, core::QueryRule::kPaperMinId),
+            metrics::kUnclustered);
+  // Argmax: tie between ids 30 and 20 at 0.5 — min id wins.
+  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.0, core::QueryRule::kArgmax), 20u);
+}
+
+TEST(Clusterer, SeedsCarryLabelOfTheirCluster) {
+  const auto planted = make_instance(2, 400, 12, 0.02, 9);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.seed = 21;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  ASSERT_FALSE(result.seeds.empty());
+  // The label a seed's own cluster adopted should be one of the seed IDs
+  // planted in that cluster.
+  std::set<std::uint64_t> seed_ids;
+  for (const auto v : result.seeds) seed_ids.insert(result.node_ids[v]);
+  for (const auto v : result.seeds) {
+    if (result.labels[v] != metrics::kUnclustered) {
+      EXPECT_TRUE(seed_ids.count(result.labels[v])) << "node " << v;
+    }
+  }
+}
+
+TEST(Clusterer, ConfigValidation) {
+  const auto planted = make_instance(2, 100, 8, 0.05, 10);
+  core::ClusterConfig config;
+  config.beta = 0.0;  // invalid
+  config.rounds = 10;
+  EXPECT_THROW(core::Clusterer(planted.graph, config), util::contract_error);
+  config.beta = 0.5;
+  config.rounds = 0;
+  config.k_hint = 0;  // neither rounds nor hint
+  EXPECT_THROW(core::Clusterer(planted.graph, config), util::contract_error);
+  config.threshold_scale = -1.0;
+  config.rounds = 5;
+  EXPECT_THROW(core::Clusterer(planted.graph, config), util::contract_error);
+}
+
+TEST(Clusterer, ExposesFinalState) {
+  const auto planted = make_instance(2, 100, 8, 0.05, 11);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 50;
+  config.seed = 31;
+  matching::MultiLoadState state(1, 1);
+  const auto result = core::Clusterer(planted.graph, config).run(&state);
+  EXPECT_EQ(state.num_nodes(), 200u);
+  EXPECT_EQ(state.dimensions(), result.seeds.size());
+  // Loads conserve: each dimension still sums to 1.
+  for (std::size_t i = 0; i < state.dimensions(); ++i) {
+    EXPECT_NEAR(state.total(i), 1.0, 1e-9);
+  }
+}
+
+TEST(Clusterer, WorksOnRingTopologyInstances) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, 250);
+  spec.degree = 14;
+  spec.inter_cluster_swaps = 30;
+  spec.topology = graph::ClusteredRegularSpec::Topology::kRing;
+  util::Rng rng(33);
+  const auto planted = graph::clustered_regular(spec, rng);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.k_hint = 4;
+  config.rounds_multiplier = 2.0;
+  config.seed = 17;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 4, result.labels);
+  EXPECT_LT(rate, 0.08);
+}
+
+}  // namespace

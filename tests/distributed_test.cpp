@@ -1,0 +1,146 @@
+// Tests for the message-passing engine: equivalence with the in-memory
+// engine, message accounting, and failure injection.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/clusterer.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  std::size_t swaps, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = swaps;
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(EngineEquivalence, DenseAndDistributedProduceIdenticalRuns) {
+  const auto [k, seed] = GetParam();
+  const auto planted = make_instance(k, 150, 10, 10 * k, seed);
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k + 1);
+  config.rounds = 60;
+  config.seed = seed * 1000 + 1;
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  // Same coins, same protocol -> identical seeds, IDs and labels.
+  EXPECT_EQ(dense.seeds, distributed.result.seeds);
+  EXPECT_EQ(dense.node_ids, distributed.result.node_ids);
+  EXPECT_EQ(dense.labels, distributed.result.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSeedGrid, EngineEquivalence,
+                         ::testing::Values(std::make_tuple(2u, 1u),
+                                           std::make_tuple(2u, 2u),
+                                           std::make_tuple(3u, 3u),
+                                           std::make_tuple(4u, 4u),
+                                           std::make_tuple(5u, 5u)));
+
+TEST(Distributed, ArgmaxRuleAlsoMatchesDense) {
+  const auto planted = make_instance(3, 120, 8, 20, 77);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 50;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 31;
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(dense.labels, distributed.result.labels);
+}
+
+TEST(Distributed, TrafficAccountingIsConsistent) {
+  const auto planted = make_instance(2, 200, 10, 16, 5);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 40;
+  config.seed = 7;
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(report.phases, 3u * 40u);
+  EXPECT_EQ(report.words_per_round.size(), 40u);
+  std::uint64_t sum = 0;
+  for (const auto w : report.words_per_round) sum += w;
+  EXPECT_EQ(sum, report.traffic.words);
+  EXPECT_GT(report.traffic.messages, 0u);
+  EXPECT_EQ(report.traffic.dropped_messages, 0u);
+}
+
+TEST(Distributed, StateNeverExceedsSeedCount) {
+  const auto planted = make_instance(3, 150, 10, 20, 9);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 80;
+  config.seed = 13;
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_LE(report.max_state_entries, report.result.seeds.size());
+  EXPECT_GT(report.max_state_entries, 0u);
+}
+
+TEST(Distributed, ProbeTrafficBoundedByHalfNPlusMatches) {
+  // Per round: ≤ n probes, ≤ n/2 accepts, ≤ n/2 state replies.
+  const auto planted = make_instance(2, 100, 8, 10, 11);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 30;
+  config.seed = 17;
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_LE(report.traffic.messages, 30u * (200u + 100u + 100u));
+}
+
+TEST(Distributed, MessageLossDegradesGracefully) {
+  const auto planted = make_instance(2, 250, 12, 20, 13);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 250;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 19;
+  const auto clean = core::DistributedClusterer(planted.graph, config).run(0.0);
+  const auto lossy = core::DistributedClusterer(planted.graph, config).run(0.2);
+  EXPECT_GT(lossy.traffic.dropped_messages, 0u);
+  const double clean_rate =
+      metrics::misclassification_rate(planted.membership, 2, clean.result.labels);
+  const double lossy_rate =
+      metrics::misclassification_rate(planted.membership, 2, lossy.result.labels);
+  // Losing 20% of messages just slows mixing; with extra rounds the
+  // result stays usable.
+  EXPECT_LT(clean_rate, 0.02);
+  EXPECT_LT(lossy_rate, 0.15);
+}
+
+TEST(Distributed, HeavyLossStillTerminates) {
+  const auto planted = make_instance(2, 80, 8, 8, 15);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 40;
+  config.seed = 23;
+  const auto report = core::DistributedClusterer(planted.graph, config).run(0.7);
+  EXPECT_EQ(report.result.labels.size(), planted.graph.num_nodes());
+  EXPECT_GT(report.traffic.dropped_messages, 100u);
+}
+
+TEST(Distributed, AccuracyOnPlantedInstance) {
+  const auto planted = make_instance(4, 200, 14, 40, 17);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.k_hint = 4;
+  config.rounds_multiplier = 2.0;
+  config.seed = 29;
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 4, report.result.labels);
+  EXPECT_LT(rate, 0.05);
+}
+
+}  // namespace

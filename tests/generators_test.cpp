@@ -1,0 +1,240 @@
+// Tests for the synthetic graph generators, including parameterised
+// property sweeps over (n, d) for the configuration-model generator and
+// the planted-cluster instance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::ClusteredRegularSpec;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(RandomRegular, RejectsInfeasibleParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(graph::random_regular(5, 3, rng), util::contract_error);  // odd n*d
+  EXPECT_THROW(graph::random_regular(4, 4, rng), util::contract_error);  // d >= n
+  EXPECT_THROW(graph::random_regular(4, 0, rng), util::contract_error);
+}
+
+TEST(RandomRegular, DeterministicForEqualSeeds) {
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  const Graph a = graph::random_regular(64, 6, rng_a);
+  const Graph b = graph::random_regular(64, 6, rng_b);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < 64; ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+class RandomRegularSweep : public ::testing::TestWithParam<std::tuple<NodeId, std::size_t>> {};
+
+TEST_P(RandomRegularSweep, ProducesSimpleRegularGraph) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(42 + n + d);
+  const Graph g = graph::random_regular(n, d, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) * d / 2);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), d);
+}
+
+TEST_P(RandomRegularSweep, IsConnectedForDegreeAtLeastThree) {
+  const auto [n, d] = GetParam();
+  if (d < 3) GTEST_SKIP() << "connectivity only guaranteed whp for d >= 3";
+  util::Rng rng(1000 + n * 31 + d);
+  EXPECT_TRUE(graph::is_connected(graph::random_regular(n, d, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NDegreeGrid, RandomRegularSweep,
+    ::testing::Values(std::make_tuple(16u, 3u), std::make_tuple(16u, 8u),
+                      std::make_tuple(64u, 4u), std::make_tuple(64u, 16u),
+                      std::make_tuple(128u, 3u), std::make_tuple(128u, 12u),
+                      std::make_tuple(500u, 6u), std::make_tuple(501u, 8u),
+                      std::make_tuple(1024u, 10u)));
+
+TEST(ClusteredRegular, ExactRegularityAndCut) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {100, 100, 100, 100};
+  spec.degree = 12;
+  spec.inter_cluster_swaps = 50;
+  util::Rng rng(7);
+  const auto planted = graph::clustered_regular(spec, rng);
+  EXPECT_TRUE(planted.graph.is_regular());
+  EXPECT_EQ(planted.graph.max_degree(), 12u);
+  EXPECT_EQ(planted.graph.num_nodes(), 400u);
+  // Each swap converts two intra edges into two inter edges.
+  std::size_t inter = 0;
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    if (planted.membership[u] != planted.membership[v]) ++inter;
+  });
+  EXPECT_EQ(inter, 100u);
+}
+
+TEST(ClusteredRegular, ZeroSwapsGivesDisconnectedClusters) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {50, 50};
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 0;
+  util::Rng rng(3);
+  const auto planted = graph::clustered_regular(spec, rng);
+  EXPECT_EQ(graph::num_components(planted.graph), 2u);
+  EXPECT_EQ(graph::rho(planted.graph, planted.membership, 2), 0.0);
+}
+
+TEST(ClusteredRegular, RingTopologyOnlyLinksNeighbours) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {60, 60, 60, 60};
+  spec.degree = 10;
+  spec.inter_cluster_swaps = 40;
+  spec.topology = ClusteredRegularSpec::Topology::kRing;
+  util::Rng rng(11);
+  const auto planted = graph::clustered_regular(spec, rng);
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    const auto cu = planted.membership[u];
+    const auto cv = planted.membership[v];
+    if (cu == cv) return;
+    const auto diff = (cu + 4 - cv) % 4;
+    EXPECT_TRUE(diff == 1 || diff == 3) << "clusters " << cu << " and " << cv;
+  });
+}
+
+TEST(ClusteredRegular, SwapsForConductanceHitsTarget) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {200, 200, 200, 200};
+  spec.degree = 16;
+  const double target = 0.05;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, target);
+  util::Rng rng(13);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const double rho = graph::rho(planted.graph, planted.membership, 4);
+  EXPECT_GT(rho, target / 2.0);
+  EXPECT_LT(rho, target * 2.0);
+}
+
+class ClusteredSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ClusteredSweep, InvariantsHold) {
+  const auto [k, size, swaps] = GetParam();
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, static_cast<NodeId>(size));
+  spec.degree = 8;
+  spec.inter_cluster_swaps = swaps;
+  util::Rng rng(17 + k * 7 + size + swaps);
+  const auto planted = graph::clustered_regular(spec, rng);
+  EXPECT_TRUE(planted.graph.is_regular());
+  EXPECT_EQ(planted.graph.max_degree(), 8u);
+  EXPECT_EQ(planted.num_clusters, k);
+  EXPECT_NEAR(planted.beta(), 1.0 / static_cast<double>(k), 1e-9);
+  std::size_t inter = 0;
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    if (planted.membership[u] != planted.membership[v]) ++inter;
+  });
+  EXPECT_EQ(inter, 2 * swaps);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSizeSwaps, ClusteredSweep,
+                         ::testing::Values(std::make_tuple(2u, 64u, 8u),
+                                           std::make_tuple(3u, 64u, 12u),
+                                           std::make_tuple(4u, 128u, 30u),
+                                           std::make_tuple(5u, 64u, 20u),
+                                           std::make_tuple(8u, 32u, 16u)));
+
+TEST(Sbm, BlockStructureAndDegrees) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 300;
+  spec.clusters = 3;
+  spec.p_in = 0.08;
+  spec.p_out = 0.002;
+  util::Rng rng(23);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  EXPECT_EQ(planted.graph.num_nodes(), 900u);
+  // Expected intra edges per block: C(300,2)*p_in ≈ 3588; inter per pair:
+  // 300*300*0.002 = 180.
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    if (planted.membership[u] == planted.membership[v]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  });
+  EXPECT_NEAR(static_cast<double>(intra), 3 * 3588.0, 600.0);
+  EXPECT_NEAR(static_cast<double>(inter), 3 * 180.0, 120.0);
+}
+
+TEST(Sbm, ExtremeProbabilities) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 10;
+  spec.clusters = 2;
+  spec.p_in = 1.0;
+  spec.p_out = 0.0;
+  util::Rng rng(29);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  // Two disjoint K10s.
+  EXPECT_EQ(planted.graph.num_edges(), 2u * 45u);
+  EXPECT_EQ(graph::num_components(planted.graph), 2u);
+}
+
+TEST(Sbm, RejectsBadProbabilities) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 10;
+  spec.clusters = 2;
+  spec.p_in = 1.5;
+  util::Rng rng(1);
+  EXPECT_THROW(graph::stochastic_block_model(spec, rng), util::contract_error);
+}
+
+TEST(RingOfCliques, StructureIsCorrect) {
+  const auto planted = graph::ring_of_cliques(4, 5);
+  EXPECT_EQ(planted.graph.num_nodes(), 20u);
+  // 4 * C(5,2) internal + 4 bridges.
+  EXPECT_EQ(planted.graph.num_edges(), 4u * 10u + 4u);
+  EXPECT_TRUE(graph::is_connected(planted.graph));
+  EXPECT_EQ(planted.num_clusters, 4u);
+}
+
+TEST(RingOfCliques, TwoCliquesUseDisjointBridges) {
+  const auto planted = graph::ring_of_cliques(2, 4);
+  EXPECT_EQ(planted.graph.num_edges(), 2u * 6u + 2u);
+  EXPECT_TRUE(graph::is_connected(planted.graph));
+}
+
+TEST(AlmostRegular, DegreeRatioBounded) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {200, 200};
+  spec.degree = 20;
+  spec.inter_cluster_swaps = 20;
+  util::Rng rng(31);
+  const auto planted = graph::almost_regular_clusters(spec, 0.1, rng);
+  EXPECT_LT(planted.graph.max_degree(), 21u);
+  EXPECT_GT(planted.graph.min_degree(), 10u);  // Binomial(20, 0.9) tail
+  const double ratio = static_cast<double>(planted.graph.max_degree()) /
+                       static_cast<double>(planted.graph.min_degree());
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Fixtures, PathCycleCompleteStar) {
+  EXPECT_EQ(graph::path(5).num_edges(), 4u);
+  EXPECT_EQ(graph::cycle(5).num_edges(), 5u);
+  EXPECT_EQ(graph::complete(5).num_edges(), 10u);
+  EXPECT_EQ(graph::star(5).num_edges(), 4u);
+  EXPECT_TRUE(graph::cycle(9).is_regular());
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for the extension gossip processes (async pairwise averaging,
+// push–pull rumour spreading) and the discrete-token variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "matching/discrete.hpp"
+#include "matching/gossip.hpp"
+#include "matching/protocol.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::NodeId;
+
+TEST(AsyncGossip, ConservesLoad) {
+  util::Rng rng(1);
+  const auto g = graph::random_regular(60, 6, rng);
+  matching::AsyncGossip gossip(g, 11);
+  matching::MultiLoadState state(60, 2);
+  state.set(0, 0, 1.0);
+  state.set(30, 1, 4.0);
+  gossip.run(state, 5000);
+  EXPECT_NEAR(state.total(0), 1.0, 1e-9);
+  EXPECT_NEAR(state.total(1), 4.0, 1e-9);
+  EXPECT_EQ(gossip.total_exchanges(), 5000u);
+}
+
+TEST(AsyncGossip, ConvergesToUniformOnExpander) {
+  util::Rng rng(2);
+  const auto g = graph::random_regular(100, 8, rng);
+  matching::AsyncGossip gossip(g, 13);
+  matching::MultiLoadState state(100, 1);
+  state.set(0, 0, 1.0);
+  gossip.run(state, 100 * 200);  // 200 "rounds"
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_NEAR(state.at(v, 0), 0.01, 0.005) << "node " << v;
+  }
+}
+
+TEST(AsyncGossip, RejectsMismatchedState) {
+  util::Rng rng(3);
+  const auto g = graph::random_regular(20, 4, rng);
+  matching::AsyncGossip gossip(g, 1);
+  matching::MultiLoadState state(10, 1);
+  EXPECT_THROW(gossip.tick(state), util::contract_error);
+}
+
+TEST(Rumor, SourceStartsInformed) {
+  const auto g = graph::cycle(10);
+  matching::RumorSpreading rumor(g, 5);
+  rumor.start(3);
+  EXPECT_TRUE(rumor.informed(3));
+  EXPECT_FALSE(rumor.informed(4));
+  EXPECT_EQ(rumor.informed_count(), 1u);
+}
+
+TEST(Rumor, RoundRequiresStart) {
+  const auto g = graph::cycle(10);
+  matching::RumorSpreading rumor(g, 5);
+  EXPECT_THROW(rumor.round(), util::contract_error);
+}
+
+TEST(Rumor, SaturatesExpanderInLogarithmicRounds) {
+  util::Rng rng(7);
+  const auto g = graph::random_regular(512, 8, rng);
+  const std::size_t rounds =
+      matching::RumorSpreading::rounds_to_saturation(g, 0, 17, 1000);
+  // Push-pull on an expander: O(log n) — generous envelope.
+  EXPECT_LT(rounds, 8 * static_cast<std::size_t>(std::log2(512.0)));
+  EXPECT_GE(rounds, 5u);
+}
+
+TEST(Rumor, InformedCountIsMonotone) {
+  util::Rng rng(9);
+  const auto g = graph::random_regular(128, 6, rng);
+  matching::RumorSpreading rumor(g, 23);
+  rumor.start(0);
+  std::size_t previous = 1;
+  for (int t = 0; t < 50; ++t) {
+    rumor.round();
+    EXPECT_GE(rumor.informed_count(), previous);
+    previous = rumor.informed_count();
+  }
+  EXPECT_EQ(previous, 128u);
+}
+
+TEST(Rumor, ClusterSaturatesBeforeGraph) {
+  // On a clustered graph, the source's cluster is informed well before
+  // the other cluster — the early/late split the paper exploits.
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {300, 300};
+  spec.degree = 12;
+  spec.inter_cluster_swaps = 3;
+  util::Rng rng(11);
+  const auto planted = graph::clustered_regular(spec, rng);
+  matching::RumorSpreading rumor(planted.graph, 29);
+  rumor.start(0);
+  const auto home = planted.cluster(planted.membership[0]);
+  const auto away = planted.cluster(1 - planted.membership[0]);
+  // Run until the home cluster is 95% informed.
+  std::size_t rounds = 0;
+  while (rumor.informed_within(home) < 285 && rounds < 500) {
+    rumor.round();
+    ++rounds;
+  }
+  ASSERT_LT(rounds, 500u);
+  EXPECT_LT(rumor.informed_within(away), away.size() / 2);
+}
+
+TEST(Discrete, ConservesTokens) {
+  util::Rng rng(13);
+  const auto g = graph::random_regular(64, 6, rng);
+  matching::MatchingGenerator generator(g, 31);
+  matching::DiscreteLoadState state(64, 7);
+  state.set(0, 1000);
+  state.set(1, -50);
+  for (int t = 0; t < 300; ++t) state.apply(generator.next());
+  EXPECT_EQ(state.total(), 950);
+}
+
+TEST(Discrete, DiscrepancyShrinksToConstant) {
+  util::Rng rng(17);
+  const auto g = graph::random_regular(128, 8, rng);
+  matching::MatchingGenerator generator(g, 37);
+  matching::DiscreteLoadState state(128, 9);
+  state.set(0, 1280);  // all tokens at one node
+  const auto initial = state.discrepancy();
+  for (int t = 0; t < 600; ++t) state.apply(generator.next());
+  EXPECT_EQ(initial, 1280);
+  // Average is 10 tokens/node; randomized rounding leaves O(1) spread.
+  EXPECT_LE(state.discrepancy(), 6);
+  EXPECT_GE(state.discrepancy(), 1);  // indivisibility: cannot vanish…
+  EXPECT_EQ(state.total(), 1280);
+}
+
+TEST(Discrete, ExactlyDivisiblePairSplitsEvenly) {
+  const auto g = graph::path(2);
+  matching::Matching m;
+  m.partner = {1, 0};
+  m.edges = {{0, 1}};
+  matching::DiscreteLoadState state(2, 3);
+  state.set(0, 6);
+  state.set(1, 2);
+  state.apply(m);
+  EXPECT_EQ(state.at(0), 4);
+  EXPECT_EQ(state.at(1), 4);
+}
+
+TEST(Discrete, OddSumGoesToOneSideByCoin) {
+  const auto g = graph::path(2);
+  matching::Matching m;
+  m.partner = {1, 0};
+  m.edges = {{0, 1}};
+  int high_to_zero = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    matching::DiscreteLoadState state(2, seed);
+    state.set(0, 5);
+    state.set(1, 0);
+    state.apply(m);
+    EXPECT_EQ(state.at(0) + state.at(1), 5);
+    EXPECT_EQ(std::abs(state.at(0) - state.at(1)), 1);
+    high_to_zero += state.at(0) == 3;
+  }
+  // Fair coin: roughly half the seeds give node 0 the extra token.
+  EXPECT_GT(high_to_zero, 60);
+  EXPECT_LT(high_to_zero, 140);
+}
+
+TEST(Discrete, NegativeTokensFloorCorrectly) {
+  const auto g = graph::path(2);
+  matching::Matching m;
+  m.partner = {1, 0};
+  m.edges = {{0, 1}};
+  matching::DiscreteLoadState state(2, 5);
+  state.set(0, -3);
+  state.set(1, 0);
+  state.apply(m);
+  EXPECT_EQ(state.at(0) + state.at(1), -3);
+  EXPECT_EQ(std::abs(state.at(0) - state.at(1)), 1);
+}
+
+}  // namespace

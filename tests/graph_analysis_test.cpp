@@ -1,0 +1,79 @@
+// Tests for cuts, conductance (paper definition), rho, connectivity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Analysis, CutOfHalfCycle) {
+  const Graph g = graph::cycle(8);
+  const std::vector<NodeId> half{0, 1, 2, 3};
+  EXPECT_EQ(graph::cut_size(g, half), 2u);
+}
+
+TEST(Analysis, PaperConductanceCountsTouchingEdges) {
+  // K4 + K4 joined by one edge: for one clique, cut = 1, touching
+  // edges = 6 internal + 1 cut = 7.
+  const auto planted = graph::ring_of_cliques(2, 4);
+  const auto cluster0 = planted.cluster(0);
+  // ring_of_cliques(2, s) adds two bridges.
+  const double phi = graph::conductance(planted.graph, cluster0);
+  EXPECT_NEAR(phi, 2.0 / (6.0 + 2.0), 1e-12);
+}
+
+TEST(Analysis, DegreeVolumeConductanceDiffersByBoundedFactor) {
+  const auto planted = graph::ring_of_cliques(3, 5);
+  const auto cluster0 = planted.cluster(0);
+  const double paper = graph::conductance(planted.graph, cluster0);
+  const double standard = graph::conductance_degree_volume(planted.graph, cluster0);
+  EXPECT_GT(paper, 0.0);
+  EXPECT_GT(standard, 0.0);
+  EXPECT_LE(standard, paper);
+  EXPECT_LE(paper, 2.0 * standard);
+}
+
+TEST(Analysis, ConductanceOfWholeGraphIsZero) {
+  const Graph g = graph::complete(5);
+  std::vector<NodeId> all{0, 1, 2, 3, 4};
+  EXPECT_EQ(graph::conductance(g, all), 0.0);
+}
+
+TEST(Analysis, CutSizesPerCluster) {
+  const auto planted = graph::ring_of_cliques(3, 4);
+  const auto cuts = graph::cut_sizes(planted.graph, planted.membership, 3);
+  for (const auto c : cuts) EXPECT_EQ(c, 2u);  // one bridge to each side
+}
+
+TEST(Analysis, RhoIsMaxClusterConductance) {
+  const auto planted = graph::ring_of_cliques(4, 5);
+  const auto phis =
+      graph::partition_conductances(planted.graph, planted.membership, 4);
+  double expected = 0.0;
+  for (const double phi : phis) expected = std::max(expected, phi);
+  EXPECT_NEAR(graph::rho(planted.graph, planted.membership, 4), expected, 1e-12);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(Analysis, Connectivity) {
+  EXPECT_TRUE(graph::is_connected(graph::cycle(10)));
+  const Graph disconnected = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(graph::is_connected(disconnected));
+  EXPECT_EQ(graph::num_components(disconnected), 2u);
+}
+
+TEST(Analysis, SingletonSetConductanceIsOne) {
+  const Graph g = graph::cycle(5);
+  const std::vector<NodeId> single{0};
+  // A singleton in a cycle touches 2 edges, both cut.
+  EXPECT_NEAR(graph::conductance(g, single), 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Unit tests for the CSR graph container and planted-graph helpers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  const Graph g = Graph::from_edges(2, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), util::contract_error);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 5}}), util::contract_error);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) EXPECT_LT(nbrs[i], nbrs[i + 1]);
+}
+
+TEST(Graph, DegreeExtremes) {
+  const Graph g = graph::star(5);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, VolumeSumsDegrees) {
+  const Graph g = graph::cycle(6);
+  const std::vector<NodeId> set{0, 1, 2};
+  EXPECT_EQ(g.volume(set), 6u);
+}
+
+TEST(Graph, ForEachEdgeVisitsEachOnce) {
+  const Graph g = graph::complete(5);
+  std::size_t count = 0;
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    EXPECT_LT(u, v);
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(Graph, NodeOutOfRangeThrows) {
+  const Graph g = graph::path(3);
+  EXPECT_THROW((void)g.degree(3), util::contract_error);
+  EXPECT_THROW((void)g.neighbors(7), util::contract_error);
+}
+
+TEST(PlantedGraph, ClusterHelpers) {
+  graph::PlantedGraph planted;
+  planted.membership = {0, 0, 1, 1, 1, 2};
+  planted.num_clusters = 3;
+  EXPECT_EQ(planted.cluster(1), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(planted.cluster_sizes(), (std::vector<std::size_t>{2, 3, 1}));
+  EXPECT_NEAR(planted.beta(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(PlantedGraph, RejectsLabelOutOfRange) {
+  graph::PlantedGraph planted;
+  planted.membership = {0, 5};
+  planted.num_clusters = 2;
+  EXPECT_THROW(planted.cluster_sizes(), util::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Cross-module integration tests: the full paper pipeline end to end,
+// the Lemma 4.1 early-behaviour bound, Lemma 4.3 good-seed convergence,
+// and the Theorem 1.1 message-complexity accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clusterer.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "core/rounds.hpp"
+#include "core/spectral_structure.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "matching/process.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  double phi, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(Integration, FullPipelineOnWellClusteredGraph) {
+  const auto planted = make_instance(4, 500, 16, 0.01, 1);
+  // Confirm the instance is in the paper's regime before clustering.
+  const auto st = core::analyze_structure(planted);
+  EXPECT_GT(st.upsilon, 10.0);
+
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.k_hint = 4;
+  config.rounds_multiplier = 2.0;
+  config.seed = 3;
+  const auto result = core::Clusterer(planted.graph, config).run();
+
+  const auto compacted = metrics::compact(result.labels);
+  const double rate = metrics::misclassification_rate(
+      planted.membership, 4, compacted.labels, std::max(1u, compacted.num_labels));
+  EXPECT_LT(rate, 0.02);
+  EXPECT_GT(metrics::adjusted_rand_index(planted.membership, compacted.labels), 0.9);
+  EXPECT_GT(metrics::modularity(planted.graph, compacted.labels,
+                                std::max(1u, compacted.num_labels)),
+            0.5);
+}
+
+TEST(Integration, MessageComplexityWithinTheoremBound) {
+  // Theorem 1.1: O(T · n · k log k) words.  Our accounting: per round at
+  // most n probes (1 word) + n/2 accepts + n/2 replies carrying ≤ 2s+1
+  // words each.  Check the measured total against the closed form.
+  const auto planted = make_instance(3, 200, 12, 0.02, 5);
+  core::ClusterConfig config;
+  config.beta = 1.0 / 3.0;
+  config.rounds = 50;
+  config.seed = 7;
+  const auto report = core::DistributedClusterer(planted.graph, config).run();
+  const double n = 600.0;
+  const double s = static_cast<double>(report.result.seeds.size());
+  const double per_round_bound = n + 2.0 * (n / 2.0) * (2.0 * s + 1.0);
+  EXPECT_LE(static_cast<double>(report.traffic.words), 50.0 * per_round_bound);
+  // And the bound is not vacuous: traffic is within a small factor of it.
+  EXPECT_GE(static_cast<double>(report.traffic.words), 50.0 * n * 0.3);
+}
+
+TEST(Integration, Lemma41EarlyBehaviourBound) {
+  // Start the 1-D process at a good node; at t = T the distance
+  // ||Q y(0) − y(t)|| must be small compared to ||Q y(0)||, and it grows
+  // for t >> T (Remark 1).
+  const auto planted = make_instance(2, 400, 14, 0.01, 9);
+  const auto st = core::analyze_structure(planted);
+  // Pick the best (smallest alpha) node as the seed.
+  graph::NodeId seed_node = 0;
+  for (graph::NodeId v = 0; v < planted.graph.num_nodes(); ++v) {
+    if (st.alpha[v] < st.alpha[seed_node]) seed_node = v;
+  }
+  const std::size_t n = planted.graph.num_nodes();
+  std::vector<double> y0(n, 0.0);
+  y0[seed_node] = 1.0;
+  // Q y(0) = sum_i <y0, f_i> f_i.
+  std::vector<double> qy0(n, 0.0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    linalg::axpy(st.eigenvectors[i][seed_node], st.eigenvectors[i], qy0);
+  }
+  const double qnorm = linalg::norm(qy0);
+
+  const auto est = core::recommended_rounds(planted.graph, 2, 1.0);
+  matching::MatchingGenerator generator(planted.graph, 11);
+  const auto snapshots = matching::trajectory_1d(generator, y0, est.rounds * 20);
+
+  const double dist_at_T = linalg::norm_diff(qy0, snapshots[est.rounds]);
+  const double dist_late = linalg::norm_diff(qy0, snapshots.back());
+  EXPECT_LT(dist_at_T, 0.7 * qnorm);
+  EXPECT_GT(dist_late, dist_at_T);  // Remark 1: error increases with t
+}
+
+TEST(Integration, Lemma43GoodSeedConvergesToIndicator) {
+  const auto planted = make_instance(2, 300, 12, 0.01, 13);
+  const auto st = core::analyze_structure(planted);
+  graph::NodeId good_node = 0;
+  for (graph::NodeId v = 0; v < planted.graph.num_nodes(); ++v) {
+    if (st.alpha[v] < st.alpha[good_node]) good_node = v;
+  }
+  const std::uint32_t cluster = planted.membership[good_node];
+  const auto members = planted.cluster(cluster);
+  const std::size_t n = planted.graph.num_nodes();
+
+  std::vector<double> chi_s(n, 0.0);
+  for (const auto v : members) chi_s[v] = 1.0 / static_cast<double>(members.size());
+
+  std::vector<double> y0(n, 0.0);
+  y0[good_node] = 1.0;
+  const auto est = core::recommended_rounds(planted.graph, 2, 1.5);
+  matching::MatchingGenerator generator(planted.graph, 17);
+  const auto snapshots = matching::trajectory_1d(generator, y0, est.rounds);
+  const double dist = linalg::norm_diff(snapshots.back(), chi_s);
+  // ||chi_S|| = 1/sqrt(|S|); the final distance should be well below it.
+  EXPECT_LT(dist, 0.5 / std::sqrt(static_cast<double>(members.size())));
+}
+
+TEST(Integration, RoundsScaleLogarithmically) {
+  // Same per-cluster structure at two sizes: T should grow like log n.
+  const auto small = make_instance(2, 250, 12, 0.02, 21);
+  const auto large = make_instance(2, 1000, 12, 0.02, 23);
+  const auto est_small = core::recommended_rounds(small.graph, 2, 1.0);
+  const auto est_large = core::recommended_rounds(large.graph, 2, 1.0);
+  const double ratio = static_cast<double>(est_large.rounds) /
+                       static_cast<double>(est_small.rounds);
+  const double log_ratio = std::log(2000.0) / std::log(500.0);
+  EXPECT_GT(ratio, 0.7 * log_ratio);
+  EXPECT_LT(ratio, 2.0 * log_ratio);
+}
+
+TEST(Integration, SbmPipeline) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 400;
+  spec.clusters = 2;
+  spec.p_in = 0.05;
+  spec.p_out = 0.002;
+  util::Rng rng(25);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = core::QueryRule::kArgmax;  // SBM is only almost-regular
+  config.seed = 27;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 2, result.labels);
+  EXPECT_LT(rate, 0.1);
+}
+
+TEST(Integration, AlmostRegularVariantClustersDroppedEdgeGraph) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {400, 400};
+  spec.degree = 16;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.01);
+  util::Rng rng(29);
+  const auto planted = graph::almost_regular_clusters(spec, 0.08, rng);
+  ASSERT_FALSE(planted.graph.is_regular());
+
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.protocol.virtual_degree = planted.graph.max_degree();
+  config.seed = 31;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 2, result.labels);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Integration, DegreeBiasedActivationVariant) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {300, 300};
+  spec.degree = 14;
+  spec.inter_cluster_swaps = 20;
+  util::Rng rng(33);
+  const auto planted = graph::almost_regular_clusters(spec, 0.08, rng);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.k_hint = 2;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.protocol.virtual_degree = planted.graph.max_degree();
+  config.protocol.degree_biased_activation = true;  // §4.5 literal variant
+  config.seed = 35;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate = metrics::misclassification_rate(planted.membership, 2, result.labels);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Integration, UnclusterableGraphYieldsManyUnclustered) {
+  // An expander has no cluster structure: every load converges to the
+  // uniform 1/n, which sits below τ = 1/(sqrt(2β)n) = 2/n for β = 1/8,
+  // so nodes end up unclustered rather than confidently wrong.
+  util::Rng rng(37);
+  const auto g = graph::random_regular(600, 12, rng);
+  core::ClusterConfig config;
+  config.beta = 0.125;
+  config.rounds = 200;
+  config.seed = 39;
+  const auto result = core::Clusterer(g, config).run();
+  std::size_t unclustered = 0;
+  for (const auto label : result.labels) unclustered += label == metrics::kUnclustered;
+  EXPECT_GT(unclustered, 400u);
+}
+
+}  // namespace

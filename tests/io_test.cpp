@@ -1,0 +1,99 @@
+// Round-trip and error-path tests for graph IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::Graph;
+using graph::NodeId;
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(IoEdgeList, RoundTrip) {
+  util::Rng rng(5);
+  const Graph g = graph::random_regular(50, 6, rng);
+  std::stringstream buffer;
+  graph::write_edge_list(buffer, g);
+  const Graph back = graph::read_edge_list(buffer);
+  expect_same_graph(g, back);
+}
+
+TEST(IoEdgeList, HeaderPreservesIsolatedTrailingNodes) {
+  // Node 3 is isolated; only the header records n = 4.
+  std::stringstream buffer;
+  buffer << "# nodes 4\n0 1\n1 2\n";
+  const Graph g = graph::read_edge_list(buffer);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(IoEdgeList, WithoutHeaderInfersN) {
+  std::stringstream buffer;
+  buffer << "0 1\n4 2\n";
+  const Graph g = graph::read_edge_list(buffer);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(IoEdgeList, MalformedLineThrows) {
+  std::stringstream buffer;
+  buffer << "0 not_a_number\n";
+  EXPECT_THROW(graph::read_edge_list(buffer), util::contract_error);
+}
+
+TEST(IoMetis, RoundTrip) {
+  util::Rng rng(9);
+  const Graph g = graph::random_regular(40, 4, rng);
+  std::stringstream buffer;
+  graph::write_metis(buffer, g);
+  const Graph back = graph::read_metis(buffer);
+  expect_same_graph(g, back);
+}
+
+TEST(IoMetis, HeaderMismatchThrows) {
+  std::stringstream buffer;
+  buffer << "3 5\n2\n1 3\n2\n";  // claims 5 edges, has 2
+  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+}
+
+TEST(IoMetis, TruncatedFileThrows) {
+  std::stringstream buffer;
+  buffer << "3 2\n2\n";  // missing adjacency lines
+  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+}
+
+TEST(IoMetis, NeighbourOutOfRangeThrows) {
+  std::stringstream buffer;
+  buffer << "2 1\n9\n1\n";
+  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+}
+
+TEST(IoFiles, SaveAndLoad) {
+  util::Rng rng(11);
+  const Graph g = graph::random_regular(30, 4, rng);
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_test.edges";
+  graph::save_edge_list(file_path, g);
+  const Graph back = graph::load_edge_list(file_path);
+  expect_same_graph(g, back);
+}
+
+TEST(IoFiles, MissingFileThrows) {
+  EXPECT_THROW(graph::load_edge_list("/nonexistent/path/g.edges"), util::contract_error);
+}
+
+}  // namespace

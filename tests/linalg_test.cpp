@@ -1,0 +1,334 @@
+// Tests for the linear-algebra substrate: kernels, eigensolvers (cross-
+// validated against each other and against closed forms), k-means,
+// Hungarian assignment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "linalg/hungarian.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/kmeans.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/tridiag.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+TEST(VectorOps, DotNormAxpy) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_NEAR(linalg::dot(x, y), 12.0, 1e-12);
+  EXPECT_NEAR(linalg::norm(x), std::sqrt(14.0), 1e-12);
+  std::vector<double> z = y;
+  linalg::axpy(2.0, x, z);
+  EXPECT_NEAR(z[0], 6.0, 1e-12);
+  EXPECT_NEAR(z[1], -1.0, 1e-12);
+  EXPECT_NEAR(z[2], 12.0, 1e-12);
+  EXPECT_NEAR(linalg::sum(x), 6.0, 1e-12);
+}
+
+TEST(VectorOps, NormalizeReturnsOldNorm) {
+  std::vector<double> x{3.0, 4.0};
+  EXPECT_NEAR(linalg::normalize(x), 5.0, 1e-12);
+  EXPECT_NEAR(linalg::norm(x), 1.0, 1e-12);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_EQ(linalg::normalize(zero), 0.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)linalg::dot(x, y), util::contract_error);
+}
+
+TEST(GramSchmidt, ProducesOrthonormalSet) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> vectors(4, std::vector<double>(10));
+  for (auto& v : vectors) {
+    for (auto& x : v) x = rng.next_double() - 0.5;
+  }
+  ASSERT_EQ(linalg::gram_schmidt(vectors), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(linalg::dot(vectors[i], vectors[j]), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(GramSchmidt, DropsDependentVectors) {
+  std::vector<std::vector<double>> vectors{{1.0, 0.0}, {2.0, 0.0}, {0.0, 1.0}};
+  EXPECT_EQ(linalg::gram_schmidt(vectors), 2u);
+}
+
+TEST(Tridiag, TwoByTwoClosedForm) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const auto eig = linalg::tridiagonal_eigen({2.0, 2.0}, {1.0});
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(Tridiag, DiagonalMatrixIsFixed) {
+  const auto eig = linalg::tridiagonal_eigen({3.0, 1.0, 2.0}, {0.0, 0.0});
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(Tridiag, PathLaplacianEigenvalues) {
+  // Free path Laplacian (second-difference matrix) on n nodes has
+  // eigenvalues 2 - 2cos(pi j / n), j = 0..n-1.
+  const std::size_t n = 12;
+  std::vector<double> diag(n, 2.0);
+  diag.front() = 1.0;
+  diag.back() = 1.0;
+  std::vector<double> off(n - 1, -1.0);
+  const auto eig = linalg::tridiagonal_eigen(diag, off);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double expected =
+        2.0 - 2.0 * std::cos(std::numbers::pi * static_cast<double>(j) / n);
+    EXPECT_NEAR(eig.values[j], expected, 1e-9) << "j=" << j;
+  }
+}
+
+TEST(Tridiag, EigenvectorsSatisfyDefinition) {
+  util::Rng rng(7);
+  const std::size_t n = 20;
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  for (auto& d : diag) d = rng.next_double() * 4 - 2;
+  for (auto& e : off) e = rng.next_double() * 2 - 1;
+  const auto eig = linalg::tridiagonal_eigen(diag, off);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Check T v = lambda v componentwise.
+    for (std::size_t i = 0; i < n; ++i) {
+      double tv = diag[i] * eig.vectors[i * n + j];
+      if (i > 0) tv += off[i - 1] * eig.vectors[(i - 1) * n + j];
+      if (i + 1 < n) tv += off[i] * eig.vectors[(i + 1) * n + j];
+      EXPECT_NEAR(tv, eig.values[j] * eig.vectors[i * n + j], 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  const auto eig = linalg::jacobi_eigen({2.0, 1.0, 1.0, 2.0}, 2);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(Jacobi, AgreesWithTridiagOnRandomTridiagonal) {
+  util::Rng rng(13);
+  const std::size_t n = 15;
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  for (auto& d : diag) d = rng.next_double();
+  for (auto& e : off) e = rng.next_double();
+  std::vector<double> dense(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) dense[i * n + i] = diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    dense[i * n + i + 1] = off[i];
+    dense[(i + 1) * n + i] = off[i];
+  }
+  const auto a = linalg::tridiagonal_eigen(diag, off);
+  const auto b = linalg::jacobi_eigen(dense, n);
+  for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(a.values[j], b.values[j], 1e-9);
+}
+
+TEST(WalkOperator, CycleActsAsAveraging) {
+  const auto g = graph::cycle(6);
+  const linalg::WalkOperator op(g);
+  std::vector<double> x{1, 0, 0, 0, 0, 0};
+  std::vector<double> out(6);
+  op.apply_walk(x, out);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+  EXPECT_NEAR(out[5], 0.5, 1e-12);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+}
+
+TEST(WalkOperator, LazyWalkPreservesSum) {
+  util::Rng rng(17);
+  const auto g = graph::random_regular(50, 4, rng);
+  const linalg::WalkOperator op(g);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.next_double();
+  const double before = linalg::sum(x);
+  std::vector<double> out(50);
+  op.apply_lazy_walk(x, out, 0.3);
+  EXPECT_NEAR(linalg::sum(out), before, 1e-9);
+}
+
+TEST(WalkOperator, DBarFormula) {
+  const auto g = graph::cycle(8);  // 2-regular
+  const linalg::WalkOperator op(g);
+  EXPECT_NEAR(op.d_bar(), std::pow(1.0 - 0.25, 1.0), 1e-12);
+}
+
+TEST(Lanczos, CycleGraphSpectrum) {
+  // Walk matrix of the n-cycle has eigenvalues cos(2 pi j / n).
+  const std::size_t n = 24;
+  const auto g = graph::cycle(static_cast<graph::NodeId>(n));
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 3;
+  options.max_iterations = n;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  EXPECT_NEAR(pairs.values[0], 1.0, 1e-8);
+  EXPECT_NEAR(pairs.values[1], std::cos(2.0 * std::numbers::pi / n), 1e-8);
+  EXPECT_NEAR(pairs.values[2], std::cos(2.0 * std::numbers::pi / n), 1e-8);
+}
+
+TEST(Lanczos, AgreesWithJacobiOnDenseWalkMatrix) {
+  util::Rng rng(21);
+  const auto g = graph::random_regular(40, 6, rng);
+  const auto dense = linalg::dense_walk_matrix(g);
+  const auto truth = linalg::jacobi_eigen(dense, 40);
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 5;
+  options.max_iterations = 40;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      40, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(pairs.values[j], truth.values[39 - j], 1e-7) << "pair " << j;
+  }
+}
+
+TEST(Lanczos, EigenvectorsHaveUnitNormAndSatisfyResidual) {
+  util::Rng rng(23);
+  const auto g = graph::random_regular(60, 8, rng);
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 3;
+  options.max_iterations = 60;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      60, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  std::vector<double> out(60);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(linalg::norm(pairs.vectors[j]), 1.0, 1e-9);
+    op.apply_walk(pairs.vectors[j], out);
+    linalg::axpy(-pairs.values[j], pairs.vectors[j], out);
+    EXPECT_LT(linalg::norm(out), 1e-6) << "residual of pair " << j;
+  }
+}
+
+TEST(Lanczos, TopEigenvectorOfRegularGraphIsConstant) {
+  util::Rng rng(29);
+  const auto g = graph::random_regular(64, 6, rng);
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 1;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      64, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  const double expected = 1.0 / std::sqrt(64.0);
+  for (const double entry : pairs.vectors[0]) {
+    EXPECT_NEAR(std::abs(entry), expected, 1e-6);
+  }
+}
+
+TEST(KMeans, SeparatedClustersAreRecovered) {
+  // Three tight blobs on a line.
+  std::vector<double> points;
+  util::Rng rng(31);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      points.push_back(10.0 * c + rng.next_double());
+    }
+  }
+  linalg::KMeansOptions options;
+  options.clusters = 3;
+  const auto result = linalg::kmeans(points, 150, 1, options);
+  // All points of a blob share a label and blobs get distinct labels.
+  for (int c = 0; c < 3; ++c) {
+    const auto label = result.assignment[c * 50];
+    for (int i = 1; i < 50; ++i) EXPECT_EQ(result.assignment[c * 50 + i], label);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[50]);
+  EXPECT_NE(result.assignment[50], result.assignment[100]);
+  EXPECT_LT(result.inertia, 150.0);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  std::vector<double> points;
+  util::Rng rng(37);
+  for (int i = 0; i < 60; ++i) points.push_back(rng.next_double());
+  linalg::KMeansOptions options;
+  options.clusters = 4;
+  options.seed = 5;
+  const auto a = linalg::kmeans(points, 60, 1, options);
+  const auto b = linalg::kmeans(points, 60, 1, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeans, RejectsBadArguments) {
+  const std::vector<double> points{1.0, 2.0};
+  linalg::KMeansOptions options;
+  options.clusters = 3;
+  EXPECT_THROW(linalg::kmeans(points, 2, 1, options), util::contract_error);
+}
+
+TEST(Hungarian, SolvesKnownInstance) {
+  // Classic 3x3: optimum is 5 (1+3+1 -> rows choose cols 1,0,2... check).
+  const std::vector<double> cost{4, 1, 3,
+                                 2, 0, 5,
+                                 3, 2, 2};
+  const auto result = linalg::hungarian_min_cost(cost, 3, 3);
+  EXPECT_NEAR(result.total_cost, 5.0, 1e-12);  // 1 + 2 + 2
+}
+
+TEST(Hungarian, RectangularPicksBestColumns) {
+  const std::vector<double> cost{10, 1, 10, 10,
+                                 10, 10, 10, 2};
+  const auto result = linalg::hungarian_min_cost(cost, 2, 4);
+  EXPECT_EQ(result.row_to_col[0], 1u);
+  EXPECT_EQ(result.row_to_col[1], 3u);
+  EXPECT_NEAR(result.total_cost, 3.0, 1e-12);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.next_below(4);  // 2..5
+    std::vector<double> cost(n * n);
+    for (auto& c : cost) c = rng.next_double();
+    const auto result = linalg::hungarian_min_cost(cost, n, n);
+    // Brute-force over permutations.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e18;
+    do {
+      double total = 0.0;
+      for (std::size_t r = 0; r < n; ++r) total += cost[r * n + perm[r]];
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(result.total_cost, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Hungarian, AssignmentIsInjective) {
+  util::Rng rng(43);
+  std::vector<double> cost(5 * 8);
+  for (auto& c : cost) c = rng.next_double();
+  const auto result = linalg::hungarian_min_cost(cost, 5, 8);
+  std::vector<char> used(8, 0);
+  for (const auto col : result.row_to_col) {
+    EXPECT_LT(col, 8u);
+    EXPECT_FALSE(used[col]);
+    used[col] = 1;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the local same-cluster query extension (§1.2's sub-linear /
+// property-testing observation).
+#include <gtest/gtest.h>
+
+#include "core/local_query.hpp"
+#include "core/rounds.hpp"
+#include "graph/generators.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {400, 400};
+  spec.degree = 14;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.01);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(LocalQuery, SameClusterPairsAccepted) {
+  const auto planted = make_instance(1);
+  core::LocalQueryConfig config;
+  config.beta = 0.5;
+  config.rounds = core::recommended_rounds(planted.graph, 2, 1.5).rounds;
+  int correct = 0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    config.seed = 100 + trial;
+    const auto u = static_cast<graph::NodeId>(trial * 17 % 400);
+    const auto v = static_cast<graph::NodeId>(200 + trial * 13 % 200);
+    const auto result = core::same_cluster_query(planted.graph, u, v, config);
+    correct += result.same_cluster;
+    EXPECT_GT(result.profile_similarity, 0.5) << "trial " << trial;
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(LocalQuery, CrossClusterPairsRejected) {
+  const auto planted = make_instance(2);
+  core::LocalQueryConfig config;
+  config.beta = 0.5;
+  config.rounds = core::recommended_rounds(planted.graph, 2, 1.5).rounds;
+  int correct = 0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    config.seed = 200 + trial;
+    const auto u = static_cast<graph::NodeId>(trial * 19 % 400);        // cluster 0
+    const auto v = static_cast<graph::NodeId>(400 + trial * 23 % 400);  // cluster 1
+    const auto result = core::same_cluster_query(planted.graph, u, v, config);
+    correct += !result.same_cluster;
+    EXPECT_LT(result.profile_similarity, 0.5) << "trial " << trial;
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(LocalQuery, CrossMassMatchesVerdict) {
+  const auto planted = make_instance(3);
+  core::LocalQueryConfig config;
+  config.beta = 0.5;
+  config.rounds = core::recommended_rounds(planted.graph, 2, 1.5).rounds;
+  const auto result = core::same_cluster_query(planted.graph, 3, 77, config);
+  EXPECT_EQ(result.same_cluster, result.cross_mass >= result.threshold);
+}
+
+TEST(LocalQuery, ValidatesArguments) {
+  const auto planted = make_instance(4);
+  core::LocalQueryConfig config;
+  config.beta = 0.5;
+  config.rounds = 0;  // must be set
+  EXPECT_THROW((void)core::same_cluster_query(planted.graph, 0, 1, config),
+               util::contract_error);
+  config.rounds = 10;
+  EXPECT_THROW((void)core::same_cluster_query(planted.graph, 5, 5, config),
+               util::contract_error);
+  EXPECT_THROW((void)core::same_cluster_query(planted.graph, 0, 1 << 20, config),
+               util::contract_error);
+}
+
+TEST(LocalQuery, NoClusterStructureRejectsMostPairs) {
+  util::Rng rng(5);
+  const auto g = graph::random_regular(600, 12, rng);
+  core::LocalQueryConfig config;
+  config.beta = 0.125;  // pretend clusters of >= n/8 exist
+  config.rounds = 150;
+  int accepted = 0;
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    config.seed = 300 + trial;
+    const auto result = core::same_cluster_query(
+        g, static_cast<graph::NodeId>(trial), static_cast<graph::NodeId>(599 - trial),
+        config);
+    accepted += result.same_cluster;
+  }
+  // Loads mix to 1/n < tau = 1/(0.5 n): nothing should clear the bar.
+  EXPECT_LE(accepted, 1);
+}
+
+}  // namespace

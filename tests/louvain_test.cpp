@@ -1,0 +1,101 @@
+// Tests for the Louvain modularity baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/louvain.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+TEST(Louvain, RecoversRingOfCliques) {
+  const auto planted = graph::ring_of_cliques(6, 8);
+  const auto result = baselines::louvain(planted.graph, {});
+  EXPECT_EQ(result.num_communities, 6u);
+  EXPECT_EQ(metrics::misclassified_nodes(planted.membership, 6, result.labels,
+                                         result.num_communities),
+            0u);
+  EXPECT_GT(result.modularity, 0.6);
+}
+
+TEST(Louvain, RecoversPlantedClusters) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, 200);
+  spec.degree = 14;
+  spec.inter_cluster_swaps = 30;
+  util::Rng rng(3);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto result = baselines::louvain(planted.graph, {});
+  const double rate = metrics::misclassification_rate(
+      planted.membership, 4, result.labels, std::max(1u, result.num_communities));
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Louvain, ModularityMatchesMetricsModule) {
+  const auto planted = graph::ring_of_cliques(4, 6);
+  const auto result = baselines::louvain(planted.graph, {});
+  EXPECT_NEAR(result.modularity,
+              metrics::modularity(planted.graph, result.labels, result.num_communities),
+              1e-12);
+}
+
+TEST(Louvain, DisconnectedComponentsGetDistinctCommunities) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 15;
+  spec.clusters = 3;
+  spec.p_in = 1.0;
+  spec.p_out = 0.0;
+  util::Rng rng(5);
+  const auto planted = graph::stochastic_block_model(spec, rng);
+  const auto result = baselines::louvain(planted.graph, {});
+  EXPECT_EQ(result.num_communities, 3u);
+}
+
+TEST(Louvain, LabelsAreCompact) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(3, 100);
+  spec.degree = 10;
+  spec.inter_cluster_swaps = 12;
+  util::Rng rng(7);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto result = baselines::louvain(planted.graph, {});
+  std::vector<char> seen(result.num_communities, 0);
+  for (const auto label : result.labels) {
+    ASSERT_LT(label, result.num_communities);
+    seen[label] = 1;
+  }
+  for (const char s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Louvain, DeterministicGivenSeed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(3, 80);
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 10;
+  util::Rng rng(9);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto a = baselines::louvain(planted.graph, {});
+  const auto b = baselines::louvain(planted.graph, {});
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, BeatsRandomLabelsOnModularity) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, 150);
+  spec.degree = 12;
+  spec.inter_cluster_swaps = 25;
+  util::Rng rng(11);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto result = baselines::louvain(planted.graph, {});
+  util::Rng label_rng(13);
+  std::vector<std::uint32_t> random_labels(planted.graph.num_nodes());
+  for (auto& l : random_labels) l = static_cast<std::uint32_t>(label_rng.next_below(4));
+  EXPECT_GT(result.modularity,
+            metrics::modularity(planted.graph, random_labels, 4) + 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Tests for the random matching protocol and the load-balancing
+// processes, including the statistical validation of Lemma 2.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "matching/load_state.hpp"
+#include "matching/process.hpp"
+#include "matching/protocol.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::NodeId;
+
+TEST(MatchingProtocol, RejectsBadInputs) {
+  util::Rng rng(1);
+  const auto g = graph::random_regular(16, 4, rng);
+  matching::ProtocolOptions options;
+  options.virtual_degree = 2;  // below max degree
+  EXPECT_THROW(matching::MatchingGenerator(g, 1, options), util::contract_error);
+  options.virtual_degree = 0;
+  options.degree_biased_activation = true;  // needs a virtual degree
+  EXPECT_THROW(matching::MatchingGenerator(g, 1, options), util::contract_error);
+}
+
+TEST(MatchingProtocol, DeterministicForEqualSeeds) {
+  util::Rng rng(2);
+  const auto g = graph::random_regular(64, 6, rng);
+  matching::MatchingGenerator gen_a(g, 77);
+  matching::MatchingGenerator gen_b(g, 77);
+  for (int round = 0; round < 10; ++round) {
+    const auto ma = gen_a.next();
+    const auto mb = gen_b.next();
+    EXPECT_EQ(ma.edges, mb.edges);
+  }
+}
+
+class MatchingSweep
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::size_t, std::uint64_t>> {};
+
+TEST_P(MatchingSweep, EveryRoundYieldsAValidMatching) {
+  const auto [n, d, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto g = graph::random_regular(n, d, rng);
+  matching::MatchingGenerator generator(g, seed * 31 + 1);
+  for (int round = 0; round < 20; ++round) {
+    const auto m = generator.next();
+    EXPECT_TRUE(m.valid(g)) << "round " << round;
+    EXPECT_LE(m.edges.size(), n / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MatchingSweep,
+                         ::testing::Values(std::make_tuple(16u, 3u, 1u),
+                                           std::make_tuple(32u, 4u, 2u),
+                                           std::make_tuple(64u, 8u, 3u),
+                                           std::make_tuple(128u, 6u, 4u),
+                                           std::make_tuple(256u, 16u, 5u),
+                                           std::make_tuple(100u, 5u, 6u)));
+
+TEST(MatchingProtocol, Lemma21OffDiagonalExpectation) {
+  // Empirical P[{u,v} matched] should be d_bar/(2d) for every edge
+  // (Lemma 2.1 gives E[M_uv] = d_bar/4 * P_uv = d_bar/(4d), and M_uv =
+  // 1/2 on matched edges, so P[matched] = d_bar/(2d)).
+  util::Rng rng(3);
+  const std::size_t d = 6;
+  const auto g = graph::random_regular(48, d, rng);
+  matching::MatchingGenerator generator(g, 99);
+  constexpr int kRounds = 60000;
+  std::vector<std::uint32_t> matched_count(g.num_nodes(), 0);
+  double total_edges = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto m = generator.next();
+    total_edges += static_cast<double>(m.edges.size());
+    for (const auto& [u, v] : m.edges) {
+      ++matched_count[u];
+      ++matched_count[v];
+    }
+  }
+  const double d_bar = std::pow(1.0 - 1.0 / (2.0 * d), d - 1.0);
+  // Per-node: P[v matched] = d * d_bar/(2d) = d_bar/2.
+  const double expected_node = d_bar / 2.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double freq = static_cast<double>(matched_count[v]) / kRounds;
+    EXPECT_NEAR(freq, expected_node, 0.02) << "node " << v;
+  }
+  // Global edge count per round: n * d_bar/4.
+  const double expected_edges = 48.0 * d_bar / 4.0;
+  EXPECT_NEAR(total_edges / kRounds, expected_edges, 0.2);
+}
+
+TEST(MatchingProtocol, CoinsResolveConsistently) {
+  util::Rng rng(4);
+  const auto g = graph::random_regular(32, 4, rng);
+  matching::MatchingGenerator gen_a(g, 55);
+  matching::MatchingGenerator gen_b(g, 55);
+  for (int round = 0; round < 5; ++round) {
+    const auto coins = gen_a.flip_round_coins();
+    const auto resolved = matching::MatchingGenerator::resolve(g, coins);
+    const auto direct = gen_b.next();
+    EXPECT_EQ(resolved.edges, direct.edges);
+  }
+}
+
+TEST(MatchingProtocol, VirtualDegreeReducesProbeRate) {
+  // With D = 4d, an active node probes a real neighbour only 1/4 of the
+  // time, so matchings are about 4x smaller.
+  util::Rng rng(5);
+  const std::size_t d = 8;
+  const auto g = graph::random_regular(256, d, rng);
+  matching::MatchingGenerator plain(g, 7);
+  matching::ProtocolOptions options;
+  options.virtual_degree = 4 * d;
+  matching::MatchingGenerator padded(g, 7, options);
+  double plain_edges = 0.0;
+  double padded_edges = 0.0;
+  for (int round = 0; round < 3000; ++round) {
+    plain_edges += static_cast<double>(plain.next().edges.size());
+    padded_edges += static_cast<double>(padded.next().edges.size());
+  }
+  EXPECT_GT(plain_edges, 2.5 * padded_edges);
+  EXPECT_LT(plain_edges, 6.0 * padded_edges);
+}
+
+TEST(LoadState, AveragePairAndConservation) {
+  matching::MultiLoadState state(4, 2);
+  state.set(0, 0, 1.0);
+  state.set(1, 0, 3.0);
+  state.set(0, 1, 2.0);
+  state.average_pair(0, 1);
+  EXPECT_NEAR(state.at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(state.at(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(state.at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(state.at(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(state.total(0), 4.0, 1e-12);
+  EXPECT_NEAR(state.total(1), 2.0, 1e-12);
+}
+
+TEST(LoadState, RejectsSelfAverage) {
+  matching::MultiLoadState state(3, 1);
+  EXPECT_THROW(state.average_pair(1, 1), util::contract_error);
+}
+
+TEST(LoadProcess, ConservesEveryDimension) {
+  util::Rng rng(6);
+  const auto g = graph::random_regular(100, 6, rng);
+  matching::MatchingGenerator generator(g, 11);
+  matching::MultiLoadState state(100, 3);
+  state.set(0, 0, 1.0);
+  state.set(50, 1, 1.0);
+  state.set(99, 2, 2.5);
+  matching::run_process(generator, state, 200);
+  EXPECT_NEAR(state.total(0), 1.0, 1e-9);
+  EXPECT_NEAR(state.total(1), 1.0, 1e-9);
+  EXPECT_NEAR(state.total(2), 2.5, 1e-9);
+}
+
+TEST(LoadProcess, StaysNonNegative) {
+  util::Rng rng(7);
+  const auto g = graph::random_regular(64, 4, rng);
+  matching::MatchingGenerator generator(g, 13);
+  matching::MultiLoadState state(64, 1);
+  state.set(5, 0, 1.0);
+  matching::run_process(generator, state, 300);
+  for (NodeId v = 0; v < 64; ++v) EXPECT_GE(state.at(v, 0), 0.0);
+}
+
+TEST(LoadProcess, ConvergesToUniformOnExpander) {
+  util::Rng rng(8);
+  const auto g = graph::random_regular(128, 8, rng);
+  matching::MatchingGenerator generator(g, 17);
+  matching::MultiLoadState state(128, 1);
+  state.set(0, 0, 1.0);
+  matching::run_process(generator, state, 600);
+  const double uniform = 1.0 / 128.0;
+  for (NodeId v = 0; v < 128; ++v) {
+    EXPECT_NEAR(state.at(v, 0), uniform, uniform * 0.5) << "node " << v;
+  }
+}
+
+TEST(LoadProcess, MatchedFractionStatIsSane) {
+  util::Rng rng(9);
+  const auto g = graph::random_regular(200, 8, rng);
+  matching::MatchingGenerator generator(g, 19);
+  matching::MultiLoadState state(200, 1);
+  state.set(0, 0, 1.0);
+  const auto stats = matching::run_process(generator, state, 100);
+  EXPECT_EQ(stats.rounds, 100u);
+  EXPECT_GT(stats.mean_matched_fraction, 0.1);
+  EXPECT_LT(stats.mean_matched_fraction, 1.0);
+  EXPECT_GT(stats.total_matched_edges, 0u);
+}
+
+TEST(LazyWalk, MatchesManualIteration) {
+  const auto g = graph::cycle(6);
+  std::vector<double> x{1, 0, 0, 0, 0, 0};
+  const auto result = matching::run_lazy_walk(g, x, 1);
+  // gamma = d_bar/4 with d = 2: d_bar = (1 - 1/4)^1 = 0.75, gamma = 0.1875.
+  EXPECT_NEAR(result[0], 1.0 - 0.1875, 1e-12);
+  EXPECT_NEAR(result[1], 0.1875 / 2.0, 1e-12);
+  EXPECT_NEAR(result[5], 0.1875 / 2.0, 1e-12);
+}
+
+TEST(Trajectory1d, RecordsAllSnapshots) {
+  util::Rng rng(10);
+  const auto g = graph::random_regular(32, 4, rng);
+  matching::MatchingGenerator generator(g, 23);
+  std::vector<double> x(32, 0.0);
+  x[3] = 1.0;
+  const auto snapshots = matching::trajectory_1d(generator, x, 25);
+  ASSERT_EQ(snapshots.size(), 26u);
+  EXPECT_EQ(snapshots[0][3], 1.0);
+  for (const auto& snap : snapshots) {
+    EXPECT_NEAR(linalg::sum(snap), 1.0, 1e-9);
+  }
+}
+
+TEST(MatchingProtocol, ProjectionProperty) {
+  // M(t) is a projection: applying the same matching twice equals once.
+  util::Rng rng(11);
+  const auto g = graph::random_regular(40, 4, rng);
+  matching::MatchingGenerator generator(g, 29);
+  const auto m = generator.next();
+  matching::MultiLoadState once(40, 1);
+  matching::MultiLoadState twice(40, 1);
+  for (NodeId v = 0; v < 40; ++v) {
+    const double value = static_cast<double>(v) * 0.37;
+    once.set(v, 0, value);
+    twice.set(v, 0, value);
+  }
+  once.apply(m);
+  twice.apply(m);
+  twice.apply(m);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(once.at(v, 0), twice.at(v, 0));
+}
+
+}  // namespace

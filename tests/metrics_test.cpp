@@ -1,0 +1,144 @@
+// Tests for clustering metrics: compaction, permutation-optimal
+// misclassification (vs brute force), ARI, NMI, modularity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+TEST(Compact, RenumbersAndHandlesSentinel) {
+  const std::vector<std::uint64_t> raw{900, 7, 900, metrics::kUnclustered, 7};
+  const auto compacted = metrics::compact(raw);
+  EXPECT_EQ(compacted.num_labels, 3u);
+  EXPECT_EQ(compacted.labels[0], compacted.labels[2]);
+  EXPECT_EQ(compacted.labels[1], compacted.labels[4]);
+  EXPECT_NE(compacted.labels[0], compacted.labels[1]);
+  EXPECT_EQ(compacted.labels[3], 2u);  // sentinel gets its own label
+}
+
+TEST(Confusion, CountsPairs) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1};
+  const std::vector<std::uint32_t> pred{1, 1, 0, 1};
+  const auto confusion = metrics::confusion_matrix(truth, 2, pred, 2);
+  EXPECT_EQ(confusion[0 * 2 + 1], 2u);
+  EXPECT_EQ(confusion[1 * 2 + 0], 1u);
+  EXPECT_EQ(confusion[1 * 2 + 1], 1u);
+  EXPECT_EQ(confusion[0 * 2 + 0], 0u);
+}
+
+TEST(Misclassified, PermutationInvariant) {
+  const std::vector<std::uint32_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint32_t> swapped{1, 1, 1, 0, 0, 0};
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, swapped, 2), 0u);
+}
+
+TEST(Misclassified, CountsMinorityErrors) {
+  const std::vector<std::uint32_t> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::uint32_t> pred{0, 0, 0, 1, 1, 1, 1, 1};
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, pred, 2), 1u);
+  EXPECT_NEAR(metrics::misclassification_rate(truth, 2, pred, 2), 0.125, 1e-12);
+}
+
+TEST(Misclassified, FewerPredictedLabelsCountsDeficit) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> pred{0, 0, 1, 1, 1, 1};  // only 2 labels
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 3, pred, 2), 2u);
+}
+
+TEST(Misclassified, SentinelAlwaysCounts) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1};
+  const std::vector<std::uint64_t> raw{5, 5, metrics::kUnclustered, 9};
+  // 5 -> cluster 0 (2 right), 9 -> cluster 1 (1 right), sentinel wrong.
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, raw), 1u);
+}
+
+TEST(Misclassified, MatchesBruteForceOnRandomLabelings) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.next_below(3));
+    const std::size_t n = 30;
+    std::vector<std::uint32_t> truth(n);
+    std::vector<std::uint32_t> pred(n);
+    for (auto& t : truth) t = static_cast<std::uint32_t>(rng.next_below(k));
+    for (auto& p : pred) p = static_cast<std::uint32_t>(rng.next_below(k));
+    const auto fast = metrics::misclassified_nodes(truth, k, pred, k);
+    // Brute force over all injective label maps sigma: truth -> pred.
+    std::vector<std::uint32_t> perm(k);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::uint64_t best = n;
+    do {
+      std::uint64_t errors = 0;
+      for (std::size_t i = 0; i < n; ++i) errors += perm[truth[i]] != pred[i];
+      best = std::min(best, errors);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(fast, best) << "trial " << trial;
+  }
+}
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(metrics::adjusted_rand_index(labels, labels), 1.0, 1e-12);
+}
+
+TEST(Ari, PermutedPartitionsScoreOne) {
+  const std::vector<std::uint32_t> a{0, 0, 1, 1};
+  const std::vector<std::uint32_t> b{1, 1, 0, 0};
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, b), 1.0, 1e-12);
+}
+
+TEST(Ari, IndependentPartitionsScoreNearZero) {
+  util::Rng rng(53);
+  std::vector<std::uint32_t> a(2000);
+  std::vector<std::uint32_t> b(2000);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(4));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.next_below(4));
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(Nmi, BoundsAndKnownValues) {
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1};
+  EXPECT_NEAR(metrics::normalized_mutual_information(labels, labels), 1.0, 1e-12);
+  const std::vector<std::uint32_t> all_same{0, 0, 0, 0};
+  // One partition is trivial: MI = 0, normalisation keeps it in [0,1].
+  const double nmi = metrics::normalized_mutual_information(labels, all_same);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1e-9);
+}
+
+TEST(Nmi, IndependentPartitionsScoreNearZero) {
+  util::Rng rng(59);
+  std::vector<std::uint32_t> a(2000);
+  std::vector<std::uint32_t> b(2000);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(3));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.next_below(3));
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, b), 0.0, 0.05);
+}
+
+TEST(Modularity, PlantedPartitionBeatsRandomLabels) {
+  const auto planted = graph::ring_of_cliques(4, 6);
+  const double planted_q =
+      metrics::modularity(planted.graph, planted.membership, 4);
+  util::Rng rng(61);
+  std::vector<std::uint32_t> random_labels(planted.graph.num_nodes());
+  for (auto& x : random_labels) x = static_cast<std::uint32_t>(rng.next_below(4));
+  const double random_q = metrics::modularity(planted.graph, random_labels, 4);
+  EXPECT_GT(planted_q, 0.5);
+  EXPECT_GT(planted_q, random_q + 0.3);
+}
+
+TEST(Modularity, SingleClusterIsZero) {
+  const auto g = graph::complete(6);
+  const std::vector<std::uint32_t> one(6, 0);
+  EXPECT_NEAR(metrics::modularity(g, one, 1), 0.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Tests for the synchronous message-passing simulator.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "net/network.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace dgc;
+using net::Message;
+using net::MsgKind;
+
+TEST(Network, DeliversWithinPhase) {
+  const auto g = graph::path(3);
+  net::Network network(g);
+  network.send({0, 1, MsgKind::kProbe, {}});
+  EXPECT_TRUE(network.inbox(1).empty());  // not delivered yet
+  network.deliver();
+  ASSERT_EQ(network.inbox(1).size(), 1u);
+  EXPECT_EQ(network.inbox(1)[0].from, 0u);
+}
+
+TEST(Network, PhaseBoundariesDiscardOldMessages) {
+  const auto g = graph::path(3);
+  net::Network network(g);
+  network.send({0, 1, MsgKind::kProbe, {}});
+  network.deliver();
+  network.deliver();  // next phase: inbox cleared
+  EXPECT_TRUE(network.inbox(1).empty());
+}
+
+TEST(Network, RejectsNonNeighbourSend) {
+  const auto g = graph::path(3);  // edges 0-1, 1-2
+  net::Network network(g);
+  EXPECT_THROW(network.send({0, 2, MsgKind::kProbe, {}}), util::contract_error);
+  EXPECT_THROW(network.send({0, 0, MsgKind::kProbe, {}}), util::contract_error);
+}
+
+TEST(Network, RejectsOutOfRangeEndpoints) {
+  const auto g = graph::path(3);
+  net::Network network(g);
+  EXPECT_THROW(network.send({0, 9, MsgKind::kProbe, {}}), util::contract_error);
+}
+
+TEST(Network, CountsMessagesAndWords) {
+  const auto g = graph::path(3);
+  net::Network network(g);
+  network.send({0, 1, MsgKind::kProbe, {}});                      // 1 word
+  network.send({1, 2, MsgKind::kState, {{7, 0.5}, {9, 0.25}}});   // 5 words
+  network.deliver();
+  EXPECT_EQ(network.stats().messages, 2u);
+  EXPECT_EQ(network.stats().words, 6u);
+}
+
+TEST(Network, WordsOfFormula) {
+  Message m;
+  m.payload = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  EXPECT_EQ(net::Network::words_of(m), 7u);
+}
+
+TEST(Network, DropInjectionLosesRoughlyTheRightFraction) {
+  const auto g = graph::complete(2);
+  net::Network network(g);
+  network.set_drop_probability(0.3, 123);
+  constexpr int kMessages = 20000;
+  int received = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    network.send({0, 1, MsgKind::kProbe, {}});
+    network.deliver();
+    received += static_cast<int>(network.inbox(1).size());
+  }
+  EXPECT_NEAR(static_cast<double>(received) / kMessages, 0.7, 0.02);
+  EXPECT_EQ(network.stats().dropped_messages + received,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(Network, RejectsBadDropProbability) {
+  const auto g = graph::path(2);
+  net::Network network(g);
+  EXPECT_THROW(network.set_drop_probability(1.0, 1), util::contract_error);
+  EXPECT_THROW(network.set_drop_probability(-0.1, 1), util::contract_error);
+}
+
+TEST(Network, PayloadSurvivesDelivery) {
+  const auto g = graph::path(2);
+  net::Network network(g);
+  network.send({0, 1, MsgKind::kAccept, {{42, 0.125}}});
+  network.deliver();
+  const auto& inbox = network.inbox(1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].kind, MsgKind::kAccept);
+  ASSERT_EQ(inbox[0].payload.size(), 1u);
+  EXPECT_EQ(inbox[0].payload[0].first, 42u);
+  EXPECT_EQ(inbox[0].payload[0].second, 0.125);
+}
+
+}  // namespace

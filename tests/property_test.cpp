@@ -1,0 +1,405 @@
+// Cross-cutting property tests: algebraic identities, invariances, and
+// statistical laws checked over parameter sweeps (TEST_P).  These are
+// the "does the system obey its own math" suite, complementing the
+// per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "core/clusterer.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "core/seeding.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/tridiag.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/walk_matrix.hpp"
+#include "matching/gossip.hpp"
+#include "matching/process.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::NodeId;
+
+// ---------------------------------------------------------------------
+// Full pipeline over a (k, phi, rule) grid.
+// ---------------------------------------------------------------------
+class PipelineGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double, core::QueryRule>> {
+};
+
+TEST_P(PipelineGrid, RecoversPlantedPartition) {
+  const auto [k, phi, rule] = GetParam();
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, 250);
+  spec.degree = 14;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(5 * k + static_cast<std::uint64_t>(phi * 1000));
+  const auto planted = graph::clustered_regular(spec, rng);
+
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k);
+  config.k_hint = k;
+  config.rounds_multiplier = 2.0;
+  config.query_rule = rule;
+  config.seed = 1234 + k;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const double rate =
+      metrics::misclassification_rate(planted.membership, k, result.labels);
+  EXPECT_LT(rate, 0.08) << "k=" << k << " phi=" << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KPhiRule, PipelineGrid,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u), ::testing::Values(0.01, 0.04),
+                       ::testing::Values(core::QueryRule::kPaperMinId,
+                                         core::QueryRule::kArgmax)));
+
+// ---------------------------------------------------------------------
+// Engine equivalence under protocol variants.
+// ---------------------------------------------------------------------
+class EngineVariantEquivalence : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(EngineVariantEquivalence, DenseEqualsDistributed) {
+  const auto [padded, biased] = GetParam();
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {120, 120};
+  spec.degree = 10;
+  spec.inter_cluster_swaps = 10;
+  util::Rng rng(17);
+  auto planted = graph::almost_regular_clusters(spec, 0.1, rng);
+
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 50;
+  config.seed = 77;
+  config.query_rule = core::QueryRule::kArgmax;
+  if (padded) config.protocol.virtual_degree = planted.graph.max_degree();
+  if (biased) {
+    config.protocol.virtual_degree = planted.graph.max_degree();
+    config.protocol.degree_biased_activation = true;
+  }
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(dense.labels, distributed.result.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProtocolVariants, EngineVariantEquivalence,
+                         ::testing::Values(std::make_tuple(false, false),
+                                           std::make_tuple(true, false),
+                                           std::make_tuple(true, true)));
+
+// ---------------------------------------------------------------------
+// Walk operator identities.
+// ---------------------------------------------------------------------
+class WalkOperatorLaws : public ::testing::TestWithParam<std::tuple<NodeId, std::size_t>> {};
+
+TEST_P(WalkOperatorLaws, RowStochasticRowsSumToOne) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(3 + n);
+  const auto g = graph::random_regular(n, d, rng);
+  const linalg::WalkOperator op(g);
+  std::vector<double> ones(n, 1.0);
+  std::vector<double> out(n);
+  op.apply_row_stochastic(ones, out);
+  for (const double x : out) EXPECT_NEAR(x, 1.0, 1e-12);
+}
+
+TEST_P(WalkOperatorLaws, NormalizedOperatorIsSymmetric) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(5 + n);
+  const auto g = graph::random_regular(n, d, rng);
+  const linalg::WalkOperator op(g);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  for (auto& v : y) v = rng.next_double() - 0.5;
+  std::vector<double> nx(n);
+  std::vector<double> ny(n);
+  op.apply_normalized(x, nx);
+  op.apply_normalized(y, ny);
+  EXPECT_NEAR(linalg::dot(nx, y), linalg::dot(x, ny), 1e-9);
+}
+
+TEST_P(WalkOperatorLaws, UniformIsLazyWalkFixedPoint) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(7 + n);
+  const auto g = graph::random_regular(n, d, rng);
+  const linalg::WalkOperator op(g);
+  std::vector<double> uniform(n, 1.0 / n);
+  std::vector<double> out(n);
+  op.apply_lazy_walk(uniform, out, op.d_bar() / 4.0);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_NEAR(out[v], uniform[v], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WalkOperatorLaws,
+                         ::testing::Values(std::make_tuple(32u, 4u),
+                                           std::make_tuple(100u, 6u),
+                                           std::make_tuple(256u, 16u)));
+
+// ---------------------------------------------------------------------
+// Metric invariances over random labelings.
+// ---------------------------------------------------------------------
+class MetricLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricLaws, AriAndNmiAreSymmetric) {
+  util::Rng rng(GetParam());
+  std::vector<std::uint32_t> a(200);
+  std::vector<std::uint32_t> b(200);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(4));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.next_below(3));
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, b), metrics::adjusted_rand_index(b, a),
+              1e-12);
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, b),
+              metrics::normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST_P(MetricLaws, SelfComparisonIsPerfect) {
+  util::Rng rng(GetParam() * 31 + 1);
+  std::vector<std::uint32_t> a(150);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(5));
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, a), 1.0, 1e-12);
+  EXPECT_EQ(metrics::misclassified_nodes(a, 5, a, 5), 0u);
+}
+
+TEST_P(MetricLaws, MisclassificationInvariantUnderLabelPermutation) {
+  util::Rng rng(GetParam() * 17 + 3);
+  const std::uint32_t k = 4;
+  std::vector<std::uint32_t> truth(120);
+  std::vector<std::uint32_t> predicted(120);
+  for (auto& x : truth) x = static_cast<std::uint32_t>(rng.next_below(k));
+  for (auto& x : predicted) x = static_cast<std::uint32_t>(rng.next_below(k));
+  const auto base = metrics::misclassified_nodes(truth, k, predicted, k);
+  // Apply a random permutation to the predicted labels.
+  std::vector<std::uint32_t> perm{0, 1, 2, 3};
+  util::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<std::uint32_t> permuted(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) permuted[i] = perm[predicted[i]];
+  EXPECT_EQ(metrics::misclassified_nodes(truth, k, permuted, k), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricLaws, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------
+// IO round-trips across graph families and both formats.
+// ---------------------------------------------------------------------
+class IoRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRoundtrip, EdgeListAndMetisPreserveTheGraph) {
+  util::Rng rng(23 + GetParam());
+  graph::Graph g;
+  switch (GetParam()) {
+    case 0:
+      g = graph::random_regular(80, 6, rng);
+      break;
+    case 1: {
+      graph::SbmSpec spec;
+      spec.nodes_per_cluster = 40;
+      spec.clusters = 3;
+      spec.p_in = 0.2;
+      spec.p_out = 0.01;
+      g = graph::stochastic_block_model(spec, rng).graph;
+      break;
+    }
+    case 2:
+      g = graph::ring_of_cliques(5, 6).graph;
+      break;
+    default:
+      g = graph::star(30);
+  }
+  for (const bool metis : {false, true}) {
+    std::stringstream buffer;
+    if (metis) {
+      graph::write_metis(buffer, g);
+    } else {
+      graph::write_edge_list(buffer, g);
+    }
+    const graph::Graph back =
+        metis ? graph::read_metis(buffer) : graph::read_edge_list(buffer);
+    ASSERT_EQ(back.num_nodes(), g.num_nodes());
+    ASSERT_EQ(back.num_edges(), g.num_edges());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto na = g.neighbors(v);
+      const auto nb = back.neighbors(v);
+      ASSERT_EQ(na.size(), nb.size());
+      for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, IoRoundtrip, ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Seeding concentration across beta values.
+// ---------------------------------------------------------------------
+class SeedingLaw : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeedingLaw, SeedCountConcentratesAroundTrials) {
+  const double beta = GetParam();
+  const NodeId n = 3000;
+  const std::size_t trials = core::default_seeding_trials(beta);
+  double total = 0.0;
+  const int runs = 150;
+  for (int run = 0; run < runs; ++run) {
+    total += static_cast<double>(core::run_seeding(n, trials, 40000 + run).size());
+  }
+  const double mean = total / runs;
+  // E[s] = n(1-(1-1/n)^trials) ~ trials for trials << n.
+  EXPECT_NEAR(mean, static_cast<double>(trials), 0.15 * static_cast<double>(trials) + 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, SeedingLaw, ::testing::Values(0.5, 0.25, 0.125));
+
+// ---------------------------------------------------------------------
+// Lanczos laws over random regular graphs.
+// ---------------------------------------------------------------------
+class LanczosLaws : public ::testing::TestWithParam<std::tuple<NodeId, std::size_t>> {};
+
+TEST_P(LanczosLaws, TopPairIsOneWithConstantVector) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(29 + n);
+  const auto g = graph::random_regular(n, d, rng);
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 2;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  EXPECT_NEAR(pairs.values[0], 1.0, 1e-7);
+  EXPECT_LT(pairs.values[1], 1.0 - 1e-4);  // connected: simple top eigenvalue
+  const double c = pairs.vectors[0][0];
+  for (const double entry : pairs.vectors[0]) EXPECT_NEAR(entry, c, 1e-5);
+}
+
+TEST_P(LanczosLaws, EigenvaluesAreSortedAndBounded) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(31 + n);
+  const auto g = graph::random_regular(n, d, rng);
+  const linalg::WalkOperator op(g);
+  linalg::LanczosOptions options;
+  options.num_eigenpairs = 4;
+  const auto pairs = linalg::lanczos_top_eigenpairs(
+      n, [&](std::span<const double> in, std::span<double> out) { op.apply_walk(in, out); },
+      options);
+  for (std::size_t i = 0; i + 1 < pairs.values.size(); ++i) {
+    EXPECT_GE(pairs.values[i], pairs.values[i + 1] - 1e-12);
+  }
+  for (const double lambda : pairs.values) {
+    EXPECT_LE(lambda, 1.0 + 1e-9);
+    EXPECT_GE(lambda, -1.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LanczosLaws,
+                         ::testing::Values(std::make_tuple(64u, 6u),
+                                           std::make_tuple(128u, 8u),
+                                           std::make_tuple(300u, 10u)));
+
+// ---------------------------------------------------------------------
+// Tridiagonal solver laws.
+// ---------------------------------------------------------------------
+class TridiagLaws : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TridiagLaws, EigenvalueSumEqualsTrace) {
+  const std::size_t n = GetParam();
+  util::Rng rng(37 + n);
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  double trace = 0.0;
+  for (auto& x : diag) {
+    x = rng.next_double() * 2 - 1;
+    trace += x;
+  }
+  for (auto& x : off) x = rng.next_double() - 0.5;
+  const auto eig = linalg::tridiagonal_eigen(diag, off);
+  double sum = 0.0;
+  for (const double v : eig.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST_P(TridiagLaws, EigenvectorsAreOrthonormal) {
+  const std::size_t n = GetParam();
+  util::Rng rng(41 + n);
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  for (auto& x : diag) x = rng.next_double();
+  for (auto& x : off) x = rng.next_double();
+  const auto eig = linalg::tridiagonal_eigen(diag, off);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += eig.vectors[i * n + a] * eig.vectors[i * n + b];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9) << "pair " << a << "," << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagLaws, ::testing::Values(2u, 5u, 12u, 25u));
+
+// ---------------------------------------------------------------------
+// Conservation across all load-moving processes.
+// ---------------------------------------------------------------------
+class ConservationLaw : public ::testing::TestWithParam<std::tuple<NodeId, std::size_t>> {};
+
+TEST_P(ConservationLaw, EveryProcessConservesMass) {
+  const auto [n, dims] = GetParam();
+  util::Rng rng(43 + n);
+  const auto g = graph::random_regular(n, 8, rng);
+
+  matching::MultiLoadState state(n, dims);
+  std::vector<double> totals(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    const double mass = 1.0 + rng.next_double();
+    state.set(v, i, state.at(v, i) + mass);
+  }
+  for (std::size_t i = 0; i < dims; ++i) totals[i] = state.total(i);
+
+  matching::MatchingGenerator generator(g, 47);
+  matching::run_process(generator, state, 120);
+  matching::AsyncGossip gossip(g, 53);
+  gossip.run(state, 1000);
+
+  for (std::size_t i = 0; i < dims; ++i) {
+    EXPECT_NEAR(state.total(i), totals[i], 1e-9) << "dimension " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConservationLaw,
+                         ::testing::Values(std::make_tuple(50u, 1u),
+                                           std::make_tuple(100u, 4u),
+                                           std::make_tuple(200u, 16u)));
+
+// ---------------------------------------------------------------------
+// Planted-instance structural laws.
+// ---------------------------------------------------------------------
+class PlantedLaw : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PlantedLaw, RhoTracksSwapBudget) {
+  const std::uint32_t k = GetParam();
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, 150);
+  spec.degree = 12;
+  spec.inter_cluster_swaps = 10;
+  util::Rng rng(59 + k);
+  const auto sparse = graph::clustered_regular(spec, rng);
+  spec.inter_cluster_swaps = 60;
+  const auto dense = graph::clustered_regular(spec, rng);
+  EXPECT_LT(graph::rho(sparse.graph, sparse.membership, k),
+            graph::rho(dense.graph, dense.membership, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PlantedLaw, ::testing::Values(2u, 3u, 5u));
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Robustness suite: adversarial inputs, degenerate shapes, and
+// worst-case topologies across the whole library surface.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/clusterer.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "core/summary.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "linalg/hungarian.hpp"
+#include "linalg/kmeans.hpp"
+#include "linalg/tridiag.hpp"
+#include "matching/process.hpp"
+#include "matching/protocol.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::NodeId;
+
+TEST(Robustness, EdgeListWithSelfLoopThrows) {
+  std::stringstream buffer;
+  buffer << "0 1\n2 2\n";
+  EXPECT_THROW(graph::read_edge_list(buffer), util::contract_error);
+}
+
+TEST(Robustness, ClusteredRegularWithImpossibleSwapBudgetThrows) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {10, 10};
+  spec.degree = 4;
+  // Far more swaps than intra edges exist: the rewiring cannot converge.
+  spec.inter_cluster_swaps = 1000;
+  util::Rng rng(1);
+  EXPECT_THROW(graph::clustered_regular(spec, rng), util::contract_error);
+}
+
+TEST(Robustness, MatchingOnStarNeverDoubleMatchesHub) {
+  // The hub is every leaf's only neighbour — maximal probe contention.
+  const auto g = graph::star(64);
+  matching::MatchingGenerator generator(g, 3);
+  for (int round = 0; round < 200; ++round) {
+    const auto m = generator.next();
+    EXPECT_TRUE(m.valid(g));
+    EXPECT_LE(m.edges.size(), 1u);  // only the hub can be matched, once
+  }
+}
+
+TEST(Robustness, LoadBalancingOnPathConservesDespiteSlowMixing) {
+  const auto g = graph::path(200);
+  matching::MatchingGenerator generator(g, 5);
+  matching::MultiLoadState state(200, 1);
+  state.set(0, 0, 1.0);
+  matching::run_process(generator, state, 500);
+  EXPECT_NEAR(state.total(0), 1.0, 1e-9);
+  // A path mixes in Ω(n^2): after 500 rounds the far end has seen ~none.
+  EXPECT_LT(state.at(199, 0), 1.0 / 200.0);
+  EXPECT_GT(state.at(0, 0), 1.0 / 200.0);
+}
+
+TEST(Robustness, ClustererRejectsGraphWithIsolatedNode) {
+  const auto g = graph::Graph::from_edges(3, {{0, 1}});  // node 2 isolated
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 5;
+  EXPECT_THROW(core::Clusterer(g, config), util::contract_error);
+  EXPECT_THROW(core::DistributedClusterer(g, config), util::contract_error);
+}
+
+TEST(Robustness, EnginesAgreeOnIrregularRingOfCliques) {
+  const auto planted = graph::ring_of_cliques(4, 8);  // not regular
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 60;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 9;
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(dense.labels, distributed.result.labels);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 4, dense.labels);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(Robustness, SummaryWithSingleLabelIsOneCluster) {
+  const auto g = graph::cycle(12);
+  const std::vector<std::uint64_t> labels(12, 42);
+  const auto summary = core::summarize_partition(g, labels);
+  EXPECT_EQ(summary.num_clusters, 1u);
+  EXPECT_EQ(summary.clusters[0].size, 12u);
+  EXPECT_EQ(summary.clusters[0].conductance, 0.0);
+  EXPECT_NEAR(summary.beta_hat, 1.0, 1e-12);
+}
+
+TEST(Robustness, HungarianOneByOne) {
+  const auto result = linalg::hungarian_min_cost({3.5}, 1, 1);
+  EXPECT_EQ(result.row_to_col[0], 0u);
+  EXPECT_NEAR(result.total_cost, 3.5, 1e-12);
+}
+
+TEST(Robustness, KMeansWithAsManyClustersAsPoints) {
+  const std::vector<double> points{0.0, 10.0, 20.0, 30.0};
+  linalg::KMeansOptions options;
+  options.clusters = 4;
+  const auto result = linalg::kmeans(points, 4, 1, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  std::vector<char> used(4, 0);
+  for (const auto a : result.assignment) used[a] = 1;
+  for (const char u : used) EXPECT_TRUE(u);
+}
+
+TEST(Robustness, TridiagonalOneByOne) {
+  const auto eig = linalg::tridiagonal_eigen({7.0}, {});
+  ASSERT_EQ(eig.values.size(), 1u);
+  EXPECT_NEAR(eig.values[0], 7.0, 1e-12);
+  EXPECT_NEAR(eig.vectors[0], 1.0, 1e-12);
+}
+
+TEST(Robustness, MisclassificationWithAllSentinelsIsTotal) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1};
+  const std::vector<std::uint64_t> raw(4, metrics::kUnclustered);
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, raw), 4u);
+}
+
+TEST(Robustness, MisclassificationSentinelNeverCreditsACluster) {
+  // A whole cluster left unclustered must count fully even though the
+  // sentinel bucket aligns perfectly with it.
+  const std::vector<std::uint32_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint64_t> raw{9, 9, 9, metrics::kUnclustered,
+                                       metrics::kUnclustered, metrics::kUnclustered};
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, raw), 3u);
+}
+
+TEST(Robustness, ZeroDropProbabilityIsExactlyFaultFree) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {60, 60};
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 6;
+  util::Rng rng(11);
+  const auto planted = graph::clustered_regular(spec, rng);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 30;
+  config.seed = 13;
+  const auto a = core::DistributedClusterer(planted.graph, config).run(0.0);
+  const auto b = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(a.result.labels, b.result.labels);
+  EXPECT_EQ(a.traffic.words, b.traffic.words);
+}
+
+TEST(Robustness, TinyCompleteGraphStillProducesValidLabels) {
+  // No cluster structure at all: on K8 every load converges to 1/8, so
+  // argmax ties are broken by floating-point noise and label count is
+  // arbitrary — but every node must get *some* seed label and the
+  // summary must stay consistent.
+  const auto g = graph::complete(8);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 80;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 17;
+  const auto result = core::Clusterer(g, config).run();
+  for (const auto label : result.labels) EXPECT_NE(label, metrics::kUnclustered);
+  const auto summary = core::summarize_partition(g, result.labels);
+  EXPECT_GE(summary.num_clusters, 1u);
+  EXPECT_LE(summary.num_clusters, 8u);
+  std::size_t total = summary.unclustered;
+  for (const auto& c : summary.clusters) total += c.size;
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(Robustness, MetisZeroEdgeGraphRoundTrips) {
+  std::stringstream buffer;
+  buffer << "3 0\n\n\n\n";
+  const auto g = graph::read_metis(buffer);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for node ID assignment, the seeding procedure, and the round
+// count estimate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rounds.hpp"
+#include "core/seeding.hpp"
+#include "graph/generators.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+TEST(Seeds, DeriveSeedStreamsDiffer) {
+  const auto a = core::derive_seed(42, core::Stream::kNodeIds);
+  const auto b = core::derive_seed(42, core::Stream::kSeeding);
+  const auto c = core::derive_seed(42, core::Stream::kMatching);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, core::derive_seed(42, core::Stream::kNodeIds));
+}
+
+TEST(NodeIds, DistinctAndInRange) {
+  const auto ids = core::assign_node_ids(1000, 7);
+  std::set<std::uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  const std::uint64_t universe = 1000ULL * 1000ULL * 1000ULL;
+  for (const auto id : ids) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, universe);
+  }
+}
+
+TEST(NodeIds, DeterministicPerSeed) {
+  EXPECT_EQ(core::assign_node_ids(100, 5), core::assign_node_ids(100, 5));
+  EXPECT_NE(core::assign_node_ids(100, 5), core::assign_node_ids(100, 6));
+}
+
+TEST(SeedingTrials, MatchesPaperFormula) {
+  // s̄ = ceil((3/β) ln(1/β)).
+  EXPECT_EQ(core::default_seeding_trials(0.25), 17u);  // 12*1.386.. = 16.63
+  EXPECT_EQ(core::default_seeding_trials(0.5), static_cast<std::size_t>(
+                                                   std::ceil(6.0 * std::log(2.0))));
+  EXPECT_THROW((void)core::default_seeding_trials(0.0), util::contract_error);
+  EXPECT_THROW((void)core::default_seeding_trials(0.9), util::contract_error);
+}
+
+TEST(Seeding, ExpectedNumberOfSeeds) {
+  // Each trial activates each node with probability 1/n, so E[s] ≈ s̄.
+  const graph::NodeId n = 5000;
+  const std::size_t trials = 20;
+  double total = 0.0;
+  constexpr int kRuns = 200;
+  for (int run = 0; run < kRuns; ++run) {
+    total += static_cast<double>(core::run_seeding(n, trials, 1000 + run).size());
+  }
+  const double mean = total / kRuns;
+  EXPECT_NEAR(mean, 20.0, 1.5);
+}
+
+TEST(Seeding, DeterministicPerSeed) {
+  EXPECT_EQ(core::run_seeding(500, 10, 3), core::run_seeding(500, 10, 3));
+}
+
+TEST(Seeding, SortedAndUniqueNodeList) {
+  const auto seeds = core::run_seeding(2000, 30, 17);
+  for (std::size_t i = 0; i + 1 < seeds.size(); ++i) {
+    EXPECT_LT(seeds[i], seeds[i + 1]);
+  }
+}
+
+TEST(Seeding, EveryClusterSeededWithHighProbability) {
+  // Theorem 1.1's proof: a cluster of size βn misses all s̄ trials with
+  // probability ≤ e^{-3}.  With 4 clusters of size n/4 and β = 1/4 the
+  // union bound gives ≥ 1 − 4e^{-3} ≈ 0.80; empirically it is higher.
+  const graph::NodeId n = 4000;
+  const std::size_t trials = core::default_seeding_trials(0.25);
+  int all_hit = 0;
+  constexpr int kRuns = 200;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto seeds = core::run_seeding(n, trials, 50 + run);
+    bool hit[4] = {false, false, false, false};
+    for (const auto v : seeds) hit[v / 1000] = true;
+    all_hit += hit[0] && hit[1] && hit[2] && hit[3];
+  }
+  EXPECT_GT(all_hit, static_cast<int>(0.80 * kRuns));
+}
+
+TEST(Rounds, LogOverGapFormula) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {256, 256};
+  spec.degree = 12;
+  spec.inter_cluster_swaps = 20;
+  util::Rng rng(9);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto est = core::recommended_rounds(planted.graph, 2, 1.0);
+  EXPECT_GT(est.lambda_k, est.lambda_k1);
+  EXPECT_GT(est.spectral_gap, 0.05);
+  // T = ceil((4/d̄)·ln n / (1−λ_{k+1})) with d̄ = (1−1/(2d))^{d−1}.
+  const double d_bar = std::pow(1.0 - 1.0 / 24.0, 11.0);
+  const double expected = std::ceil((4.0 / d_bar) * std::log(512.0) / est.spectral_gap);
+  EXPECT_EQ(est.rounds, static_cast<std::size_t>(expected));
+}
+
+TEST(Rounds, MultiplierScalesLinearly) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {128, 128};
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 10;
+  util::Rng rng(11);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto one = core::recommended_rounds(planted.graph, 2, 1.0);
+  const auto three = core::recommended_rounds(planted.graph, 2, 3.0);
+  EXPECT_NEAR(static_cast<double>(three.rounds),
+              3.0 * static_cast<double>(one.rounds), 3.0);
+}
+
+TEST(Rounds, RejectsDegenerateInput) {
+  const auto g = graph::complete(4);
+  EXPECT_THROW((void)core::recommended_rounds(g, 0, 1.0), util::contract_error);
+  EXPECT_THROW((void)core::recommended_rounds(g, 5, 1.0), util::contract_error);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the Lemma 4.2 / 4.3 structure diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spectral_structure.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  double phi, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(SpectralStructure, EigenvalueLayoutForKClusters) {
+  const auto planted = make_instance(3, 300, 12, 0.01, 1);
+  const auto st = core::analyze_structure(planted);
+  // k eigenvalues near 1, then a gap.
+  EXPECT_NEAR(st.eigenvalues[0], 1.0, 1e-6);
+  EXPECT_GT(st.lambda_k, 0.9);
+  EXPECT_LT(st.lambda_k1, st.lambda_k);
+  EXPECT_GT(st.lambda_k - st.lambda_k1, 0.05);
+}
+
+TEST(SpectralStructure, UpsilonGrowsAsCutShrinks) {
+  const auto loose = make_instance(2, 250, 12, 0.08, 2);
+  const auto tight = make_instance(2, 250, 12, 0.01, 3);
+  const auto st_loose = core::analyze_structure(loose);
+  const auto st_tight = core::analyze_structure(tight);
+  EXPECT_GT(st_tight.upsilon, 2.0 * st_loose.upsilon);
+}
+
+TEST(SpectralStructure, ChiHatIsOrthonormal) {
+  const auto planted = make_instance(4, 200, 10, 0.02, 4);
+  const auto st = core::analyze_structure(planted);
+  ASSERT_EQ(st.chi_hat.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(linalg::dot(st.chi_hat[i], st.chi_hat[j]), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SpectralStructure, ChiHatIsConstantOnClusters) {
+  const auto planted = make_instance(3, 200, 10, 0.01, 5);
+  const auto st = core::analyze_structure(planted);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      const auto members = planted.cluster(c);
+      const double first = st.chi_hat[i][members[0]];
+      for (const auto v : members) {
+        EXPECT_NEAR(st.chi_hat[i][v], first, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SpectralStructure, ChiHatErrorsShrinkWithUpsilon) {
+  // Lemma 4.2: ||chi_hat_i - f_i|| = O(k sqrt(k / Upsilon)).
+  const auto loose = make_instance(2, 250, 12, 0.08, 6);
+  const auto tight = make_instance(2, 250, 12, 0.005, 7);
+  const auto st_loose = core::analyze_structure(loose);
+  const auto st_tight = core::analyze_structure(tight);
+  double worst_loose = 0.0;
+  double worst_tight = 0.0;
+  for (const double e : st_loose.chi_hat_errors) worst_loose = std::max(worst_loose, e);
+  for (const double e : st_tight.chi_hat_errors) worst_tight = std::max(worst_tight, e);
+  EXPECT_LT(worst_tight, worst_loose);
+  EXPECT_LT(worst_tight, st_tight.error_bound + 1e-9);
+}
+
+TEST(SpectralStructure, AlphaSumMatchesTotalError) {
+  // sum_v alpha_v^2 = sum_i ||f_i - chi_hat_i||^2 by definition.
+  const auto planted = make_instance(2, 200, 10, 0.02, 8);
+  const auto st = core::analyze_structure(planted);
+  double alpha_sq = 0.0;
+  for (const double a : st.alpha) alpha_sq += a * a;
+  double err_sq = 0.0;
+  for (const double e : st.chi_hat_errors) err_sq += e * e;
+  EXPECT_NEAR(alpha_sq, err_sq, 1e-9);
+}
+
+TEST(SpectralStructure, MostNodesAreGood) {
+  const auto planted = make_instance(4, 250, 14, 0.01, 9);
+  const auto st = core::analyze_structure(planted);
+  EXPECT_GT(st.num_good(), planted.graph.num_nodes() * 9 / 10);
+}
+
+TEST(SpectralStructure, DisconnectedClustersGiveInfiniteUpsilon) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes = {100, 100};
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 0;
+  util::Rng rng(10);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto st = core::analyze_structure(planted);
+  EXPECT_TRUE(std::isinf(st.upsilon));
+  EXPECT_NEAR(st.lambda_k, 1.0, 1e-8);  // two components -> eigenvalue 1 twice
+  // With a perfectly clustered graph the indicators *are* eigenvectors.
+  for (const double e : st.chi_hat_errors) EXPECT_LT(e, 1e-5);
+}
+
+}  // namespace

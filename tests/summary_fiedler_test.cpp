@@ -1,0 +1,130 @@
+// Tests for the partition summary diagnostics and the Fiedler sweep-cut
+// baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/fiedler.hpp"
+#include "core/clusterer.hpp"
+#include "core/summary.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, double phi,
+                                  std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = 14;
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+TEST(Summary, ReportsRecoveredPartition) {
+  const auto planted = make_instance(3, 300, 0.01, 1);
+  core::ClusterConfig config;
+  config.beta = 1.0 / 3.0;
+  config.k_hint = 3;
+  config.rounds_multiplier = 2.0;
+  config.seed = 7;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const auto summary = core::summarize_partition(planted.graph, result.labels);
+  EXPECT_EQ(summary.num_clusters, 3u);
+  EXPECT_NEAR(summary.beta_hat, 1.0 / 3.0, 0.05);
+  EXPECT_LT(summary.rho_hat, 0.05);
+  // Sorted by size, sums + unclustered = n.
+  std::size_t total = summary.unclustered;
+  for (std::size_t i = 0; i + 1 < summary.clusters.size(); ++i) {
+    EXPECT_GE(summary.clusters[i].size, summary.clusters[i + 1].size);
+  }
+  for (const auto& c : summary.clusters) total += c.size;
+  EXPECT_EQ(total, planted.graph.num_nodes());
+}
+
+TEST(Summary, CountsUnclusteredNodes) {
+  const auto planted = make_instance(2, 200, 0.02, 2);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 1;  // nowhere near mixed: most nodes unclustered
+  config.seed = 3;
+  const auto result = core::Clusterer(planted.graph, config).run();
+  const auto summary = core::summarize_partition(planted.graph, result.labels);
+  EXPECT_GT(summary.unclustered, 300u);
+}
+
+TEST(Summary, EmptyLabellingIsHandled) {
+  const auto g = graph::cycle(10);
+  const std::vector<std::uint64_t> labels(10, metrics::kUnclustered);
+  const auto summary = core::summarize_partition(g, labels);
+  EXPECT_EQ(summary.num_clusters, 0u);
+  EXPECT_EQ(summary.unclustered, 10u);
+  EXPECT_TRUE(summary.clusters.empty());
+}
+
+TEST(Summary, RejectsSizeMismatch) {
+  const auto g = graph::cycle(10);
+  const std::vector<std::uint64_t> labels(5, 1);
+  EXPECT_THROW(core::summarize_partition(g, labels), util::contract_error);
+}
+
+TEST(Fiedler, FindsThePlantedBisection) {
+  const auto planted = make_instance(2, 250, 0.01, 3);
+  const auto cut = baselines::fiedler_sweep_cut(planted.graph);
+  // The sweep side should be one planted cluster (up to a few nodes).
+  std::size_t agree = 0;
+  for (graph::NodeId v = 0; v < planted.graph.num_nodes(); ++v) {
+    agree += (cut.in_cut[v] != 0) == (planted.membership[v] == planted.membership[0]);
+  }
+  const std::size_t n = planted.graph.num_nodes();
+  const std::size_t score = std::max(agree, n - agree);
+  EXPECT_GT(score, n - 10);
+  EXPECT_LT(cut.conductance, 0.03);
+  EXPECT_GT(cut.lambda_2, 0.9);
+}
+
+TEST(Fiedler, CheegerRelationHolds) {
+  // k=2 case of eq. (1): (1 - lambda_2)/2 <= phi(sweep) — the sweep cut
+  // cannot beat the spectral lower bound.
+  const auto planted = make_instance(2, 200, 0.04, 4);
+  const auto cut = baselines::fiedler_sweep_cut(planted.graph);
+  EXPECT_GE(cut.conductance + 1e-9, (1.0 - cut.lambda_2) / 2.0);
+}
+
+TEST(Fiedler, RecursiveBisectionRecoversFourClusters) {
+  const auto planted = make_instance(4, 200, 0.01, 5);
+  const auto labels = baselines::recursive_bisection(planted.graph, 4);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 4, labels, 4);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Fiedler, RecursiveBisectionHandlesOddPartCounts) {
+  const auto planted = make_instance(3, 150, 0.01, 7);
+  const auto labels = baselines::recursive_bisection(planted.graph, 3);
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 3, labels, 3);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Fiedler, RejectsDegenerateInput) {
+  EXPECT_THROW(baselines::fiedler_sweep_cut(graph::Graph{}), util::contract_error);
+  const auto g = graph::cycle(8);
+  EXPECT_THROW(baselines::recursive_bisection(g, 0), util::contract_error);
+}
+
+TEST(Fiedler, SweepSideIsTheSmallerConductanceSide) {
+  const auto planted = make_instance(2, 150, 0.02, 6);
+  const auto cut = baselines::fiedler_sweep_cut(planted.graph);
+  std::vector<graph::NodeId> side;
+  for (graph::NodeId v = 0; v < planted.graph.num_nodes(); ++v) {
+    if (cut.in_cut[v]) side.push_back(v);
+  }
+  EXPECT_NEAR(graph::conductance(planted.graph, side), cut.conductance, 1e-9);
+}
+
+}  // namespace

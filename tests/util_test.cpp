@@ -1,0 +1,202 @@
+// Unit tests for src/util: RNG, statistics, table, CLI, thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dgc;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  util::Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  util::Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  util::Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  util::Rng rng(17);
+  constexpr int kDraws = 200000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  util::Rng master(19);
+  util::Rng child_a = master.fork(0);
+  util::Rng child_b = master.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child_a.next() == child_b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  util::Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  util::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SplitMixAvalanche) {
+  util::SplitMix64 a(1);
+  util::SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  util::RunningStats stats;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (const double x : xs) stats.add(x);
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 16.0);
+  EXPECT_EQ(stats.count(), xs.size());
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  util::RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.mean(), 5.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(util::median(xs), 3.0, 1e-12);
+  EXPECT_NEAR(util::quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(util::quantile(xs, 1.0), 5.0, 1e-12);
+}
+
+TEST(Quantile, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW((void)util::quantile({}, 0.5), util::contract_error);
+  EXPECT_THROW((void)util::quantile({1.0}, 1.5), util::contract_error);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  util::Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.9);
+  h.add(-5.0);  // clamps to first bin
+  h.add(5.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_NEAR(h.bin_lo(1), 0.25, 1e-12);
+  EXPECT_NEAR(h.bin_hi(1), 0.5, 1e-12);
+}
+
+TEST(Table, RendersAlignedRows) {
+  util::Table table("demo", {"name", "value"});
+  table.row({std::string("x"), 1.5});
+  table.row({std::string("longer"), std::int64_t{42}});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  util::Table table("demo", {"a", "b"});
+  EXPECT_THROW(table.row({1.0}), util::contract_error);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--n=100", "--flag", "--rate=0.5", "--name=abc"};
+  util::Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_NEAR(cli.get_double("rate", 0.0), 0.5, 1e-12);
+  EXPECT_EQ(cli.get("name", ""), "abc");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(util::Cli(2, argv), util::contract_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  util::ThreadPool::parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; }, 8);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    DGC_REQUIRE(false, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const util::contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"), std::string::npos);
+  }
+}
+
+}  // namespace
