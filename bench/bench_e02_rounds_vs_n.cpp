@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   for (int log2n = 12; log2n <= max_log2; ++log2n) {
     const auto n = static_cast<graph::NodeId>(1) << log2n;
-    const auto planted = bench::make_clustered(k, n / k, degree, phi, 1000 + log2n);
+    const auto planted = bench::make_clustered(k, n / k, degree, phi, 1000 + static_cast<std::uint64_t>(log2n));
     util::Timer timer;
 
     const auto est = core::recommended_rounds(planted.graph, k, 1.0);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     // Run the averaging procedure manually so we can probe the query
     // every few rounds.
     const std::size_t trials = core::default_seeding_trials(beta);
-    const std::uint64_t seed = 555 + log2n;
+    const std::uint64_t seed = 555 + static_cast<std::uint64_t>(log2n);
     const auto node_ids = core::assign_node_ids(n, seed);
     const auto seeds = core::run_seeding(n, trials, seed);
     const std::size_t s = seeds.size();

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   for (int log2n = 12; log2n <= max_log2; ++log2n) {
     const auto n = static_cast<graph::NodeId>(1) << log2n;
-    const auto planted = bench::make_clustered(k, n / k, 16, 0.02, 2000 + log2n);
+    const auto planted = bench::make_clustered(k, n / k, 16, 0.02, 2000 + static_cast<std::uint64_t>(log2n));
 
     core::ClusterConfig config;
     config.beta = 1.0 / static_cast<double>(k);

@@ -2,7 +2,7 @@
 // constant:
 //  (a) threshold scale: the AAM's τ typography is ambiguous; we derived
 //      τ = 1/(sqrt(2β)·n) from the misclassification condition in the
-//      proof of Theorem 1.1 (DESIGN.md §5).  Sweep the scale to show the
+//      proof of Theorem 1.1.  Sweep the scale to show the
 //      plateau around 1 and the failure modes on both sides.
 //  (b) paper min-ID rule vs the argmax variant.
 //  (c) rounds multiplier: accuracy saturates once T reaches the paper's

@@ -35,7 +35,7 @@ void BM_MatchingRound(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(generator.next());
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_MatchingRound)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 
@@ -51,7 +51,7 @@ void BM_MultiLoadApply(benchmark::State& state) {
     loads.apply(m);
     benchmark::DoNotOptimize(loads.at(0, 0));
   }
-  state.SetItemsProcessed(state.iterations() * m.edges.size() * s);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m.edges.size() * s));
 }
 BENCHMARK(BM_MultiLoadApply)->Args({1 << 14, 8})->Args({1 << 14, 32})->Args({1 << 16, 16});
 
@@ -66,7 +66,7 @@ void BM_WalkMatvec(benchmark::State& state) {
     benchmark::DoNotOptimize(y[0]);
     x.swap(y);
   }
-  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.num_edges() * 2));
 }
 BENCHMARK(BM_WalkMatvec)->Arg(1 << 14)->Arg(1 << 16);
 
@@ -129,7 +129,7 @@ void BM_KMeans(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(linalg::kmeans(points, n, dim, options));
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_KMeans)->Unit(benchmark::kMillisecond);
 

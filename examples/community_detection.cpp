@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   spec.clusters = k;
   spec.p_in = cli.get_double("p_in", 0.02);
   spec.p_out = cli.get_double("p_out", 0.0008);
-  util::Rng rng(cli.get_int("seed", 7));
+  util::Rng rng(cli.get_uint64("seed", 7));
   const auto planted = graph::stochastic_block_model(spec, rng);
   const auto& g = planted.graph;
 
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   config.k_hint = k;
   config.rounds_multiplier = 2.0;
   config.query_rule = core::QueryRule::kArgmax;
-  config.seed = cli.get_int("seed", 7);
+  config.seed = cli.get_uint64("seed", 7);
   util::Timer timer;
   const auto report = core::DistributedClusterer(g, config).run();
   const double dgc_seconds = timer.seconds();

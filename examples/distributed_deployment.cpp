@@ -27,14 +27,14 @@ int main(int argc, char** argv) {
   spec.cluster_sizes.assign(sites, size);
   spec.degree = 16;
   spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.02);
-  util::Rng rng(cli.get_int("seed", 5));
+  util::Rng rng(cli.get_uint64("seed", 5));
   const auto planted = graph::clustered_regular(spec, rng);
 
   core::ClusterConfig config;
   config.beta = 1.0 / static_cast<double>(sites);
   config.k_hint = sites;
   config.rounds_multiplier = 2.0;
-  config.seed = cli.get_int("seed", 5);
+  config.seed = cli.get_uint64("seed", 5);
 
   std::printf("network: %u nodes over %u sites, %zu links\n\n",
               planted.graph.num_nodes(), sites, planted.graph.num_edges());
@@ -65,6 +65,6 @@ int main(int argc, char** argv) {
               report.max_state_entries, report.result.seeds.size());
   std::printf("\nNOTE: losing a Probe or Accept only cancels that pair's exchange;\n"
               "losing the final State reply leaves the pair asymmetric — the\n"
-              "two-generals limit any real lossy deployment hits (see DESIGN.md).\n");
+              "two-generals limit any real lossy deployment hits (see docs/architecture.md).\n");
   return 0;
 }

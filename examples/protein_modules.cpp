@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   spec.cluster_sizes.assign(modules, proteins / modules);
   spec.degree = 18;
   spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.015);
-  util::Rng rng(cli.get_int("seed", 13));
+  util::Rng rng(cli.get_uint64("seed", 13));
   const auto planted =
       graph::almost_regular_clusters(spec, cli.get_double("dropout", 0.15), rng);
   const auto& g = planted.graph;
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   config.query_rule = core::QueryRule::kArgmax;
   config.protocol.virtual_degree = loaded.max_degree();        // §4.5 padding
   config.protocol.degree_biased_activation = true;             // §4.5 literal
-  config.seed = cli.get_int("seed", 13);
+  config.seed = cli.get_uint64("seed", 13);
   const auto result = core::Clusterer(loaded, config).run();
 
   const auto compacted = metrics::compact(result.labels);

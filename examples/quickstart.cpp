@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   spec.cluster_sizes.assign(k, n / k);
   spec.degree = 16;
   spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, /*phi=*/0.02);
-  util::Rng rng(cli.get_int("seed", 1));
+  util::Rng rng(cli.get_uint64("seed", 1));
   const graph::PlantedGraph planted = graph::clustered_regular(spec, rng);
 
   // 2. Configure: the algorithm only needs a lower bound β on the
@@ -37,13 +37,13 @@ int main(int argc, char** argv) {
   config.beta = 1.0 / static_cast<double>(k);
   config.k_hint = k;                 // used only for the T estimate
   config.rounds_multiplier = 2.0;
-  config.seed = cli.get_int("seed", 1);
+  config.seed = cli.get_uint64("seed", 1);
   // The paper's s̄ trials cover every cluster only with constant
   // probability; real deployments cheaply boost that by raising
   // seeding_trials (set --trials=1 to run the bare s̄ and occasionally
   // watch a cluster miss its seed and come back unclustered).
   const auto s_bar = core::default_seeding_trials(config.beta);
-  config.seeding_trials = cli.get_int("trials", 2) * s_bar;
+  config.seeding_trials = cli.get_uint64("trials", 2) * s_bar;
 
   // 3. Run the three procedures (seeding -> averaging -> query).
   const core::ClusterResult result = core::Clusterer(planted.graph, config).run();

@@ -11,7 +11,7 @@
 // communication cost is Θ(m) messages per round — the contrast to the
 // matching model's ≤ ⌊n/2⌋ (experiment E4).
 //
-// k > 2 (our natural extension, documented in DESIGN.md §5): run h
+// k > 2 (our natural extension): run h
 // independent Rademacher vectors, embed every node by its h difference
 // values, k-means the embedding.
 #pragma once

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -7,11 +8,18 @@
 
 namespace dgc::util {
 
+// GCC 12 emits a bogus -Wrestrict for inlined std::string concatenation
+// at -O3 (GCC PR 105329); scope it out around the message construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
-    DGC_REQUIRE(arg.starts_with("--"), "arguments must look like --name[=value]: " +
-                                           std::string(arg));
+    DGC_REQUIRE(arg.starts_with("--"),
+                std::string("arguments must look like --name[=value]: ").append(arg));
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq == std::string_view::npos) {
@@ -21,6 +29,10 @@ Cli::Cli(int argc, const char* const* argv) {
     }
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
 
@@ -33,6 +45,19 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::uint64_t Cli::get_uint64(const std::string& name, std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  // strtoull wraps negative input instead of failing, so reject it up front.
+  DGC_REQUIRE(it->second.find('-') == std::string::npos,
+              std::string("--").append(name).append(" must be non-negative"));
+  errno = 0;
+  const auto value = std::strtoull(it->second.c_str(), nullptr, 10);
+  DGC_REQUIRE(errno != ERANGE,
+              std::string("--").append(name).append(" is out of range for uint64"));
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

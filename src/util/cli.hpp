@@ -18,6 +18,10 @@ class Cli {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// get_int clamped to >= 0 and widened — for seeds and counts that
+  /// feed std::uint64_t APIs (a negative flag value raises contract_error
+  /// instead of silently wrapping to a huge unsigned value).
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name, std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iterator>
 #include <limits>
 
 namespace dgc::util {
@@ -114,10 +115,11 @@ class Rng {
 template <typename RandomIt>
 void shuffle(RandomIt first, RandomIt last, Rng& rng) {
   const auto n = static_cast<std::uint64_t>(last - first);
+  using Diff = typename std::iterator_traits<RandomIt>::difference_type;
   for (std::uint64_t i = n; i > 1; --i) {
     const std::uint64_t j = rng.next_below(i);
     using std::swap;
-    swap(first[i - 1], first[j]);
+    swap(first[static_cast<Diff>(i - 1)], first[static_cast<Diff>(j)]);
   }
 }
 

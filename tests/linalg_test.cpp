@@ -252,9 +252,9 @@ TEST(KMeans, SeparatedClustersAreRecovered) {
   options.clusters = 3;
   const auto result = linalg::kmeans(points, 150, 1, options);
   // All points of a blob share a label and blobs get distinct labels.
-  for (int c = 0; c < 3; ++c) {
+  for (std::size_t c = 0; c < 3; ++c) {
     const auto label = result.assignment[c * 50];
-    for (int i = 1; i < 50; ++i) EXPECT_EQ(result.assignment[c * 50 + i], label);
+    for (std::size_t i = 1; i < 50; ++i) EXPECT_EQ(result.assignment[c * 50 + i], label);
   }
   EXPECT_NE(result.assignment[0], result.assignment[50]);
   EXPECT_NE(result.assignment[50], result.assignment[100]);

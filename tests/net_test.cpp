@@ -71,7 +71,7 @@ TEST(Network, DropInjectionLosesRoughlyTheRightFraction) {
     received += static_cast<int>(network.inbox(1).size());
   }
   EXPECT_NEAR(static_cast<double>(received) / kMessages, 0.7, 0.02);
-  EXPECT_EQ(network.stats().dropped_messages + received,
+  EXPECT_EQ(network.stats().dropped_messages + static_cast<std::uint64_t>(received),
             static_cast<std::uint64_t>(kMessages));
 }
 

@@ -195,7 +195,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MetricLaws, ::testing::Values(1u, 2u, 3u, 4u, 5u
 class IoRoundtrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(IoRoundtrip, EdgeListAndMetisPreserveTheGraph) {
-  util::Rng rng(23 + GetParam());
+  util::Rng rng(23 + static_cast<std::uint64_t>(GetParam()));
   graph::Graph g;
   switch (GetParam()) {
     case 0:
@@ -250,7 +250,7 @@ TEST_P(SeedingLaw, SeedCountConcentratesAroundTrials) {
   double total = 0.0;
   const int runs = 150;
   for (int run = 0; run < runs; ++run) {
-    total += static_cast<double>(core::run_seeding(n, trials, 40000 + run).size());
+    total += static_cast<double>(core::run_seeding(n, trials, 40000 + static_cast<std::uint64_t>(run)).size());
   }
   const double mean = total / runs;
   // E[s] = n(1-(1-1/n)^trials) ~ trials for trials << n.

@@ -57,7 +57,7 @@ TEST(Seeding, ExpectedNumberOfSeeds) {
   double total = 0.0;
   constexpr int kRuns = 200;
   for (int run = 0; run < kRuns; ++run) {
-    total += static_cast<double>(core::run_seeding(n, trials, 1000 + run).size());
+    total += static_cast<double>(core::run_seeding(n, trials, 1000 + static_cast<std::uint64_t>(run)).size());
   }
   const double mean = total / kRuns;
   EXPECT_NEAR(mean, 20.0, 1.5);
@@ -83,7 +83,7 @@ TEST(Seeding, EveryClusterSeededWithHighProbability) {
   int all_hit = 0;
   constexpr int kRuns = 200;
   for (int run = 0; run < kRuns; ++run) {
-    const auto seeds = core::run_seeding(n, trials, 50 + run);
+    const auto seeds = core::run_seeding(n, trials, 50 + static_cast<std::uint64_t>(run));
     bool hit[4] = {false, false, false, false};
     for (const auto v : seeds) hit[v / 1000] = true;
     all_hit += hit[0] && hit[1] && hit[2] && hit[3];

@@ -84,7 +84,7 @@ TEST(Rng, ShuffleIsPermutation) {
   util::shuffle(v.begin(), v.end(), rng);
   std::vector<int> sorted = v;
   std::sort(sorted.begin(), sorted.end());
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], static_cast<int>(i));
 }
 
 TEST(Rng, SplitMixAvalanche) {
@@ -97,7 +97,7 @@ TEST(RunningStats, MatchesDirectComputation) {
   util::RunningStats stats;
   const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
   for (const double x : xs) stats.add(x);
-  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
   double var = 0.0;
   for (const double x : xs) var += (x - mean) * (x - mean);
   var /= static_cast<double>(xs.size() - 1);
