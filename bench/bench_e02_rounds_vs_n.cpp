@@ -55,12 +55,12 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < s; ++i) state.set(seeds[i], i, 1.0);
     matching::MatchingGenerator generator(
         planted.graph, core::derive_seed(seed, core::Stream::kMatching));
-    const double tau = core::Clusterer::query_threshold(1.0, beta, n);
+    const double tau = core::query_threshold(1.0, beta, n);
 
     auto measure_error = [&]() {
       std::vector<std::uint64_t> labels(n);
       for (graph::NodeId v = 0; v < n; ++v) {
-        labels[v] = core::Clusterer::query_label(state.row(v), seed_ids, tau,
+        labels[v] = core::query_label(state.row(v), seed_ids, tau,
                                                  core::QueryRule::kPaperMinId);
       }
       return bench::error_rate(planted, labels);

@@ -1,80 +1,24 @@
 #include "core/clusterer.hpp"
 
-#include <cmath>
-#include <limits>
-
-#include "core/rounds.hpp"
 #include "core/seeding.hpp"
 #include "metrics/clustering_metrics.hpp"
-#include "util/require.hpp"
 
 namespace dgc::core {
 
 Clusterer::Clusterer(const graph::Graph& g, ClusterConfig config)
-    : graph_(&g), config_(config) {
-  DGC_REQUIRE(g.num_nodes() > 1, "graph too small");
-  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
-  DGC_REQUIRE(config_.beta > 0.0 && config_.beta <= 0.5, "beta must be in (0, 0.5]");
-  DGC_REQUIRE(config_.threshold_scale > 0.0, "threshold_scale must be positive");
-  DGC_REQUIRE(config_.rounds > 0 || config_.k_hint > 0,
-              "either fix rounds or provide k_hint for the T estimate");
-}
-
-double Clusterer::query_threshold(double threshold_scale, double beta, std::size_t n) {
-  return threshold_scale / (std::sqrt(2.0 * beta) * static_cast<double>(n));
-}
-
-std::uint64_t Clusterer::query_label(std::span<const double> values,
-                                     std::span<const std::uint64_t> seed_ids,
-                                     double threshold, QueryRule rule) {
-  DGC_REQUIRE(values.size() == seed_ids.size(), "values/ids size mismatch");
-  if (rule == QueryRule::kArgmax) {
-    std::uint64_t best_id = metrics::kUnclustered;
-    double best = -std::numeric_limits<double>::max();
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (values[i] > best || (values[i] == best && seed_ids[i] < best_id)) {
-        best = values[i];
-        best_id = seed_ids[i];
-      }
-    }
-    return values.empty() || best <= 0.0 ? metrics::kUnclustered : best_id;
-  }
-  // Paper rule: min ID among coordinates clearing the threshold.
-  std::uint64_t label = metrics::kUnclustered;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (values[i] >= threshold && seed_ids[i] < label) label = seed_ids[i];
-  }
-  return label;
-}
+    : Engine(g, config) {}
 
 ClusterResult Clusterer::run() const { return run(nullptr); }
 
 ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
-  const graph::Graph& g = *graph_;
+  const graph::Graph& g = graph();
   const graph::NodeId n = g.num_nodes();
 
   ClusterResult result;
 
-  // --- Rounds -------------------------------------------------------
-  if (config_.rounds > 0) {
-    result.rounds = config_.rounds;
-  } else {
-    const RoundEstimate est =
-        recommended_rounds(g, config_.k_hint, config_.rounds_multiplier, config_.seed);
-    result.rounds = est.rounds;
-    result.lambda_k1 = est.lambda_k1;
-  }
-
-  // --- Initialisation: IDs ------------------------------------------
-  result.node_ids = assign_node_ids(n, config_.seed);
-
-  // --- Seeding procedure --------------------------------------------
-  const std::size_t trials = config_.seeding_trials > 0
-                                 ? config_.seeding_trials
-                                 : default_seeding_trials(config_.beta);
-  result.seeds = run_seeding(n, trials, config_.seed);
+  // --- Rounds, IDs, seeding, threshold (shared plumbing) -------------
+  const std::vector<std::uint64_t> seed_ids = prepare(result);
   const std::size_t s = result.seeds.size();
-  result.threshold = query_threshold(config_.threshold_scale, config_.beta, n);
 
   if (s == 0) {
     // No node activated (probability ~ e^{-s̄}): everyone is unclustered.
@@ -82,23 +26,20 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
     return result;
   }
 
-  std::vector<std::uint64_t> seed_ids(s);
-  for (std::size_t i = 0; i < s; ++i) seed_ids[i] = result.node_ids[result.seeds[i]];
-
   // --- Averaging procedure ------------------------------------------
   matching::MultiLoadState state(n, s);
   for (std::size_t i = 0; i < s; ++i) {
     state.set(result.seeds[i], i, 1.0);  // x^(0,i) = χ_{v_i}
   }
-  matching::MatchingGenerator generator(g, derive_seed(config_.seed, Stream::kMatching),
-                                        config_.protocol);
+  matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),
+                                        config().protocol);
   result.process = matching::run_process(generator, state, result.rounds);
 
   // --- Query procedure ------------------------------------------------
   result.labels.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) {
     result.labels[v] =
-        query_label(state.row(v), seed_ids, result.threshold, config_.query_rule);
+        query_label(state.row(v), seed_ids, result.threshold, config().query_rule);
   }
 
   if (final_state != nullptr) *final_state = std::move(state);

@@ -3,39 +3,21 @@
 // This engine executes the exact protocol of §3 — seeding, T rounds of
 // multi-dimensional load balancing over random matchings, then the local
 // query — but keeps all s load vectors in one dense n x s matrix so that
-// large-n sweeps are fast.  It flips the *same coins* as the
-// message-passing engine (core/distributed_clusterer.hpp): given equal
-// configs, the two produce identical labels (tested).
+// large-n sweeps are fast.  It flips the *same coins* as the other
+// engines (core/engine.hpp): given equal configs, all engines produce
+// identical labels (tested).
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include <string_view>
 
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "graph/graph.hpp"
 #include "matching/load_state.hpp"
-#include "matching/process.hpp"
 
 namespace dgc::core {
 
-struct ClusterResult {
-  /// Per-node label: the ID of a seed node, or metrics::kUnclustered.
-  std::vector<std::uint64_t> labels;
-  /// The active (seed) nodes v_1 … v_s in increasing node order.
-  std::vector<graph::NodeId> seeds;
-  /// ID(v) for every node.
-  std::vector<std::uint64_t> node_ids;
-  /// Number of rounds T actually run.
-  std::size_t rounds = 0;
-  /// Query threshold τ used by the paper rule.
-  double threshold = 0.0;
-  /// Matching process statistics.
-  matching::ProcessStats process;
-  /// λ_{k+1} estimate when rounds were auto-derived (0 otherwise).
-  double lambda_k1 = 0.0;
-};
-
-class Clusterer {
+class Clusterer : public Engine {
  public:
   /// The graph must outlive the clusterer.
   Clusterer(const graph::Graph& g, ClusterConfig config);
@@ -47,21 +29,8 @@ class Clusterer {
   /// benches that inspect x^(T,i)).
   [[nodiscard]] ClusterResult run(matching::MultiLoadState* final_state) const;
 
-  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
-
-  /// τ = threshold_scale / (sqrt(2β)·n) — exposed for tests/benches.
-  [[nodiscard]] static double query_threshold(double threshold_scale, double beta,
-                                              std::size_t n);
-
-  /// The query procedure on one node's loads (values[i] pairs with
-  /// seed_ids[i]); shared by both engines.
-  [[nodiscard]] static std::uint64_t query_label(std::span<const double> values,
-                                                 std::span<const std::uint64_t> seed_ids,
-                                                 double threshold, QueryRule rule);
-
- private:
-  const graph::Graph* graph_;
-  ClusterConfig config_;
+  [[nodiscard]] std::string_view name() const noexcept override { return "dense"; }
+  [[nodiscard]] ClusterResult cluster() const override { return run(); }
 };
 
 }  // namespace dgc::core

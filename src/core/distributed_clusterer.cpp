@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "core/rounds.hpp"
 #include "core/seeding.hpp"
 #include "matching/protocol.hpp"
-#include "metrics/clustering_metrics.hpp"
 #include "util/require.hpp"
 
 namespace dgc::core {
@@ -41,37 +39,19 @@ SparseState merge_states(const SparseState& a, const SparseState& b) {
 }  // namespace
 
 DistributedClusterer::DistributedClusterer(const graph::Graph& g, ClusterConfig config)
-    : graph_(&g), config_(config) {
-  DGC_REQUIRE(g.num_nodes() > 1, "graph too small");
-  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
-  DGC_REQUIRE(config_.beta > 0.0 && config_.beta <= 0.5, "beta must be in (0, 0.5]");
-  DGC_REQUIRE(config_.rounds > 0 || config_.k_hint > 0,
-              "either fix rounds or provide k_hint for the T estimate");
-}
+    : Engine(g, config) {}
 
 DistributedReport DistributedClusterer::run(double drop_probability) const {
-  const graph::Graph& g = *graph_;
+  const graph::Graph& g = graph();
   const graph::NodeId n = g.num_nodes();
+  const ClusterConfig& cfg = config();
 
   DistributedReport report;
   ClusterResult& result = report.result;
 
-  if (config_.rounds > 0) {
-    result.rounds = config_.rounds;
-  } else {
-    const RoundEstimate est =
-        recommended_rounds(g, config_.k_hint, config_.rounds_multiplier, config_.seed);
-    result.rounds = est.rounds;
-    result.lambda_k1 = est.lambda_k1;
-  }
-
-  result.node_ids = assign_node_ids(n, config_.seed);
-  const std::size_t trials = config_.seeding_trials > 0
-                                 ? config_.seeding_trials
-                                 : default_seeding_trials(config_.beta);
-  result.seeds = run_seeding(n, trials, config_.seed);
-  result.threshold =
-      Clusterer::query_threshold(config_.threshold_scale, config_.beta, n);
+  // Rounds, IDs, seeding, threshold (shared plumbing); the sparse states
+  // carry the IDs themselves, so the returned seed-ID list is unused.
+  (void)prepare(result);
 
   // Local node states: seed nodes start with {(own id, 1)}.
   std::vector<SparseState> state(n);
@@ -82,11 +62,11 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
   net::Network network(g);
   if (drop_probability > 0.0) {
     network.set_drop_probability(drop_probability,
-                                 derive_seed(config_.seed, Stream::kTieBreak));
+                                 derive_seed(cfg.seed, Stream::kTieBreak));
   }
 
   matching::MatchingGenerator generator(
-      g, derive_seed(config_.seed, Stream::kMatching), config_.protocol);
+      g, derive_seed(cfg.seed, Stream::kMatching), cfg.protocol);
 
   std::vector<graph::NodeId> pending_partner(n, graph::kInvalidNode);
   for (std::size_t t = 1; t <= result.rounds; ++t) {
@@ -173,7 +153,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
       values.push_back(value);
     }
     result.labels[v] =
-        Clusterer::query_label(values, ids, result.threshold, config_.query_rule);
+        query_label(values, ids, result.threshold, cfg.query_rule);
     report.max_state_entries = std::max(report.max_state_entries, state[v].size());
   }
 

@@ -7,16 +7,17 @@
 // Theorem 1.1's O(T·n·k·log k) bound — and the engine optionally injects
 // iid message loss to study robustness (E4 and failure-injection tests).
 //
-// Fault-free, this engine flips the same coins as core::Clusterer and
-// yields identical labels; the dense engine is the fast path, this one is
-// the fidelity path.
+// Fault-free, this engine flips the same coins as the other engines
+// (core/engine.hpp) and yields identical labels; the dense engine is the
+// fast path, this one is the fidelity path.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
-#include "core/clusterer.hpp"
 #include "core/config.hpp"
+#include "core/engine.hpp"
 #include "graph/graph.hpp"
 #include "net/network.hpp"
 
@@ -33,7 +34,7 @@ struct DistributedReport {
   std::vector<std::uint64_t> words_per_round;
 };
 
-class DistributedClusterer {
+class DistributedClusterer : public Engine {
  public:
   DistributedClusterer(const graph::Graph& g, ClusterConfig config);
 
@@ -43,9 +44,10 @@ class DistributedClusterer {
   /// two-generals behaviour a real lossy network would exhibit).
   [[nodiscard]] DistributedReport run(double drop_probability = 0.0) const;
 
- private:
-  const graph::Graph* graph_;
-  ClusterConfig config_;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "message-passing";
+  }
+  [[nodiscard]] ClusterResult cluster() const override { return run().result; }
 };
 
 }  // namespace dgc::core

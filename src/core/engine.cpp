@@ -1,0 +1,100 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+
+#include "core/clusterer.hpp"
+#include "core/distributed_clusterer.hpp"
+#include "core/rounds.hpp"
+#include "core/seeding.hpp"
+#include "core/sharded_clusterer.hpp"
+#include "metrics/clustering_metrics.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+double query_threshold(double threshold_scale, double beta, std::size_t n) {
+  return threshold_scale / (std::sqrt(2.0 * beta) * static_cast<double>(n));
+}
+
+std::uint64_t query_label(std::span<const double> values,
+                          std::span<const std::uint64_t> seed_ids, double threshold,
+                          QueryRule rule) {
+  DGC_REQUIRE(values.size() == seed_ids.size(), "values/ids size mismatch");
+  if (rule == QueryRule::kArgmax) {
+    // Only strictly positive loads are candidates; among them the largest
+    // value wins and equal values break to the smallest seed ID.  Skipping
+    // non-positive values up front (rather than guarding afterwards) keeps
+    // the zero-load case independent of the ID tie-break order.  With
+    // best = 0.0 every first candidate clears `values[i] > best`, and the
+    // sentinel start of best_id makes the tie clause pick the smaller ID.
+    std::uint64_t best_id = metrics::kUnclustered;
+    double best = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] <= 0.0) continue;
+      if (values[i] > best || (values[i] == best && seed_ids[i] < best_id)) {
+        best = values[i];
+        best_id = seed_ids[i];
+      }
+    }
+    return best_id;
+  }
+  // Paper rule: min ID among coordinates clearing the threshold.
+  std::uint64_t label = metrics::kUnclustered;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= threshold && seed_ids[i] < label) label = seed_ids[i];
+  }
+  return label;
+}
+
+Engine::Engine(const graph::Graph& g, ClusterConfig config)
+    : graph_(&g), config_(config) {
+  DGC_REQUIRE(g.num_nodes() > 1, "graph too small");
+  DGC_REQUIRE(g.min_degree() > 0, "graph has isolated nodes");
+  DGC_REQUIRE(config_.beta > 0.0 && config_.beta <= 0.5, "beta must be in (0, 0.5]");
+  DGC_REQUIRE(config_.threshold_scale > 0.0, "threshold_scale must be positive");
+  DGC_REQUIRE(config_.rounds > 0 || config_.k_hint > 0,
+              "either fix rounds or provide k_hint for the T estimate");
+}
+
+std::vector<std::uint64_t> Engine::prepare(ClusterResult& result) const {
+  const graph::Graph& g = *graph_;
+  const graph::NodeId n = g.num_nodes();
+
+  if (config_.rounds > 0) {
+    result.rounds = config_.rounds;
+  } else {
+    const RoundEstimate est =
+        recommended_rounds(g, config_.k_hint, config_.rounds_multiplier, config_.seed);
+    result.rounds = est.rounds;
+    result.lambda_k1 = est.lambda_k1;
+  }
+
+  result.node_ids = assign_node_ids(n, config_.seed);
+
+  const std::size_t trials = config_.seeding_trials > 0
+                                 ? config_.seeding_trials
+                                 : default_seeding_trials(config_.beta);
+  result.seeds = run_seeding(n, trials, config_.seed);
+  result.threshold = query_threshold(config_.threshold_scale, config_.beta, n);
+
+  std::vector<std::uint64_t> seed_ids(result.seeds.size());
+  for (std::size_t i = 0; i < seed_ids.size(); ++i) {
+    seed_ids[i] = result.node_ids[result.seeds[i]];
+  }
+  return seed_ids;
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, const graph::Graph& g,
+                                    const ClusterConfig& config) {
+  switch (kind) {
+    case EngineKind::kDense:
+      return std::make_unique<Clusterer>(g, config);
+    case EngineKind::kMessagePassing:
+      return std::make_unique<DistributedClusterer>(g, config);
+    case EngineKind::kSharded:
+      return std::make_unique<ShardedClusterer>(g, config);
+  }
+  DGC_REQUIRE(false, "unknown engine kind");
+}
+
+}  // namespace dgc::core

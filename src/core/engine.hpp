@@ -1,0 +1,107 @@
+// Common engine abstraction: one algorithm, several execution engines.
+//
+// The paper's pipeline is three procedures run back to back — seeding,
+// T rounds of multi-dimensional load balancing over random matchings,
+// and the local query.  Every engine executes that same pipeline and
+// must produce label-for-label identical output for equal configs (the
+// coin-flip equivalence contract: all randomness derives from
+// config.seed through fixed stream tags, never from execution order).
+// This header holds the pieces the engines share:
+//   * ClusterResult        — the common output type;
+//   * query_threshold /    — the §3.2 query procedure, a pure function
+//     query_label            of one node's loads;
+//   * Engine               — base class providing config validation and
+//                            prepare() (rounds, IDs, seeding, threshold);
+//   * make_engine          — factory over the three engines: dense
+//                            (core/clusterer.hpp), message-passing
+//                            (core/distributed_clusterer.hpp), sharded
+//                            parallel (core/sharded_clusterer.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "matching/process.hpp"
+
+namespace dgc::core {
+
+struct ClusterResult {
+  /// Per-node label: the ID of a seed node, or metrics::kUnclustered.
+  std::vector<std::uint64_t> labels;
+  /// The active (seed) nodes v_1 … v_s in increasing node order.
+  std::vector<graph::NodeId> seeds;
+  /// ID(v) for every node.
+  std::vector<std::uint64_t> node_ids;
+  /// Number of rounds T actually run.
+  std::size_t rounds = 0;
+  /// Query threshold τ used by the paper rule.
+  double threshold = 0.0;
+  /// Matching process statistics.
+  matching::ProcessStats process;
+  /// λ_{k+1} estimate when rounds were auto-derived (0 otherwise).
+  double lambda_k1 = 0.0;
+};
+
+/// τ = threshold_scale / (sqrt(2β)·n).
+[[nodiscard]] double query_threshold(double threshold_scale, double beta, std::size_t n);
+
+/// The query procedure on one node's loads (values[i] pairs with
+/// seed_ids[i]); shared by every engine.
+///
+/// kPaperMinId: smallest seed ID among coordinates with value ≥ τ.
+/// kArgmax: among *strictly positive* loads, the largest value wins and
+/// ties break to the smallest seed ID.  A node whose loads are all ≤ 0
+/// is unclustered: zero means "no mass from that seed reached me", so it
+/// is never a clustering vote, regardless of how an all-zero tie would
+/// break on IDs.
+[[nodiscard]] std::uint64_t query_label(std::span<const double> values,
+                                        std::span<const std::uint64_t> seed_ids,
+                                        double threshold, QueryRule rule);
+
+class Engine {
+ public:
+  /// Validates the invariants shared by every engine.  The graph must
+  /// outlive the engine.
+  Engine(const graph::Graph& g, ClusterConfig config);
+  virtual ~Engine() = default;
+
+  /// Short engine name for tables and logs ("dense", "message-passing",
+  /// "sharded").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Runs the full pipeline.  Deterministic in config.seed, and
+  /// label-identical across engines for equal configs.
+  [[nodiscard]] virtual ClusterResult cluster() const = 0;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+ protected:
+  /// The pipeline steps every engine runs identically before averaging:
+  /// round count T (fixed or spectral estimate), node IDs, the seeding
+  /// procedure, and the query threshold.  Fills those fields of `result`
+  /// and returns ID(v_i) for each seed, in seed order.
+  [[nodiscard]] std::vector<std::uint64_t> prepare(ClusterResult& result) const;
+
+ private:
+  const graph::Graph* graph_;
+  ClusterConfig config_;
+};
+
+enum class EngineKind : std::uint8_t {
+  kDense = 0,           ///< core::Clusterer — in-memory fast path
+  kMessagePassing = 1,  ///< core::DistributedClusterer — fidelity path
+  kSharded = 2,         ///< core::ShardedClusterer — parallel shard path
+};
+
+/// Constructs the requested engine (the sharded engine with default
+/// ShardOptions).  Handy for benches that sweep engines uniformly.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, const graph::Graph& g,
+                                                  const ClusterConfig& config);
+
+}  // namespace dgc::core

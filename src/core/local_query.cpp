@@ -26,7 +26,7 @@ LocalQueryResult same_cluster_query(const graph::Graph& g, graph::NodeId u,
   matching::run_process(generator, state, config.rounds);
 
   LocalQueryResult result;
-  result.threshold = Clusterer::query_threshold(1.0, config.beta, n);
+  result.threshold = query_threshold(1.0, config.beta, n);
   result.cross_mass = std::min(state.at(v, 0), state.at(u, 1));
 
   const auto profile_u = state.column(0);

@@ -1,0 +1,84 @@
+// The paper's algorithm, sharded parallel engine.
+//
+// P shards simulate machines: graph::partition_graph assigns every node
+// (and its load-vector row) to one shard.  Each round the global matching
+// is drawn once — from the same matching::MatchingGenerator streams as
+// the other engines, so the coins are identical — and split by shard:
+//   * intra-shard pairs (both endpoints on one shard) are applied by the
+//     P shards in parallel on a persistent util::ThreadPool;
+//   * cross-shard pairs first exchange their two rows through the shard
+//     mailbox — each endpoint's machine ships its row to the other, and
+//     the mailbox meters that traffic in words (1 header + 2 words per
+//     entry, net::Network's words_of formula applied to the dense
+//     s-entry row; an upper bound on, not directly comparable to, the
+//     sparse State messages of E4) — then both sides compute the same
+//     average.
+// Every matched pair touches two rows no other pair of the round touches
+// (a matching is node-disjoint), so the parallel application is race-free
+// and the result is bit-identical to the dense engine's sequential sweep
+// — same coins, same pairs, same two-operand averages.  EngineEquivalence
+// asserts label-for-label equality across P and both query rules.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+#include "graph/partitioner.hpp"
+
+namespace dgc::core {
+
+struct ShardOptions {
+  /// Number of shards P.  0 = hardware concurrency (capped at n).
+  std::uint32_t shards = 0;
+  graph::PartitionMode mode = graph::PartitionMode::kRange;
+  /// Worker threads backing the shards.  0 = one per shard.
+  std::size_t threads = 0;
+};
+
+/// Inter-shard traffic metered by the shard mailbox.
+struct ShardTraffic {
+  std::uint64_t messages = 0;  ///< row exchanges (2 per cross-shard pair)
+  std::uint64_t words = 0;     ///< 1 header + 2 words per load entry each
+};
+
+struct ShardedReport {
+  ClusterResult result;
+  /// The node partition actually used (shards resolved, mode applied).
+  graph::Partition partition;
+  /// Static edge cut of the partition (metrics::edge_cut).
+  std::uint64_t partition_edge_cut = 0;
+  /// metrics::partition_imbalance of the partition (1.0 = perfect).
+  double partition_imbalance = 0.0;
+  /// Matched pairs applied shard-locally / via the mailbox, over all rounds.
+  std::uint64_t intra_pairs = 0;
+  std::uint64_t cross_pairs = 0;
+  ShardTraffic traffic;
+  /// Per-round mailbox words, for the shard-scaling experiment (E15).
+  std::vector<std::uint64_t> words_per_round;
+};
+
+class ShardedClusterer : public Engine {
+ public:
+  ShardedClusterer(const graph::Graph& g, ClusterConfig config,
+                   ShardOptions options = {});
+
+  /// Runs the pipeline with full shard accounting.
+  [[nodiscard]] ShardedReport run() const;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "sharded"; }
+  [[nodiscard]] ClusterResult cluster() const override { return run().result; }
+
+  [[nodiscard]] const ShardOptions& options() const noexcept { return options_; }
+  /// P after resolving options().shards == 0 against the hardware.
+  [[nodiscard]] std::uint32_t resolved_shards() const noexcept { return shards_; }
+
+ private:
+  ShardOptions options_;
+  std::uint32_t shards_;
+};
+
+}  // namespace dgc::core

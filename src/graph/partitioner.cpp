@@ -1,0 +1,97 @@
+#include "graph/partitioner.hpp"
+
+#include <deque>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+std::string_view partition_mode_name(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kRange:
+      return "range";
+    case PartitionMode::kBfs:
+      return "bfs";
+  }
+  DGC_REQUIRE(false, "unknown partition mode");
+}
+
+std::vector<std::size_t> Partition::shard_sizes() const {
+  std::vector<std::size_t> sizes(num_shards, 0);
+  for (const std::uint32_t s : shard_of) ++sizes[s];
+  return sizes;
+}
+
+std::vector<std::vector<NodeId>> Partition::members() const {
+  std::vector<std::vector<NodeId>> out(num_shards);
+  const auto sizes = shard_sizes();
+  for (std::uint32_t s = 0; s < num_shards; ++s) out[s].reserve(sizes[s]);
+  for (NodeId v = 0; v < shard_of.size(); ++v) out[shard_of[v]].push_back(v);
+  return out;
+}
+
+namespace {
+
+/// Target size of shard s: ⌈n/P⌉ for the first n mod P shards, ⌊n/P⌋ after.
+std::vector<std::size_t> target_sizes(std::size_t n, std::uint32_t shards) {
+  std::vector<std::size_t> targets(shards, n / shards);
+  for (std::uint32_t s = 0; s < n % shards; ++s) ++targets[s];
+  return targets;
+}
+
+Partition partition_range(const Graph& g, std::uint32_t shards) {
+  Partition p;
+  p.num_shards = shards;
+  p.shard_of.resize(g.num_nodes());
+  const auto targets = target_sizes(g.num_nodes(), shards);
+  NodeId v = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::size_t i = 0; i < targets[s]; ++i) p.shard_of[v++] = s;
+  }
+  return p;
+}
+
+Partition partition_bfs(const Graph& g, std::uint32_t shards) {
+  const NodeId n = g.num_nodes();
+  Partition p;
+  p.num_shards = shards;
+  p.shard_of.assign(n, shards);  // "unassigned" sentinel
+  const auto targets = target_sizes(n, shards);
+
+  std::deque<NodeId> frontier;
+  NodeId next_unassigned = 0;  // smallest node never enqueued as a restart
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::size_t filled = 0;
+    while (filled < targets[s]) {
+      if (frontier.empty()) {
+        while (p.shard_of[next_unassigned] != shards) ++next_unassigned;
+        frontier.push_back(next_unassigned);
+      }
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      if (p.shard_of[v] != shards) continue;
+      p.shard_of[v] = s;
+      ++filled;
+      for (const NodeId u : g.neighbors(v)) {
+        if (p.shard_of[u] == shards) frontier.push_back(u);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition partition_graph(const Graph& g, std::uint32_t shards, PartitionMode mode) {
+  DGC_REQUIRE(shards >= 1, "need at least one shard");
+  DGC_REQUIRE(shards <= g.num_nodes(), "more shards than nodes");
+  switch (mode) {
+    case PartitionMode::kRange:
+      return partition_range(g, shards);
+    case PartitionMode::kBfs:
+      return partition_bfs(g, shards);
+  }
+  DGC_REQUIRE(false, "unknown partition mode");
+}
+
+}  // namespace dgc::graph

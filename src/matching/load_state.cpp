@@ -4,6 +4,38 @@
 
 namespace dgc::matching {
 
+std::size_t ShardSplit::intra_pairs() const {
+  std::size_t total = 0;
+  for (const auto& list : intra) total += list.size();
+  return total;
+}
+
+ShardSplit split_by_shard(const Matching& m, std::span<const std::uint32_t> shard_of,
+                          std::uint32_t num_shards) {
+  ShardSplit split;
+  split_by_shard(m, shard_of, num_shards, split);
+  return split;
+}
+
+void split_by_shard(const Matching& m, std::span<const std::uint32_t> shard_of,
+                    std::uint32_t num_shards, ShardSplit& out) {
+  DGC_REQUIRE(m.partner.size() == shard_of.size(), "matching/shard size mismatch");
+  DGC_REQUIRE(num_shards > 0, "need at least one shard");
+  out.intra.resize(num_shards);
+  for (auto& list : out.intra) list.clear();
+  out.cross.clear();
+  for (const auto& edge : m.edges) {
+    const std::uint32_t su = shard_of[edge.first];
+    const std::uint32_t sv = shard_of[edge.second];
+    DGC_REQUIRE(su < num_shards && sv < num_shards, "shard id out of range");
+    if (su == sv) {
+      out.intra[su].push_back(edge);
+    } else {
+      out.cross.push_back(edge);
+    }
+  }
+}
+
 MultiLoadState::MultiLoadState(std::size_t num_nodes, std::size_t dimensions)
     : num_nodes_(num_nodes), dimensions_(dimensions) {
   DGC_REQUIRE(num_nodes > 0, "need at least one node");
@@ -44,7 +76,12 @@ void MultiLoadState::average_pair(graph::NodeId u, graph::NodeId v) {
 
 void MultiLoadState::apply(const Matching& m) {
   DGC_REQUIRE(m.partner.size() == num_nodes_, "matching size mismatch");
-  for (const auto& [u, v] : m.edges) average_pair(u, v);
+  apply_pairs(m.edges);
+}
+
+void MultiLoadState::apply_pairs(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs) {
+  for (const auto& [u, v] : pairs) average_pair(u, v);
 }
 
 std::vector<double> MultiLoadState::column(std::size_t dim) const {

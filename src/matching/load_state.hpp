@@ -4,13 +4,39 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "matching/protocol.hpp"
 
 namespace dgc::matching {
+
+/// One matching's edges split by a shard assignment: intra[s] holds the
+/// pairs whose endpoints both live on shard s (appliable shard-locally,
+/// in parallel across shards), cross the pairs that straddle two shards
+/// (their rows must be exchanged between machines first).  Because a
+/// matching touches every node at most once, all listed pairs are
+/// pairwise row-disjoint.
+struct ShardSplit {
+  std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> intra;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> cross;
+
+  /// Total pairs across all intra lists.
+  [[nodiscard]] std::size_t intra_pairs() const;
+};
+
+/// Splits m.edges by shard_of (values in [0, num_shards)).
+[[nodiscard]] ShardSplit split_by_shard(const Matching& m,
+                                        std::span<const std::uint32_t> shard_of,
+                                        std::uint32_t num_shards);
+
+/// In-place variant for per-round hot loops: clears and refills `out`,
+/// reusing its vectors' capacity so steady-state rounds allocate nothing.
+void split_by_shard(const Matching& m, std::span<const std::uint32_t> shard_of,
+                    std::uint32_t num_shards, ShardSplit& out);
 
 class MultiLoadState {
  public:
@@ -32,6 +58,12 @@ class MultiLoadState {
 
   /// Applies a whole matching.
   void apply(const Matching& m);
+
+  /// Averages each listed pair.  The pairs of one matching are pairwise
+  /// row-disjoint, so concurrent apply_pairs calls on disjoint pair sets
+  /// (e.g. a ShardSplit's lists) are race-free and bit-identical to any
+  /// sequential order.
+  void apply_pairs(std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs);
 
   /// Copy of dimension `dim` as an n-vector (for analysis).
   [[nodiscard]] std::vector<double> column(std::size_t dim) const;

@@ -10,15 +10,22 @@ ProcessStats run_process(MatchingGenerator& generator, MultiLoadState& state,
                          const std::function<void(std::size_t, const Matching&)>& on_round) {
   DGC_REQUIRE(generator.graph().num_nodes() == state.num_nodes(),
               "generator/state node count mismatch");
+  return run_process(generator, rounds, [&](std::size_t t, const Matching& m) {
+    state.apply(m);
+    if (on_round) on_round(t, m);
+  });
+}
+
+ProcessStats run_process(MatchingGenerator& generator, std::size_t rounds,
+                         const std::function<void(std::size_t, const Matching&)>& apply) {
   ProcessStats stats;
   stats.rounds = rounds;
-  const double half_n = static_cast<double>(state.num_nodes()) / 2.0;
+  const double half_n = static_cast<double>(generator.graph().num_nodes()) / 2.0;
   for (std::size_t t = 1; t <= rounds; ++t) {
     const Matching m = generator.next();
-    state.apply(m);
+    apply(t, m);
     stats.total_matched_edges += m.edges.size();
     stats.mean_matched_fraction += static_cast<double>(m.edges.size()) / half_n;
-    if (on_round) on_round(t, m);
   }
   if (rounds > 0) stats.mean_matched_fraction /= static_cast<double>(rounds);
   return stats;

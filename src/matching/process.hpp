@@ -28,6 +28,13 @@ ProcessStats run_process(
     MatchingGenerator& generator, MultiLoadState& state, std::size_t rounds,
     const std::function<void(std::size_t, const Matching&)>& on_round = {});
 
+/// Generalised driver: draws one matching per round and delegates its
+/// application to `apply(t, matching)` — the sharded engine splits and
+/// parallelises it — while keeping the ProcessStats accounting in one
+/// place so every engine reports identical statistics.
+ProcessStats run_process(MatchingGenerator& generator, std::size_t rounds,
+                         const std::function<void(std::size_t, const Matching&)>& apply);
+
 /// Applies the *expected* matching matrix E[M] = (1−d̄/4)I + (d̄/4)P for
 /// `rounds` rounds to an n-vector (regular graphs only).
 [[nodiscard]] std::vector<double> run_lazy_walk(const graph::Graph& g,

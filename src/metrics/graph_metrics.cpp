@@ -1,5 +1,6 @@
 #include "metrics/graph_metrics.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/require.hpp"
@@ -28,6 +29,29 @@ double modularity(const graph::Graph& g, std::span<const std::uint32_t> membersh
     q += ec - dc * dc;
   }
   return q;
+}
+
+std::uint64_t edge_cut(const graph::Graph& g, std::span<const std::uint32_t> part) {
+  DGC_REQUIRE(part.size() == g.num_nodes(), "partition size mismatch");
+  std::uint64_t cut = 0;
+  g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+    if (part[u] != part[v]) ++cut;
+  });
+  return cut;
+}
+
+double partition_imbalance(std::span<const std::uint32_t> part, std::uint32_t num_parts) {
+  DGC_REQUIRE(num_parts > 0, "need at least one part");
+  DGC_REQUIRE(!part.empty(), "empty partition");
+  std::vector<std::size_t> sizes(num_parts, 0);
+  for (const std::uint32_t p : part) {
+    DGC_REQUIRE(p < num_parts, "part id out of range");
+    ++sizes[p];
+  }
+  std::size_t largest = 0;
+  for (const std::size_t s : sizes) largest = std::max(largest, s);
+  return static_cast<double>(largest) * static_cast<double>(num_parts) /
+         static_cast<double>(part.size());
 }
 
 }  // namespace dgc::metrics

@@ -13,4 +13,15 @@ namespace dgc::metrics {
                                 std::span<const std::uint32_t> membership,
                                 std::uint32_t num_clusters);
 
+/// Number of undirected edges whose endpoints lie in different parts —
+/// the shard-assignment quality the sharded engine's cross-shard traffic
+/// scales with.
+[[nodiscard]] std::uint64_t edge_cut(const graph::Graph& g,
+                                     std::span<const std::uint32_t> part);
+
+/// max_p |part p| / (n / num_parts): 1.0 is perfectly balanced; the
+/// sharded engine's parallel speedup degrades with this factor.
+[[nodiscard]] double partition_imbalance(std::span<const std::uint32_t> part,
+                                         std::uint32_t num_parts);
+
 }  // namespace dgc::metrics

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/require.hpp"
+
 namespace dgc::util {
+
+Barrier::Barrier(std::size_t parties) : parties_(parties) {
+  DGC_REQUIRE(parties > 0, "barrier needs at least one party");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != generation; });
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -57,17 +75,20 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                              std::size_t threads) {
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  ThreadPool pool(threads == 0 ? std::min<std::size_t>(
-                                     count, std::max<std::size_t>(
-                                                1, std::thread::hardware_concurrency()))
-                               : threads);
+  const std::size_t helpers = std::min(workers_.size(), count);
+  if (helpers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Dynamic index claiming: short phases stay balanced even when per-index
+  // cost varies (e.g. shards with different cut sizes).  &next and &fn are
+  // safe to capture by reference — wait_idle() outlives every task.
   std::atomic<std::size_t> next{0};
-  const std::size_t workers = pool.size();
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&] {
+  for (std::size_t w = 0; w < helpers; ++w) {
+    submit([&next, &fn, count] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
@@ -75,7 +96,17 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
       }
     });
   }
-  pool.wait_idle();
+  wait_idle();
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                              std::size_t threads) {
+  if (count == 0) return;
+  ThreadPool pool(threads == 0 ? std::min<std::size_t>(
+                                     count, std::max<std::size_t>(
+                                                1, std::thread::hardware_concurrency()))
+                               : threads);
+  pool.parallel_for(count, fn);
 }
 
 }  // namespace dgc::util

@@ -1,14 +1,26 @@
-// Minimal work-stealing-free thread pool used by the experiment harness to
-// run independent Monte-Carlo trials in parallel.
+// Minimal thread pool with persistent workers.
 //
-// The *algorithms* in this library are single-threaded by design (they
-// simulate a distributed protocol whose rounds are globally synchronous);
-// parallelism lives only at the trial level, which keeps every run
-// bit-reproducible: each trial owns its seed and its outputs slot.
+// Two users with different shapes of parallelism:
+//   * the experiment harness runs independent Monte-Carlo trials via the
+//     one-shot static parallel_for — each trial owns its seed and its
+//     output slot, so runs stay bit-reproducible;
+//   * the sharded engine (core/sharded_clusterer.hpp) runs many short
+//     parallel phases per round, so it keeps one pool alive and calls the
+//     *member* parallel_for repeatedly — no thread churn between rounds.
+// Barrier is the matching reusable (cyclic) rendezvous for code that
+// keeps long-lived per-worker loops instead of per-phase task lists;
+// no engine uses it yet — it ships (tested) as the building block for
+// that persistent-worker alternative.
+//
+// Determinism note: work distribution across workers is nondeterministic,
+// so callers must only run index-disjoint work (each index writes its own
+// slot).  The algorithms keep bit-reproducibility on top of that by
+// deriving every coin from per-index seeds, never from thread order.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +28,27 @@
 #include <vector>
 
 namespace dgc::util {
+
+/// Reusable (cyclic) barrier: `parties` threads block in arrive_and_wait
+/// until all have arrived, then the barrier resets for the next phase.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void arrive_and_wait();
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -34,10 +67,17 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits.
-  /// Convenience wrapper for embarrassingly parallel trial sweeps.
+  /// Runs fn(i) for i in [0, count) on the persistent workers and blocks
+  /// until all indices are done.  Reusable every phase without thread
+  /// churn; indices are claimed dynamically, so fn must only touch
+  /// index-owned state.  Must not be called while other tasks are in
+  /// flight (it waits for the pool to go fully idle).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// One-shot variant for trial sweeps: spins up a temporary pool of
+  /// `threads` workers (0 = hardware concurrency) and runs fn over it.
   static void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                           std::size_t threads = 0);
+                           std::size_t threads);
 
  private:
   void worker_loop();

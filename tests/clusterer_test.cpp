@@ -136,8 +136,8 @@ TEST(Clusterer, TooFewRoundsLeavesManyNodesUnclustered) {
 
 TEST(Clusterer, QueryThresholdFormula) {
   // τ = scale / (sqrt(2β) n).
-  EXPECT_NEAR(core::Clusterer::query_threshold(1.0, 0.5, 100), 0.01, 1e-12);
-  EXPECT_NEAR(core::Clusterer::query_threshold(2.0, 0.125, 1000),
+  EXPECT_NEAR(core::query_threshold(1.0, 0.5, 100), 0.01, 1e-12);
+  EXPECT_NEAR(core::query_threshold(2.0, 0.125, 1000),
               2.0 / (0.5 * 1000.0), 1e-12);
 }
 
@@ -145,13 +145,39 @@ TEST(Clusterer, QueryLabelRules) {
   const std::vector<double> values{0.1, 0.5, 0.5};
   const std::vector<std::uint64_t> ids{10, 30, 20};
   // Paper rule with threshold 0.4: ids 30 and 20 qualify; min is 20.
-  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.4, core::QueryRule::kPaperMinId),
+  EXPECT_EQ(core::query_label(values, ids, 0.4, core::QueryRule::kPaperMinId),
             20u);
   // Threshold too high: unclustered.
-  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.9, core::QueryRule::kPaperMinId),
+  EXPECT_EQ(core::query_label(values, ids, 0.9, core::QueryRule::kPaperMinId),
             metrics::kUnclustered);
   // Argmax: tie between ids 30 and 20 at 0.5 — min id wins.
-  EXPECT_EQ(core::Clusterer::query_label(values, ids, 0.0, core::QueryRule::kArgmax), 20u);
+  EXPECT_EQ(core::query_label(values, ids, 0.0, core::QueryRule::kArgmax), 20u);
+}
+
+TEST(Clusterer, ArgmaxZeroAndNegativeLoadsAreUnclustered) {
+  // The explicit argmax rule: only strictly positive loads are candidates.
+  // A best value of exactly 0.0 is "no mass reached me" and must yield
+  // kUnclustered no matter how a zero-value tie would break on seed IDs.
+  const std::vector<std::uint64_t> ids_ascending{10, 20, 30};
+  const std::vector<std::uint64_t> ids_descending{30, 20, 10};
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_EQ(core::query_label(zeros, ids_ascending, 0.0, core::QueryRule::kArgmax),
+            metrics::kUnclustered);
+  EXPECT_EQ(core::query_label(zeros, ids_descending, 0.0, core::QueryRule::kArgmax),
+            metrics::kUnclustered);
+  // All-negative loads are equally unclustered (no ID leaks through).
+  const std::vector<double> negatives{-0.25, -0.5, -1.0};
+  EXPECT_EQ(core::query_label(negatives, ids_ascending, 0.0, core::QueryRule::kArgmax),
+            metrics::kUnclustered);
+  // A single strictly positive load wins even when zeros carry smaller IDs.
+  const std::vector<double> one_positive{0.0, 0.0, 1e-12};
+  EXPECT_EQ(core::query_label(one_positive, ids_ascending, 0.0, core::QueryRule::kArgmax),
+            30u);
+  // Empty input is unclustered under both rules.
+  EXPECT_EQ(core::query_label({}, {}, 0.0, core::QueryRule::kArgmax),
+            metrics::kUnclustered);
+  EXPECT_EQ(core::query_label({}, {}, 0.0, core::QueryRule::kPaperMinId),
+            metrics::kUnclustered);
 }
 
 TEST(Clusterer, SeedsCarryLabelOfTheirCluster) {

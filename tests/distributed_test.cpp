@@ -1,11 +1,13 @@
-// Tests for the message-passing engine: equivalence with the in-memory
-// engine, message accounting, and failure injection.
+// Tests for the message-passing engine: equivalence of all three engines
+// (dense, message-passing, sharded), message accounting, and failure
+// injection.
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "core/clusterer.hpp"
 #include "core/distributed_clusterer.hpp"
+#include "core/sharded_clusterer.hpp"
 #include "graph/generators.hpp"
 #include "metrics/clustering_metrics.hpp"
 #include "util/rng.hpp"
@@ -24,30 +26,47 @@ graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size
   return graph::clustered_regular(spec, rng);
 }
 
+// The coin-flip equivalence contract, over a k × seed × P grid: the
+// dense, message-passing, and sharded engines must produce identical
+// runs — seeds, IDs and labels, bit for bit — for both query rules.
 class EngineEquivalence
-    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::tuple<std::uint32_t, std::uint64_t>, std::uint32_t>> {};
 
-TEST_P(EngineEquivalence, DenseAndDistributedProduceIdenticalRuns) {
-  const auto [k, seed] = GetParam();
+TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
+  const auto [k_seed, shards] = GetParam();
+  const auto [k, seed] = k_seed;
   const auto planted = make_instance(k, 150, 10, 10 * k, seed);
   core::ClusterConfig config;
   config.beta = 1.0 / static_cast<double>(k + 1);
   config.rounds = 60;
   config.seed = seed * 1000 + 1;
-  const auto dense = core::Clusterer(planted.graph, config).run();
-  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
-  // Same coins, same protocol -> identical seeds, IDs and labels.
-  EXPECT_EQ(dense.seeds, distributed.result.seeds);
-  EXPECT_EQ(dense.node_ids, distributed.result.node_ids);
-  EXPECT_EQ(dense.labels, distributed.result.labels);
+  core::ShardOptions options;
+  options.shards = shards;
+  for (const auto rule : {core::QueryRule::kPaperMinId, core::QueryRule::kArgmax}) {
+    config.query_rule = rule;
+    const auto dense = core::Clusterer(planted.graph, config).run();
+    const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+    const auto sharded =
+        core::ShardedClusterer(planted.graph, config, options).run();
+    // Same coins, same protocol -> identical seeds, IDs and labels.
+    EXPECT_EQ(dense.seeds, distributed.result.seeds);
+    EXPECT_EQ(dense.node_ids, distributed.result.node_ids);
+    EXPECT_EQ(dense.labels, distributed.result.labels);
+    EXPECT_EQ(dense.seeds, sharded.result.seeds);
+    EXPECT_EQ(dense.node_ids, sharded.result.node_ids);
+    EXPECT_EQ(dense.labels, sharded.result.labels);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(KSeedGrid, EngineEquivalence,
-                         ::testing::Values(std::make_tuple(2u, 1u),
-                                           std::make_tuple(2u, 2u),
-                                           std::make_tuple(3u, 3u),
-                                           std::make_tuple(4u, 4u),
-                                           std::make_tuple(5u, 5u)));
+INSTANTIATE_TEST_SUITE_P(
+    KSeedShardGrid, EngineEquivalence,
+    ::testing::Combine(::testing::Values(std::make_tuple(2u, 1u),
+                                         std::make_tuple(2u, 2u),
+                                         std::make_tuple(3u, 3u),
+                                         std::make_tuple(4u, 4u),
+                                         std::make_tuple(5u, 5u)),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
 
 TEST(Distributed, ArgmaxRuleAlsoMatchesDense) {
   const auto planted = make_instance(3, 120, 8, 20, 77);

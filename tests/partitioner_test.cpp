@@ -1,0 +1,129 @@
+// Property tests for graph::partition_graph: output is a partition
+// (every node in exactly one shard), balanced within ±1 in both modes,
+// deterministic, and scored correctly by the partition metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/partitioner.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  std::size_t swaps, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = swaps;
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+void expect_valid_balanced(const graph::Partition& p, graph::NodeId n,
+                           std::uint32_t shards) {
+  // A partition: shard_of covers every node exactly once by construction,
+  // so validity means every entry is a real shard id…
+  ASSERT_EQ(p.shard_of.size(), n);
+  ASSERT_EQ(p.num_shards, shards);
+  for (const std::uint32_t s : p.shard_of) EXPECT_LT(s, shards);
+  // …and the member lists are disjoint with union [0, n).
+  const auto members = p.members();
+  std::vector<char> seen(n, 0);
+  std::size_t total = 0;
+  for (const auto& shard : members) {
+    for (const graph::NodeId v : shard) {
+      EXPECT_EQ(seen[v], 0) << "node " << v << " in two shards";
+      seen[v] = 1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, n);
+  // Balance within ±1.
+  const auto sizes = p.shard_sizes();
+  const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+class PartitionerProperty
+    : public ::testing::TestWithParam<std::tuple<graph::PartitionMode, std::uint32_t>> {};
+
+TEST_P(PartitionerProperty, ValidBalancedDeterministic) {
+  const auto [mode, shards] = GetParam();
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto planted = make_instance(3, 100 + 7 * static_cast<graph::NodeId>(seed), 8,
+                                       20, seed);
+    const auto p = graph::partition_graph(planted.graph, shards, mode);
+    expect_valid_balanced(p, planted.graph.num_nodes(), shards);
+    // Deterministic: same inputs, same assignment.
+    const auto q = graph::partition_graph(planted.graph, shards, mode);
+    EXPECT_EQ(p.shard_of, q.shard_of);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeShardGrid, PartitionerProperty,
+    ::testing::Combine(::testing::Values(graph::PartitionMode::kRange,
+                                         graph::PartitionMode::kBfs),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u)));
+
+TEST(Partitioner, RangeModeIsContiguous) {
+  const auto planted = make_instance(2, 150, 8, 10, 4);
+  const auto p = graph::partition_graph(planted.graph, 4, graph::PartitionMode::kRange);
+  // Contiguous blocks: shard ids are non-decreasing in node order.
+  for (graph::NodeId v = 1; v < planted.graph.num_nodes(); ++v) {
+    EXPECT_LE(p.shard_of[v - 1], p.shard_of[v]);
+  }
+}
+
+TEST(Partitioner, SingleShardHasZeroCut) {
+  const auto planted = make_instance(3, 90, 8, 15, 7);
+  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs}) {
+    const auto p = graph::partition_graph(planted.graph, 1, mode);
+    EXPECT_EQ(metrics::edge_cut(planted.graph, p.shard_of), 0u);
+    EXPECT_DOUBLE_EQ(metrics::partition_imbalance(p.shard_of, 1), 1.0);
+  }
+}
+
+TEST(Partitioner, BfsRespectsClusterLocality) {
+  // Two well-separated clusters, two shards: BFS growth should align the
+  // shards with the clusters and beat a cluster-agnostic worst case.
+  const auto planted = make_instance(2, 200, 10, 4, 11);
+  const auto p = graph::partition_graph(planted.graph, 2, graph::PartitionMode::kBfs);
+  const std::uint64_t cut = metrics::edge_cut(planted.graph, p.shard_of);
+  // Only a handful of inter-cluster edges exist (4 swaps = 8 cut edges max);
+  // a locality-blind split would cut ~half of one cluster's edges (~500).
+  EXPECT_LE(cut, 100u);
+}
+
+TEST(Partitioner, RejectsBadShardCounts) {
+  const auto planted = make_instance(2, 50, 6, 5, 3);
+  EXPECT_THROW((void)graph::partition_graph(planted.graph, 0, graph::PartitionMode::kRange),
+               util::contract_error);
+  EXPECT_THROW((void)graph::partition_graph(planted.graph, planted.graph.num_nodes() + 1,
+                                            graph::PartitionMode::kBfs),
+               util::contract_error);
+}
+
+TEST(PartitionMetrics, EdgeCutCountsCrossingEdges) {
+  // Path 0-1-2-3 split {0,1} | {2,3}: only edge (1,2) crosses.
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  EXPECT_EQ(metrics::edge_cut(g, part), 1u);
+  const std::vector<std::uint32_t> all_same{0, 0, 0, 0};
+  EXPECT_EQ(metrics::edge_cut(g, all_same), 0u);
+}
+
+TEST(PartitionMetrics, ImbalanceOfSkewedPartition) {
+  // 6 nodes, 2 parts, sizes 4 and 2: imbalance = 4 / (6/2) = 4/3.
+  const std::vector<std::uint32_t> part{0, 0, 0, 0, 1, 1};
+  EXPECT_NEAR(metrics::partition_imbalance(part, 2), 4.0 / 3.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tests for the sharded parallel engine: bit-equality with the dense
+// engine across shard counts, partition modes and query rules, mailbox
+// traffic accounting, and determinism of the parallel apply.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/clusterer.hpp"
+#include "core/engine.hpp"
+#include "core/sharded_clusterer.hpp"
+#include "graph/generators.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dgc;
+
+graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size_t degree,
+                                  std::size_t swaps, std::uint64_t seed) {
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(k, size);
+  spec.degree = degree;
+  spec.inter_cluster_swaps = swaps;
+  util::Rng rng(seed);
+  return graph::clustered_regular(spec, rng);
+}
+
+core::ClusterConfig base_config(std::uint32_t k, std::uint64_t seed) {
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k + 1);
+  config.rounds = 50;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Sharded, BothPartitionModesMatchDense) {
+  const auto planted = make_instance(3, 120, 8, 20, 41);
+  const auto config = base_config(3, 77);
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs}) {
+    core::ShardOptions options;
+    options.shards = 4;
+    options.mode = mode;
+    const auto report =
+        core::ShardedClusterer(planted.graph, config, options).run();
+    EXPECT_EQ(report.result.labels, dense.labels)
+        << "mode=" << graph::partition_mode_name(mode);
+    EXPECT_EQ(report.result.seeds, dense.seeds);
+    EXPECT_EQ(report.result.node_ids, dense.node_ids);
+  }
+}
+
+TEST(Sharded, MailboxAccountingIsConsistent) {
+  const auto planted = make_instance(2, 150, 10, 16, 43);
+  auto config = base_config(2, 11);
+  core::ShardOptions options;
+  options.shards = 4;
+  const auto report = core::ShardedClusterer(planted.graph, config, options).run();
+
+  // Per-round words sum to the total, and each word count is exactly
+  // 2 messages x (1 header + 2 words per load entry) per cross pair.
+  ASSERT_EQ(report.words_per_round.size(), config.rounds);
+  std::uint64_t sum = 0;
+  for (const auto w : report.words_per_round) sum += w;
+  EXPECT_EQ(sum, report.traffic.words);
+  const std::uint64_t words_per_row =
+      1 + 2 * static_cast<std::uint64_t>(report.result.seeds.size());
+  EXPECT_EQ(report.traffic.words, 2 * report.cross_pairs * words_per_row);
+  EXPECT_EQ(report.traffic.messages, 2 * report.cross_pairs);
+
+  // Every matched pair is either intra or cross.
+  EXPECT_EQ(report.intra_pairs + report.cross_pairs,
+            report.result.process.total_matched_edges);
+
+  // The reported cut is the metrics one.
+  EXPECT_EQ(report.partition_edge_cut,
+            metrics::edge_cut(planted.graph, report.partition.shard_of));
+  EXPECT_GE(report.partition_imbalance, 1.0);
+}
+
+TEST(Sharded, SingleShardSendsNothing) {
+  const auto planted = make_instance(2, 100, 8, 10, 47);
+  const auto config = base_config(2, 13);
+  core::ShardOptions options;
+  options.shards = 1;
+  const auto report = core::ShardedClusterer(planted.graph, config, options).run();
+  EXPECT_EQ(report.cross_pairs, 0u);
+  EXPECT_EQ(report.traffic.words, 0u);
+  EXPECT_EQ(report.traffic.messages, 0u);
+  EXPECT_EQ(report.partition_edge_cut, 0u);
+  EXPECT_EQ(report.result.labels, core::Clusterer(planted.graph, config).run().labels);
+}
+
+TEST(Sharded, RepeatedRunsAreBitIdentical) {
+  // The parallel apply must be deterministic: work distribution varies
+  // across runs, but rows are pair-disjoint, so labels cannot.
+  const auto planted = make_instance(3, 130, 10, 30, 53);
+  const auto config = base_config(3, 17);
+  core::ShardOptions options;
+  options.shards = 8;
+  const core::ShardedClusterer engine(planted.graph, config, options);
+  const auto first = engine.run();
+  for (int i = 0; i < 3; ++i) {
+    const auto again = engine.run();
+    EXPECT_EQ(again.result.labels, first.result.labels);
+    EXPECT_EQ(again.traffic.words, first.traffic.words);
+  }
+}
+
+TEST(Sharded, MoreThreadsThanShardsStillMatches) {
+  const auto planted = make_instance(2, 90, 8, 12, 59);
+  const auto config = base_config(2, 19);
+  core::ShardOptions options;
+  options.shards = 2;
+  options.threads = 6;
+  const auto report = core::ShardedClusterer(planted.graph, config, options).run();
+  EXPECT_EQ(report.result.labels, core::Clusterer(planted.graph, config).run().labels);
+}
+
+TEST(Sharded, DefaultShardCountIsCappedAtN) {
+  // A tiny graph must not get more shards than nodes.
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  core::ClusterConfig config;
+  config.rounds = 5;
+  config.seed = 3;
+  const core::ShardedClusterer engine(g, config);
+  EXPECT_GE(engine.resolved_shards(), 1u);
+  EXPECT_LE(engine.resolved_shards(), 4u);
+  const auto report = engine.run();
+  EXPECT_EQ(report.result.labels.size(), 4u);
+}
+
+TEST(Sharded, EngineFactoryCoversAllThree) {
+  const auto planted = make_instance(2, 80, 8, 10, 61);
+  const auto config = base_config(2, 23);
+  const auto dense = core::make_engine(core::EngineKind::kDense, planted.graph, config);
+  const auto message =
+      core::make_engine(core::EngineKind::kMessagePassing, planted.graph, config);
+  const auto sharded = core::make_engine(core::EngineKind::kSharded, planted.graph, config);
+  EXPECT_EQ(dense->name(), "dense");
+  EXPECT_EQ(message->name(), "message-passing");
+  EXPECT_EQ(sharded->name(), "sharded");
+  const auto reference = dense->cluster();
+  EXPECT_EQ(message->cluster().labels, reference.labels);
+  EXPECT_EQ(sharded->cluster().labels, reference.labels);
+}
+
+}  // namespace

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -188,6 +190,63 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, MemberParallelForReusesWorkersAcrossPhases) {
+  // The sharded engine's usage pattern: one pool, many short phases.
+  util::ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  for (int phase = 0; phase < 50; ++phase) {
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  }
+  for (const int h : hits) EXPECT_EQ(h, 50);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, MemberParallelForHandlesEdgeCounts) {
+  util::ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  // More indices than workers.
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Barrier, SynchronisesPhasesAcrossThreads) {
+  // Each thread increments its phase counter, then waits; after the
+  // barrier no thread can be a full phase ahead of any other.
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 25;
+  util::Barrier barrier(kThreads);
+  std::vector<std::atomic<int>> phase(kThreads);
+  for (auto& p : phase) p.store(0);
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase[t].store(p + 1);
+        barrier.arrive_and_wait();
+        for (std::size_t other = 0; other < kThreads; ++other) {
+          if (phase[other].load() < p + 1) ok.store(false);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(barrier.parties(), kThreads);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  util::Barrier barrier(1);
+  for (int i = 0; i < 10; ++i) barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.parties(), 1u);
 }
 
 TEST(Require, ThrowsWithContext) {
