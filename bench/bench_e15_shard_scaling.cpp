@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bench::write_bench_json(cli.get("json", "BENCH_E15.json"), "E15", {&table});
   std::cout << "# PASS criteria: labels_eq = yes everywhere (sharding never changes a\n"
                "# label); speedup > 1 for P > 1 on multi-core hardware, growing with n;\n"
                "# cross_words tracks the partition cut (P=1 => 0 cross words).\n";

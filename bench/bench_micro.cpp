@@ -2,7 +2,16 @@
 // hot paths — matching generation, load averaging, walk matvec, Lanczos,
 // generators, k-means, Hungarian.  These are regression guards, not
 // paper claims.
+//
+// The binary also counts global allocations (operator new overridden
+// below) so BM_RoundLoopSteadyState can report allocs_per_round — the
+// zero-allocation-rounds guarantee: after round 1 the in-place
+// next(Matching&) + apply() loop performs no heap allocation at all.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "baselines/spectral.hpp"
 #include "graph/generators.hpp"
@@ -13,6 +22,46 @@
 #include "matching/load_state.hpp"
 #include "matching/protocol.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs these replacement operators against each other and warns
+// about the malloc/free plumbing inside them; that is exactly how a
+// counting allocator is written, so scope the warning out.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -54,6 +103,93 @@ void BM_MultiLoadApply(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m.edges.size() * s));
 }
 BENCHMARK(BM_MultiLoadApply)->Args({1 << 14, 8})->Args({1 << 14, 32})->Args({1 << 16, 16});
+
+void BM_RoundLoopSteadyState(benchmark::State& state) {
+  // One full protocol round (in-place coin flip + resolve + skip-zeros
+  // apply) with reused buffers.  allocs_per_round must read 0: after the
+  // warm-up round every buffer has reached its steady capacity.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 3);
+  matching::Matching m;
+  matching::MultiLoadState loads(n, 16);
+  for (std::size_t i = 0; i < 16; ++i) loads.set(static_cast<graph::NodeId>(i), i, 1.0);
+  generator.next(m);  // round 1: buffers reach steady capacity
+  loads.apply(m);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    generator.next(m);
+    loads.apply(m);
+    ++rounds;
+  }
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_round"] =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RoundLoopSteadyState)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_AveragePair(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  matching::MultiLoadState loads(2, s);
+  loads.set(0, 0, 1.0);
+  for (auto _ : state) {
+    loads.average_pair(0, 1);
+    benchmark::DoNotOptimize(loads.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(s));
+}
+BENCHMARK(BM_AveragePair)->Arg(8)->Arg(19)->Arg(64);
+
+void BM_ApplyPairsSparse(benchmark::State& state) {
+  // Sparse initial support (16 seed rows in n): with skip-zeros on
+  // (range(2) == 1) almost every pair of the fixed matching is skipped,
+  // so items/s measures the active-support win over the dense sweep.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const bool skip = state.range(2) != 0;
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 5);
+  const auto m = generator.next();
+  matching::MultiLoadState loads(n, s);
+  loads.set_skip_zeros(skip);
+  for (std::size_t i = 0; i < 16; ++i) {
+    loads.set(static_cast<graph::NodeId>(i * (n / 16)), i % s, 1.0);
+  }
+  for (auto _ : state) {
+    loads.apply(m);
+    benchmark::DoNotOptimize(loads.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m.edges.size() * s));
+}
+BENCHMARK(BM_ApplyPairsSparse)
+    ->Args({1 << 16, 16, 0})
+    ->Args({1 << 16, 16, 1})
+    ->Args({1 << 14, 32, 0})
+    ->Args({1 << 14, 32, 1});
+
+void BM_FlipRoundCoins(benchmark::State& state) {
+  // 1 thread = the serial path; > 1 = block-parallel on a pool.  The
+  // coins are bit-identical either way (protocol tests assert it).
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 7);
+  util::ThreadPool pool(threads);
+  if (threads > 1) generator.use_thread_pool(&pool);
+  matching::MatchingGenerator::Coins coins;
+  for (auto _ : state) {
+    generator.flip_round_coins(coins);
+    benchmark::DoNotOptimize(coins.active.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlipRoundCoins)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 2})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 16, 8});
 
 void BM_WalkMatvec(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

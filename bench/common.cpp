@@ -1,10 +1,57 @@
 #include "common.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <variant>
 
+#include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace dgc::bench {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_cell(std::string& out, const util::Table::Cell& cell) {
+  if (std::holds_alternative<std::string>(cell)) {
+    append_json_string(out, std::get<std::string>(cell));
+  } else if (std::holds_alternative<std::int64_t>(cell)) {
+    out += std::to_string(std::get<std::int64_t>(cell));
+  } else {
+    const double v = std::get<double>(cell);
+    if (!std::isfinite(v)) {
+      out += "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out += buf;
+    }
+  }
+}
+
+}  // namespace
 
 void banner(const std::string& experiment_id, const std::string& claim,
             const std::string& workload) {
@@ -34,6 +81,44 @@ std::size_t unclustered_count(const std::vector<std::uint64_t>& labels) {
   std::size_t count = 0;
   for (const auto label : labels) count += label == metrics::kUnclustered;
   return count;
+}
+
+void write_bench_json(const std::string& path, const std::string& experiment_id,
+                      const std::vector<const util::Table*>& tables) {
+  std::string out;
+  out += "{\n  \"experiment\": ";
+  append_json_string(out, experiment_id);
+  out += ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const util::Table& table = *tables[t];
+    out += t == 0 ? "\n" : ",\n";
+    out += "    {\n      \"title\": ";
+    append_json_string(out, table.title());
+    out += ",\n      \"columns\": [";
+    const auto& columns = table.columns();
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c != 0) out += ", ";
+      append_json_string(out, columns[c]);
+    }
+    out += "],\n      \"rows\": [";
+    const auto& rows = table.cell_rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "        [";
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        if (c != 0) out += ", ";
+        append_json_cell(out, rows[r][c]);
+      }
+      out += ']';
+    }
+    out += rows.empty() ? "]\n    }" : "\n      ]\n    }";
+  }
+  out += tables.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::ofstream file(path, std::ios::trunc);
+  DGC_REQUIRE(file.good(), "cannot open bench JSON output file");
+  file << out;
+  DGC_REQUIRE(file.good(), "failed to write bench JSON output file");
+  std::cout << "# wrote " << path << "\n";
 }
 
 }  // namespace dgc::bench

@@ -34,4 +34,13 @@ void banner(const std::string& experiment_id, const std::string& claim,
 /// Number of kUnclustered labels.
 [[nodiscard]] std::size_t unclustered_count(const std::vector<std::uint64_t>& labels);
 
+/// Writes the tables of one experiment to a machine-readable JSON file
+/// ({"experiment", "tables": [{"title", "columns", "rows"}, …]}) so the
+/// perf trajectory is tracked across PRs (BENCH_E15.json, BENCH_E16.json,
+/// …) instead of living only in commit messages.  Numbers stay typed:
+/// int64 cells are emitted as integers, double cells with round-trip
+/// precision (non-finite doubles become null).
+void write_bench_json(const std::string& path, const std::string& experiment_id,
+                      const std::vector<const util::Table*>& tables);
+
 }  // namespace dgc::bench

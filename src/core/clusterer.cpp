@@ -1,7 +1,11 @@
 #include "core/clusterer.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "core/seeding.hpp"
 #include "metrics/clustering_metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dgc::core {
 
@@ -13,6 +17,7 @@ ClusterResult Clusterer::run() const { return run(nullptr); }
 ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
   const graph::Graph& g = graph();
   const graph::NodeId n = g.num_nodes();
+  const HotPathOptions& hot = config().hot_path;
 
   ClusterResult result;
 
@@ -28,18 +33,21 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
 
   // --- Averaging procedure ------------------------------------------
   matching::MultiLoadState state(n, s);
+  state.set_skip_zeros(hot.skip_zero_rows);
   for (std::size_t i = 0; i < s; ++i) {
     state.set(result.seeds[i], i, 1.0);  // x^(0,i) = χ_{v_i}
   }
   matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),
                                         config().protocol);
+  const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(hot, n);
+  generator.use_thread_pool(coin_pool.get());
   result.process = matching::run_process(generator, state, result.rounds);
 
   // --- Query procedure ------------------------------------------------
   result.labels.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) {
-    result.labels[v] =
-        query_label(state.row(v), seed_ids, result.threshold, config().query_rule);
+    result.labels[v] = query_label(std::as_const(state).row(v), seed_ids,
+                                   result.threshold, config().query_rule);
   }
 
   if (final_state != nullptr) *final_state = std::move(state);

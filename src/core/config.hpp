@@ -18,6 +18,22 @@ enum class QueryRule : std::uint8_t {
   kArgmax = 1,
 };
 
+/// Round-loop execution knobs shared by every engine.  These change how
+/// the per-round work is scheduled, never what is computed: labels are
+/// bit-identical across every combination (asserted by the
+/// EngineEquivalence grid).
+struct HotPathOptions {
+  /// Flip coins and resolve matchings block-parallel on a thread pool.
+  bool parallel_coins = true;
+  /// Worker threads for the coin pool (0 = hardware concurrency; a pool
+  /// is only spun up when this resolves to > 1).  The sharded engine
+  /// ignores this and reuses its shard pool.
+  std::size_t coin_threads = 0;
+  /// Skip averaging matched pairs whose two load rows are both all-zero
+  /// (exact: the average of two zero rows is the zeros already stored).
+  bool skip_zero_rows = true;
+};
+
 struct ClusterConfig {
   /// Known lower bound on min_i |S_i| / n (the paper's β).  Drives the
   /// number of seeding trials and the query threshold.
@@ -44,6 +60,9 @@ struct ClusterConfig {
 
   /// Matching protocol options (virtual degree for §4.5 etc.).
   matching::ProtocolOptions protocol{};
+
+  /// Round-loop scheduling knobs (perf only; labels are invariant).
+  HotPathOptions hot_path{};
 };
 
 }  // namespace dgc::core

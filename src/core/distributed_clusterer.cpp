@@ -1,10 +1,12 @@
 #include "core/distributed_clusterer.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/seeding.hpp"
 #include "matching/protocol.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dgc::core {
 
@@ -67,11 +69,14 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
 
   matching::MatchingGenerator generator(
       g, derive_seed(cfg.seed, Stream::kMatching), cfg.protocol);
+  const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(cfg.hot_path, n);
+  generator.use_thread_pool(coin_pool.get());
 
   std::vector<graph::NodeId> pending_partner(n, graph::kInvalidNode);
+  matching::MatchingGenerator::Coins coins;  // hoisted: refilled in place per round
   for (std::size_t t = 1; t <= result.rounds; ++t) {
     const std::uint64_t words_before = network.stats().words;
-    const auto coins = generator.flip_round_coins();
+    generator.flip_round_coins(coins);
 
     // Phase 1 — active nodes probe their chosen neighbour.
     for (graph::NodeId v = 0; v < n; ++v) {

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <cmath>
+#include <thread>
 
 #include "core/clusterer.hpp"
 #include "core/distributed_clusterer.hpp"
@@ -95,6 +96,18 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, const graph::Graph& g,
       return std::make_unique<ShardedClusterer>(g, config);
   }
   DGC_REQUIRE(false, "unknown engine kind");
+}
+
+std::unique_ptr<util::ThreadPool> make_coin_pool(const HotPathOptions& hot,
+                                                 graph::NodeId n) {
+  if (!hot.parallel_coins ||
+      n < 2 * matching::MatchingGenerator::kParallelGrain) {
+    return nullptr;
+  }
+  const std::size_t threads =
+      hot.coin_threads != 0 ? hot.coin_threads : std::thread::hardware_concurrency();
+  if (threads <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(threads);
 }
 
 }  // namespace dgc::core

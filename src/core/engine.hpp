@@ -6,6 +6,10 @@
 // must produce label-for-label identical output for equal configs (the
 // coin-flip equivalence contract: all randomness derives from
 // config.seed through fixed stream tags, never from execution order).
+// The contract extends to ClusterConfig::hot_path: parallel coin
+// generation, active-support skipping, and buffer reuse are pure
+// scheduling — every combination yields bit-identical labels, asserted
+// by the EngineEquivalence grid.
 // This header holds the pieces the engines share:
 //   * ClusterResult        — the common output type;
 //   * query_threshold /    — the §3.2 query procedure, a pure function
@@ -27,6 +31,7 @@
 #include "core/config.hpp"
 #include "graph/graph.hpp"
 #include "matching/process.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dgc::core {
 
@@ -103,5 +108,13 @@ enum class EngineKind : std::uint8_t {
 /// ShardOptions).  Handy for benches that sweep engines uniformly.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, const graph::Graph& g,
                                                   const ClusterConfig& config);
+
+/// Spawns the hot-path coin pool for an engine-owned generator, or
+/// returns null when the config disables it, the thread count resolves
+/// to 1, or the graph is too small to ever split into more than one
+/// block.  Shared by the dense and message-passing engines (the sharded
+/// engine reuses its shard pool instead).
+[[nodiscard]] std::unique_ptr<util::ThreadPool> make_coin_pool(const HotPathOptions& hot,
+                                                               graph::NodeId n);
 
 }  // namespace dgc::core

@@ -1,5 +1,6 @@
 #include "core/seeding.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -18,13 +19,25 @@ std::vector<std::uint64_t> assign_node_ids(graph::NodeId n, std::uint64_t master
   util::Rng rng(derive_seed(master_seed, Stream::kNodeIds));
   const std::uint64_t universe =
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  // Fast path: one draw per node, then a sort-based duplicate check — no
+  // per-node hashing on the prepare() critical path.  A collision among n
+  // draws from [1, n^3] has probability ~ 1/(2n); when there is none the
+  // rejection-sampling loop below would consume exactly one draw per node
+  // too, so this output is bit-identical to it.
   std::vector<std::uint64_t> ids(n);
+  for (auto& id : ids) id = 1 + rng.next_below(universe);
+  std::vector<std::uint64_t> sorted(ids);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end()) return ids;
+  // Rare slow path: replay rejection sampling from a fresh stream so the
+  // result matches what the draw-until-unused loop has always produced.
+  util::Rng replay(derive_seed(master_seed, Stream::kNodeIds));
   std::unordered_set<std::uint64_t> used;
   used.reserve(n * 2);
   for (graph::NodeId v = 0; v < n; ++v) {
     std::uint64_t id = 0;
     do {
-      id = 1 + rng.next_below(universe);
+      id = 1 + replay.next_below(universe);
     } while (!used.insert(id).second);
     ids[v] = id;
   }

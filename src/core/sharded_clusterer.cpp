@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "core/seeding.hpp"
 #include "matching/load_state.hpp"
@@ -81,12 +82,16 @@ ShardedReport ShardedClusterer::run() const {
 
   // --- Averaging procedure, sharded ---------------------------------
   matching::MultiLoadState state(n, s);
+  state.set_skip_zeros(config().hot_path.skip_zero_rows);
   for (std::size_t i = 0; i < s; ++i) state.set(result.seeds[i], i, 1.0);
 
   matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),
                                         config().protocol);
   ShardMailbox mailbox(s);
   util::ThreadPool pool(options_.threads == 0 ? P : options_.threads);
+  // The generator is the serial bottleneck of the engine's Amdahl curve:
+  // reuse the shard pool for block-parallel coin flips and resolution.
+  if (config().hot_path.parallel_coins) generator.use_thread_pool(&pool);
   const std::vector<std::vector<graph::NodeId>> members = report.partition.members();
 
   report.words_per_round.reserve(result.rounds);
@@ -127,8 +132,8 @@ ShardedReport ShardedClusterer::run() const {
   result.labels.resize(n);
   pool.parallel_for(P, [&](std::size_t shard) {
     for (const graph::NodeId v : members[shard]) {
-      result.labels[v] =
-          query_label(state.row(v), seed_ids, result.threshold, config().query_rule);
+      result.labels[v] = query_label(std::as_const(state).row(v), seed_ids,
+                                     result.threshold, config().query_rule);
     }
   });
 

@@ -1,5 +1,7 @@
 #include "matching/load_state.hpp"
 
+#include <cmath>
+
 #include "util/require.hpp"
 
 namespace dgc::matching {
@@ -41,11 +43,13 @@ MultiLoadState::MultiLoadState(std::size_t num_nodes, std::size_t dimensions)
   DGC_REQUIRE(num_nodes > 0, "need at least one node");
   DGC_REQUIRE(dimensions > 0, "need at least one dimension");
   data_.assign(num_nodes * dimensions, 0.0);
+  active_.assign(num_nodes, 0);
 }
 
 std::span<double> MultiLoadState::row(graph::NodeId v) {
   DGC_REQUIRE(v < num_nodes_, "node out of range");
-  return {data_.data() + static_cast<std::size_t>(v) * dimensions_, dimensions_};
+  active_[v] = 1;  // the caller may write through the span
+  return {row_ptr(v), dimensions_};
 }
 
 std::span<const double> MultiLoadState::row(graph::NodeId v) const {
@@ -59,19 +63,29 @@ double MultiLoadState::at(graph::NodeId v, std::size_t dim) const {
 }
 
 void MultiLoadState::set(graph::NodeId v, std::size_t dim, double value) {
+  DGC_REQUIRE(v < num_nodes_, "node out of range");
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
-  row(v)[dim] = value;
+  // Flag anything whose bits differ from +0.0 (including -0.0 and NaN) so
+  // skipping never suppresses a write that would change stored bits.
+  if (value != 0.0 || std::signbit(value)) active_[v] = 1;
+  row_ptr(v)[dim] = value;
 }
 
 void MultiLoadState::average_pair(graph::NodeId u, graph::NodeId v) {
   DGC_REQUIRE(u != v, "cannot average a node with itself");
-  auto ru = row(u);
-  auto rv = row(v);
+  DGC_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
+  const char merged = static_cast<char>(active_[u] | active_[v]);
+  if (skip_zeros_ && !merged) return;  // both rows all +0.0: averaging is a no-op
+  // u != v, so the two rows are disjoint — restrict lets the loop vectorise.
+  double* __restrict ru = row_ptr(u);
+  double* __restrict rv = row_ptr(v);
   for (std::size_t i = 0; i < dimensions_; ++i) {
     const double avg = 0.5 * (ru[i] + rv[i]);
     ru[i] = avg;
     rv[i] = avg;
   }
+  active_[u] = merged;
+  active_[v] = merged;
 }
 
 void MultiLoadState::apply(const Matching& m) {
@@ -81,20 +95,54 @@ void MultiLoadState::apply(const Matching& m) {
 
 void MultiLoadState::apply_pairs(
     std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs) {
-  for (const auto& [u, v] : pairs) average_pair(u, v);
+  // The pair list hops between distant rows, so the loop is bound by
+  // cache-miss latency; prefetching a few pairs ahead overlaps the
+  // misses.  Pairs that skip-zeros will skip never touch their rows, so
+  // don't drag their dead lines through the cache either (the flag
+  // check reads the small hot active_ array, not row data).
+  constexpr std::size_t kAhead = 4;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i + kAhead < pairs.size()) {
+      const auto& [pu, pv] = pairs[i + kAhead];
+      if (!skip_zeros_ || (active_[pu] | active_[pv]) != 0) {
+        __builtin_prefetch(row_ptr(pu));
+        __builtin_prefetch(row_ptr(pv));
+      }
+    }
+    average_pair(pairs[i].first, pairs[i].second);
+  }
+}
+
+std::size_t MultiLoadState::active_rows() const {
+  std::size_t count = 0;
+  for (const char a : active_) count += a != 0;
+  return count;
+}
+
+bool MultiLoadState::row_active(graph::NodeId v) const {
+  DGC_REQUIRE(v < num_nodes_, "node out of range");
+  return active_[v] != 0;
 }
 
 std::vector<double> MultiLoadState::column(std::size_t dim) const {
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
-  std::vector<double> out(num_nodes_);
-  for (std::size_t v = 0; v < num_nodes_; ++v) out[v] = data_[v * dimensions_ + dim];
+  std::vector<double> out(num_nodes_, 0.0);
+  // Single strided pass: one pointer bump per row instead of a multiply,
+  // and inactive rows (all +0.0 by the flag invariant) are never read.
+  const double* p = data_.data() + dim;
+  for (std::size_t v = 0; v < num_nodes_; ++v, p += dimensions_) {
+    if (active_[v]) out[v] = *p;
+  }
   return out;
 }
 
 double MultiLoadState::total(std::size_t dim) const {
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
   double acc = 0.0;
-  for (std::size_t v = 0; v < num_nodes_; ++v) acc += data_[v * dimensions_ + dim];
+  const double* p = data_.data() + dim;
+  for (std::size_t v = 0; v < num_nodes_; ++v, p += dimensions_) {
+    if (active_[v]) acc += *p;
+  }
   return acc;
 }
 

@@ -1,6 +1,14 @@
 // Multi-dimensional load state: the s load vectors x^(t,1) … x^(t,s) of
 // §3.2, stored row-major (node-major) so that averaging a matched pair
 // touches two contiguous rows — one cache line per few dimensions.
+//
+// Active-support skipping: the state tracks which rows may be nonzero.
+// The load vectors start with support s ≪ n (only seed rows are nonzero)
+// and a round can at most double the support — a zero row only becomes
+// nonzero by averaging with a nonzero one — so early rounds touch
+// O(s·2^t) rows.  Skipping a pair whose two rows are both all-zero is
+// exact: the average of two zero rows writes back the zeros already
+// there, bit for bit.
 #pragma once
 
 #include <cstddef>
@@ -46,14 +54,18 @@ class MultiLoadState {
   [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::size_t dimensions() const noexcept { return dimensions_; }
 
-  /// Mutable view of node v's s values.
+  /// Mutable view of node v's s values.  Conservatively marks the row
+  /// active (the caller may write any value through the span); use the
+  /// const overload for read-only access.
   [[nodiscard]] std::span<double> row(graph::NodeId v);
   [[nodiscard]] std::span<const double> row(graph::NodeId v) const;
 
   [[nodiscard]] double at(graph::NodeId v, std::size_t dim) const;
   void set(graph::NodeId v, std::size_t dim, double value);
 
-  /// Averages rows u and v in every dimension (one matched pair).
+  /// Averages rows u and v in every dimension (one matched pair).  When
+  /// skip_zeros() is on and both rows are flagged all-zero the pair is
+  /// skipped — bit-identical to averaging, which would rewrite the zeros.
   void average_pair(graph::NodeId u, graph::NodeId v);
 
   /// Applies a whole matching.
@@ -62,8 +74,19 @@ class MultiLoadState {
   /// Averages each listed pair.  The pairs of one matching are pairwise
   /// row-disjoint, so concurrent apply_pairs calls on disjoint pair sets
   /// (e.g. a ShardSplit's lists) are race-free and bit-identical to any
-  /// sequential order.
+  /// sequential order (each pair also owns its two activity flags).
   void apply_pairs(std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs);
+
+  /// Toggles active-support skipping (default on).  Pure scheduling: the
+  /// stored values are identical either way; flags are maintained in both
+  /// modes so the toggle can flip mid-run.
+  void set_skip_zeros(bool enabled) noexcept { skip_zeros_ = enabled; }
+  [[nodiscard]] bool skip_zeros() const noexcept { return skip_zeros_; }
+
+  /// Number of rows flagged possibly-nonzero — the support bound s·2^t
+  /// that makes early-round skipping pay (plotted by bench E16).
+  [[nodiscard]] std::size_t active_rows() const;
+  [[nodiscard]] bool row_active(graph::NodeId v) const;
 
   /// Copy of dimension `dim` as an n-vector (for analysis).
   [[nodiscard]] std::vector<double> column(std::size_t dim) const;
@@ -72,9 +95,16 @@ class MultiLoadState {
   [[nodiscard]] double total(std::size_t dim) const;
 
  private:
+  [[nodiscard]] double* row_ptr(graph::NodeId v) {
+    return data_.data() + static_cast<std::size_t>(v) * dimensions_;
+  }
+
   std::size_t num_nodes_;
   std::size_t dimensions_;
   std::vector<double> data_;
+  /// active_[v] != 0 iff row v may hold a value whose bits are not +0.0.
+  std::vector<char> active_;
+  bool skip_zeros_ = true;
 };
 
 }  // namespace dgc::matching

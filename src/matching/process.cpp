@@ -21,8 +21,9 @@ ProcessStats run_process(MatchingGenerator& generator, std::size_t rounds,
   ProcessStats stats;
   stats.rounds = rounds;
   const double half_n = static_cast<double>(generator.graph().num_nodes()) / 2.0;
+  Matching m;  // hoisted: rounds refill it in place, allocation-free after round 1
   for (std::size_t t = 1; t <= rounds; ++t) {
-    const Matching m = generator.next();
+    generator.next(m);
     apply(t, m);
     stats.total_matched_edges += m.edges.size();
     stats.mean_matched_fraction += static_cast<double>(m.edges.size()) / half_n;

@@ -9,6 +9,47 @@ namespace dgc::matching {
 using graph::kInvalidNode;
 using graph::NodeId;
 
+namespace {
+
+/// Nodes per parallel block.  Small enough that the mid-size test graphs
+/// (n in the hundreds) still split across workers, large enough that the
+/// per-block dispatch cost is noise.
+constexpr std::size_t kBlockGrain = MatchingGenerator::kParallelGrain;
+
+/// Reference resolution: probe-count scatter pass, then an accept sweep
+/// in increasing acceptor order.  Also the serial hot path — callers
+/// hand in reusable scratch so rounds allocate nothing.  Probe count and
+/// last prober share one word (count in the high half, prober in the
+/// low) so the scatter pass touches one cache location per probe, and
+/// the accept sweep zeroes each entry as it reads it, leaving the
+/// scratch ready for the next round with no memset.  `probes` must be
+/// all-zero on entry (vectors start that way, and every round restores
+/// it).
+void resolve_serial(const graph::Graph& g, const MatchingGenerator::Coins& coins,
+                    Matching& out, std::vector<std::uint64_t>& probes) {
+  const NodeId n = g.num_nodes();
+  if (probes.size() != n) probes.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId target = coins.probe[v];
+    if (target == kInvalidNode) continue;
+    const std::uint64_t slot = probes[target];
+    probes[target] = (((slot >> 32) + 1) << 32) | v;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t slot = probes[v];
+    probes[v] = 0;
+    if (coins.active[v] || (slot >> 32) != 1) continue;
+    const NodeId u = static_cast<NodeId>(slot);
+    // u is active (it probed) so it cannot itself accept a probe; the
+    // pair (u, v) is therefore conflict-free.
+    out.partner[v] = u;
+    out.partner[u] = v;
+    out.edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+}
+
+}  // namespace
+
 bool Matching::valid(const graph::Graph& g) const {
   if (partner.size() != g.num_nodes()) return false;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -46,60 +87,165 @@ MatchingGenerator::MatchingGenerator(const graph::Graph& g, std::uint64_t seed,
   for (NodeId v = 0; v < g.num_nodes(); ++v) node_rng_.push_back(master.fork(v));
 }
 
-MatchingGenerator::Coins MatchingGenerator::flip_round_coins() {
-  const NodeId n = graph_->num_nodes();
-  Coins coins;
-  coins.active.assign(n, 0);
-  coins.probe.assign(n, kInvalidNode);
-  for (NodeId v = 0; v < n; ++v) {
-    auto& rng = node_rng_[v];
-    const std::size_t degree = graph_->degree(v);
-    const std::size_t slots =
-        options_.virtual_degree == 0 ? degree : options_.virtual_degree;
+MatchingGenerator::NodeCoin MatchingGenerator::flip_node(NodeId v) {
+  auto& rng = node_rng_[v];
+  const auto neighbors = graph_->neighbors(v);
+  const std::size_t degree = neighbors.size();
+  const std::size_t slots =
+      options_.virtual_degree == 0 ? degree : options_.virtual_degree;
 
-    double activation = 0.5;
-    if (options_.degree_biased_activation) {
-      const double dd = static_cast<double>(slots);
-      activation = 0.5 + (dd - static_cast<double>(degree)) / (2.0 * dd);
-    }
-    // Every node burns exactly two draws per round regardless of the
-    // branch taken, so RNG streams stay aligned across protocol variants.
-    const bool active = rng.next_bool(activation);
-    const std::size_t slot = rng.next_below(slots);
-    coins.active[v] = active ? 1 : 0;
-    if (active && slot < degree) {
-      coins.probe[v] = graph_->neighbors(v)[slot];
-    }
+  // Every node burns exactly two draws per round regardless of the
+  // branch taken, so RNG streams stay aligned across protocol variants
+  // (next_bool_half is the same single draw as next_bool(0.5)).
+  bool active;
+  if (options_.degree_biased_activation) {
+    const double dd = static_cast<double>(slots);
+    const double activation = 0.5 + (dd - static_cast<double>(degree)) / (2.0 * dd);
+    active = rng.next_bool(activation);
+  } else {
+    active = rng.next_bool_half();
   }
+  const std::size_t slot = rng.next_below(slots);
+  return {active, active && slot < degree ? neighbors[slot] : kInvalidNode};
+}
+
+void MatchingGenerator::flip_block(Coins& out, NodeId begin, NodeId end) {
+  for (NodeId v = begin; v < end; ++v) {
+    const NodeCoin coin = flip_node(v);
+    out.active[v] = coin.active ? 1 : 0;
+    out.probe[v] = coin.target;
+  }
+}
+
+void MatchingGenerator::flip_round_coins(Coins& out) {
+  const NodeId n = graph_->num_nodes();
+  // Every slot is overwritten below, so a resize (no clearing pass)
+  // suffices and steady-state rounds reuse the buffers untouched.
+  out.active.resize(n);
+  out.probe.resize(n);
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_blocks(n, kBlockGrain,
+                           [&](std::size_t, std::size_t begin, std::size_t end) {
+                             flip_block(out, static_cast<NodeId>(begin),
+                                        static_cast<NodeId>(end));
+                           });
+  } else {
+    flip_block(out, 0, n);
+  }
+}
+
+MatchingGenerator::Coins MatchingGenerator::flip_round_coins() {
+  Coins coins;
+  flip_round_coins(coins);
   return coins;
 }
 
 Matching MatchingGenerator::resolve(const graph::Graph& g, const Coins& coins) {
   const NodeId n = g.num_nodes();
   DGC_REQUIRE(coins.active.size() == n && coins.probe.size() == n, "coin size mismatch");
-  std::vector<std::uint32_t> probes_received(n, 0);
-  std::vector<NodeId> prober(n, kInvalidNode);
-  for (NodeId v = 0; v < n; ++v) {
-    const NodeId target = coins.probe[v];
-    if (target == kInvalidNode) continue;
-    ++probes_received[target];
-    prober[target] = v;
-  }
   Matching m;
   m.partner.assign(n, kInvalidNode);
-  for (NodeId v = 0; v < n; ++v) {
-    if (coins.active[v] || probes_received[v] != 1) continue;
-    const NodeId u = prober[v];
-    // u is active (it probed) so it cannot itself accept a probe; the
-    // pair (u, v) is therefore conflict-free.
-    m.partner[v] = u;
-    m.partner[u] = v;
-    m.edges.emplace_back(std::min(u, v), std::max(u, v));
-  }
-  std::sort(m.edges.begin(), m.edges.end());
+  std::vector<std::uint64_t> probes;
+  resolve_serial(g, coins, m, probes);
   return m;
 }
 
-Matching MatchingGenerator::next() { return resolve(*graph_, flip_round_coins()); }
+void MatchingGenerator::resolve(const Coins& coins, Matching& out) {
+  const graph::Graph& g = *graph_;
+  const NodeId n = g.num_nodes();
+  DGC_REQUIRE(coins.active.size() == n && coins.probe.size() == n, "coin size mismatch");
+  out.partner.assign(n, kInvalidNode);
+  out.edges.clear();
+
+  const std::size_t blocks =
+      pool_ != nullptr && pool_->size() > 1 ? pool_->blocks_for(n, kBlockGrain) : 1;
+  if (blocks <= 1) {
+    if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
+    resolve_serial(g, coins, out, probes_scratch_);
+    return;
+  }
+
+  // Parallel path: one fused probe-count + accept pass per contiguous
+  // acceptor block.  A probe at v can only come from a neighbour of v and
+  // the graph is simple (each neighbour appears once in the adjacency
+  // list), so counting neighbours u with probe[u] == v counts v's probes
+  // exactly.  Writes are race-free: each acceptor v writes partner[v] and
+  // partner[u] for its unique prober u, and a node probes at most one
+  // target, so no two acceptors share a prober.  Per-block edge lists
+  // concatenated in block order equal the serial acceptor-order sweep for
+  // every block count, so the matching is bit-identical to resolve_serial.
+  if (block_edges_.size() < blocks) block_edges_.resize(blocks);
+  pool_->parallel_blocks(n, kBlockGrain, [&](std::size_t b, std::size_t begin,
+                                             std::size_t end) {
+    auto& edges = block_edges_[b];
+    edges.clear();
+    // Every acceptor in [begin, end) is distinct, so `end - begin` bounds
+    // the block's edges; reserving it once makes later rounds alloc-free.
+    if (edges.capacity() < end - begin) edges.reserve(end - begin);
+    for (NodeId v = static_cast<NodeId>(begin); v < static_cast<NodeId>(end); ++v) {
+      if (coins.active[v]) continue;
+      std::uint32_t probes = 0;
+      NodeId prober = kInvalidNode;
+      for (const NodeId u : g.neighbors(v)) {
+        if (coins.probe[u] == v) {
+          prober = u;
+          if (++probes > 1) break;
+        }
+      }
+      if (probes != 1) continue;
+      out.partner[v] = prober;
+      out.partner[prober] = v;
+      edges.emplace_back(std::min(prober, v), std::max(prober, v));
+    }
+  });
+  if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    out.edges.insert(out.edges.end(), block_edges_[b].begin(), block_edges_[b].end());
+  }
+}
+
+void MatchingGenerator::next(Matching& out) {
+  if (pool_ != nullptr && pool_->size() > 1) {
+    flip_round_coins(round_coins_);
+    resolve(round_coins_, out);
+    return;
+  }
+  // Fused serial path: flip and scatter in one sweep, consuming each
+  // node's probe straight from the registers — no probe array is written
+  // or re-read, saving a full O(n) pass per round.  Draw order, scatter
+  // order, and the accept sweep are identical to flip_round_coins +
+  // resolve, so the matching is bit-identical to the unfused paths
+  // (asserted by the protocol tests).
+  const NodeId n = graph_->num_nodes();
+  auto& active = round_coins_.active;
+  active.resize(n);
+  if (probes_scratch_.size() != n) probes_scratch_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeCoin coin = flip_node(v);
+    active[v] = coin.active ? 1 : 0;
+    if (coin.target != kInvalidNode) {
+      const std::uint64_t entry = probes_scratch_[coin.target];
+      probes_scratch_[coin.target] = (((entry >> 32) + 1) << 32) | v;
+    }
+  }
+  out.partner.assign(n, kInvalidNode);
+  out.edges.clear();
+  if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t entry = probes_scratch_[v];
+    probes_scratch_[v] = 0;
+    if (active[v] || (entry >> 32) != 1) continue;
+    const NodeId u = static_cast<NodeId>(entry);
+    out.partner[v] = u;
+    out.partner[u] = v;
+    out.edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+}
+
+Matching MatchingGenerator::next() {
+  Matching m;
+  next(m);
+  return m;
+}
 
 }  // namespace dgc::matching

@@ -20,6 +20,12 @@
 // node to itself averages nothing, exactly as G*'s self-loop matchings
 // would).  Activation can optionally be biased to 1/2 + (D−deg(v))/(2D),
 // the literal modification stated in §4.5; bench E9 compares the two.
+//
+// Hot path: every node owns an independent RNG stream, so coin flipping
+// is embarrassingly parallel, and resolution is block-parallel too (see
+// resolve below).  The in-place flip_round_coins/resolve/next overloads
+// reuse caller- and generator-owned buffers so steady-state rounds
+// allocate nothing.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,7 @@
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dgc::matching {
 
@@ -35,7 +42,10 @@ namespace dgc::matching {
 struct Matching {
   /// partner[v] = matched neighbour of v, or graph::kInvalidNode.
   std::vector<graph::NodeId> partner;
-  /// Matched edges with first < second.
+  /// Matched edges with first < second, listed in increasing order of the
+  /// accepting (non-active) endpoint.  That order is a pure function of
+  /// the coins — parallel resolution concatenates contiguous acceptor
+  /// blocks in block order — so it is identical for every thread count.
   std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
 
   [[nodiscard]] bool is_matched(graph::NodeId v) const {
@@ -58,14 +68,25 @@ struct ProtocolOptions {
 /// Stateful per-round matching sampler.  Every node owns an independent
 /// RNG stream forked from `seed`, so the sequence of matchings is a pure
 /// function of (graph, seed, options) — this is what lets the in-memory
-/// and message-passing engines replay identical randomness.
+/// and message-passing engines replay identical randomness, and what
+/// makes block-parallel flipping exact: workers only ever advance the
+/// streams of the nodes in their own block.
 class MatchingGenerator {
  public:
+  /// Nodes per parallel block: below 2 blocks' worth a pool can never
+  /// split the work, so callers should not bother attaching one.
+  static constexpr std::size_t kParallelGrain = 256;
+
   MatchingGenerator(const graph::Graph& g, std::uint64_t seed,
                     ProtocolOptions options = {});
 
   /// Samples the matching of the next round.
   [[nodiscard]] Matching next();
+
+  /// In-place variant for hot loops: refills `out`, reusing its capacity
+  /// (and the generator's scratch buffers) so steady-state rounds
+  /// allocate nothing.
+  void next(Matching& out);
 
   /// Per-node view of one round's coin flips — used by the distributed
   /// engine so its nodes flip the *same* coins through messages.
@@ -75,17 +96,55 @@ class MatchingGenerator {
   };
   [[nodiscard]] Coins flip_round_coins();
 
+  /// In-place variant; runs on the attached thread pool (if any) in
+  /// contiguous node blocks.  Exact for any worker count: each node's
+  /// coins come solely from its own stream.
+  void flip_round_coins(Coins& out);
+
   /// Deterministically resolves a matching from a set of coins (static:
   /// pure function; the distributed engine resolves via messages and must
   /// agree with this).
   [[nodiscard]] static Matching resolve(const graph::Graph& g, const Coins& coins);
 
+  /// In-place resolution using the generator's reusable scratch.  With a
+  /// thread pool attached, the probe-counting + accept pass runs over
+  /// contiguous acceptor blocks (each block scans its nodes' adjacency
+  /// lists; the graph is simple, so counting probing neighbours equals
+  /// counting probes) and per-block edge lists are concatenated in block
+  /// order — the same matching as the static resolve, with no per-round
+  /// sort and no allocation in the steady state.
+  void resolve(const Coins& coins, Matching& out);
+
+  /// Attaches (or detaches, with nullptr) a thread pool used by the
+  /// in-place flip/resolve paths.  The pool must outlive its use here;
+  /// results are bit-identical with and without a pool.
+  void use_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] util::ThreadPool* thread_pool() const noexcept { return pool_; }
+
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
 
  private:
+  /// One node's two coin draws.  `target` is the probed neighbour or
+  /// kInvalidNode (inactive node, or a virtual self-loop slot).
+  struct NodeCoin {
+    bool active;
+    graph::NodeId target;
+  };
+  NodeCoin flip_node(graph::NodeId v);
+
+  void flip_block(Coins& out, graph::NodeId begin, graph::NodeId end);
+
   const graph::Graph* graph_;
   ProtocolOptions options_;
   std::vector<util::Rng> node_rng_;
+  util::ThreadPool* pool_ = nullptr;
+
+  // Reusable per-round scratch (zero-allocation steady state).
+  Coins round_coins_;
+  /// Serial resolve scratch: probe count (high 32 bits) | last prober
+  /// (low 32 bits) per node; all-zero between rounds.
+  std::vector<std::uint64_t> probes_scratch_;
+  std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> block_edges_;
 };
 
 }  // namespace dgc::matching

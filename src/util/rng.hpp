@@ -92,6 +92,11 @@ class Rng {
   /// Bernoulli(p) coin flip.
   bool next_bool(double p) noexcept { return next_double() < p; }
 
+  /// Fair coin consuming one draw, bit-identical to next_bool(0.5):
+  /// (x >> 11) · 2^-53 < 0.5  ⇔  x >> 11 < 2^52  ⇔  x < 2^63.  Skips the
+  /// int→double conversion on the matching protocol's hot path.
+  bool next_bool_half() noexcept { return next() < (1ULL << 63); }
+
   /// Fair coin.
   bool next_bit() noexcept { return (next() >> 63) != 0; }
 

@@ -25,6 +25,12 @@ std::string format_double(double v) {
   return buf;
 }
 
+std::string format_cell(const Table::Cell& cell) {
+  if (std::holds_alternative<std::string>(cell)) return std::get<std::string>(cell);
+  if (std::holds_alternative<double>(cell)) return format_double(std::get<double>(cell));
+  return std::to_string(std::get<std::int64_t>(cell));
+}
+
 }  // namespace
 
 Table::Table(std::string title, std::vector<std::string> columns)
@@ -32,27 +38,24 @@ Table::Table(std::string title, std::vector<std::string> columns)
   DGC_REQUIRE(!columns_.empty(), "table needs at least one column");
 }
 
-Table& Table::row(std::vector<std::variant<std::string, double, std::int64_t>> cells) {
+Table& Table::row(std::vector<Cell> cells) {
   DGC_REQUIRE(cells.size() == columns_.size(), "row width must match header");
-  std::vector<std::string> out;
-  out.reserve(cells.size());
-  for (auto& cell : cells) {
-    if (std::holds_alternative<std::string>(cell)) {
-      out.push_back(std::get<std::string>(std::move(cell)));
-    } else if (std::holds_alternative<double>(cell)) {
-      out.push_back(format_double(std::get<double>(cell)));
-    } else {
-      out.push_back(std::to_string(std::get<std::int64_t>(cell)));
-    }
-  }
-  rows_.push_back(std::move(out));
+  cells_.push_back(std::move(cells));
   return *this;
 }
 
 void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(cells_.size());
+  for (const auto& r : cells_) {
+    std::vector<std::string> out;
+    out.reserve(r.size());
+    for (const auto& cell : r) out.push_back(format_cell(cell));
+    rendered.push_back(std::move(out));
+  }
   std::vector<std::size_t> width(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
-  for (const auto& r : rows_) {
+  for (const auto& r : rendered) {
     for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
   }
   os << "# " << title_ << '\n';
@@ -66,7 +69,7 @@ void Table::print(std::ostream& os) const {
     os << '\n';
   };
   emit(columns_);
-  for (const auto& r : rows_) emit(r);
+  for (const auto& r : rendered) emit(r);
   os << '\n';
 }
 

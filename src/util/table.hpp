@@ -2,10 +2,13 @@
 //
 // Every bench binary prints one or more of these tables; the format is
 // stable and machine-parsable: a `#`-prefixed title, a header row, and
-// whitespace-separated data rows.
+// whitespace-separated data rows.  Cells stay typed until rendering so
+// the same table can also be serialised losslessly (see the BENCH_*.json
+// writer in bench/common.hpp).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <variant>
@@ -15,21 +18,33 @@ namespace dgc::util {
 
 class Table {
  public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
   /// `title` becomes a `# title` comment line above the header.
   explicit Table(std::string title, std::vector<std::string> columns);
 
-  /// Appends a row; cells are stringified with sensible float formatting.
-  Table& row(std::vector<std::variant<std::string, double, std::int64_t>> cells);
+  /// Appends a row; cells are stringified with sensible float formatting
+  /// when the table is printed.
+  Table& row(std::vector<Cell> cells);
 
   /// Renders the aligned table.
   void print(std::ostream& os) const;
 
-  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  /// The typed cells, row-major — for machine-readable exports.
+  [[nodiscard]] const std::vector<std::vector<Cell>>& cell_rows() const noexcept {
+    return cells_;
+  }
 
  private:
   std::string title_;
   std::vector<std::string> columns_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> cells_;
 };
 
 }  // namespace dgc::util

@@ -99,6 +99,22 @@ void ThreadPool::parallel_for(std::size_t count,
   wait_idle();
 }
 
+std::size_t ThreadPool::blocks_for(std::size_t total, std::size_t grain) const {
+  if (total == 0) return 0;
+  const std::size_t by_grain = std::max<std::size_t>(total / std::max<std::size_t>(grain, 1), 1);
+  return std::min({by_grain, workers_.size() * 4, total});
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t blocks = blocks_for(total, grain);
+  if (blocks == 0) return;
+  parallel_for(blocks, [&](std::size_t b) {
+    fn(b, b * total / blocks, (b + 1) * total / blocks);
+  });
+}
+
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                               std::size_t threads) {
   if (count == 0) return;

@@ -79,6 +79,22 @@ class ThreadPool {
   static void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                            std::size_t threads);
 
+  /// Number of contiguous blocks parallel_blocks would split [0, total)
+  /// into: at least `grain` indices per block, at most 4 blocks per
+  /// worker.  Depends only on (total, grain, size()) — never on
+  /// scheduling — so callers can pre-size per-block scratch.
+  [[nodiscard]] std::size_t blocks_for(std::size_t total, std::size_t grain) const;
+
+  /// Runs fn(block, begin, end) over the blocks_for(total, grain)
+  /// contiguous blocks of [0, total).  Block boundaries are a pure
+  /// function of (total, grain, size()), and blocks cover increasing
+  /// disjoint ranges, so per-block results concatenated in block order
+  /// are identical for every worker count — the hook the matching
+  /// protocol uses to keep parallel rounds bit-deterministic.
+  void parallel_blocks(
+      std::size_t total, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -3,6 +3,7 @@
 // injection.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
 
 #include "core/clusterer.hpp"
@@ -26,30 +27,65 @@ graph::PlantedGraph make_instance(std::uint32_t k, graph::NodeId size, std::size
   return graph::clustered_regular(spec, rng);
 }
 
-// The coin-flip equivalence contract, over a k × seed × P grid: the
-// dense, message-passing, and sharded engines must produce identical
-// runs — seeds, IDs and labels, bit for bit — for both query rules.
+// The coin-flip equivalence contract, over a k × seed × P × hot-path
+// grid: the dense, message-passing, and sharded engines must produce
+// identical runs — seeds, IDs and labels, bit for bit — for both query
+// rules and for every combination of {parallel coins, skip-zeros}.  The
+// reference is the dense engine with the whole hot path off (the PR 2
+// round loop): the overhaul is pure scheduling and must never move a
+// label.
 class EngineEquivalence
     : public ::testing::TestWithParam<
-          std::tuple<std::tuple<std::uint32_t, std::uint64_t>, std::uint32_t>> {};
+          std::tuple<std::tuple<std::uint32_t, std::uint64_t>, std::uint32_t,
+                     std::tuple<bool, bool>>> {};
 
 TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
-  const auto [k_seed, shards] = GetParam();
+  const auto [k_seed, shards, hot_path] = GetParam();
   const auto [k, seed] = k_seed;
-  const auto planted = make_instance(k, 150, 10, 10 * k, seed);
+  const auto [parallel_coins, skip_zeros] = hot_path;
+  // 256 nodes per cluster keeps every instance (k >= 2 -> n >= 512) above
+  // the engines' coin-pool threshold, so the parallel_coins cells really
+  // exercise the pooled flip/resolve paths in every grid family.
+  const auto planted = make_instance(k, 256, 10, 10 * k, seed);
   core::ClusterConfig config;
   config.beta = 1.0 / static_cast<double>(k + 1);
   config.rounds = 60;
   config.seed = seed * 1000 + 1;
   core::ShardOptions options;
   options.shards = shards;
+  // Reference: everything off (the pre-overhaul schedule).  It depends
+  // only on (k, seed, rule), so cache it across the shard/hot-path grid
+  // instead of recomputing it 16x per (k, seed) — this suite also runs
+  // under TSan, where full cluster runs are expensive.
+  static std::map<std::tuple<std::uint32_t, std::uint64_t, core::QueryRule>,
+                  core::ClusterResult>
+      reference_cache;
   for (const auto rule : {core::QueryRule::kPaperMinId, core::QueryRule::kArgmax}) {
     config.query_rule = rule;
+    auto it = reference_cache.find({k, seed, rule});
+    if (it == reference_cache.end()) {
+      config.hot_path.parallel_coins = false;
+      config.hot_path.skip_zero_rows = false;
+      it = reference_cache
+               .emplace(std::make_tuple(k, seed, rule),
+                        core::Clusterer(planted.graph, config).run())
+               .first;
+    }
+    const core::ClusterResult& reference = it->second;
+
+    config.hot_path.parallel_coins = parallel_coins;
+    // Force a real pool even on 1-core CI machines so the parallel
+    // flip/resolve paths are exercised, not just compiled.
+    config.hot_path.coin_threads = parallel_coins ? 4 : 0;
+    config.hot_path.skip_zero_rows = skip_zeros;
     const auto dense = core::Clusterer(planted.graph, config).run();
     const auto distributed = core::DistributedClusterer(planted.graph, config).run();
     const auto sharded =
         core::ShardedClusterer(planted.graph, config, options).run();
     // Same coins, same protocol -> identical seeds, IDs and labels.
+    EXPECT_EQ(reference.seeds, dense.seeds);
+    EXPECT_EQ(reference.node_ids, dense.node_ids);
+    EXPECT_EQ(reference.labels, dense.labels);
     EXPECT_EQ(dense.seeds, distributed.result.seeds);
     EXPECT_EQ(dense.node_ids, distributed.result.node_ids);
     EXPECT_EQ(dense.labels, distributed.result.labels);
@@ -60,13 +96,17 @@ TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    KSeedShardGrid, EngineEquivalence,
+    KSeedShardHotPathGrid, EngineEquivalence,
     ::testing::Combine(::testing::Values(std::make_tuple(2u, 1u),
                                          std::make_tuple(2u, 2u),
                                          std::make_tuple(3u, 3u),
                                          std::make_tuple(4u, 4u),
                                          std::make_tuple(5u, 5u)),
-                       ::testing::Values(1u, 2u, 4u, 8u)));
+                       ::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(std::make_tuple(false, false),
+                                         std::make_tuple(false, true),
+                                         std::make_tuple(true, false),
+                                         std::make_tuple(true, true))));
 
 TEST(Distributed, ArgmaxRuleAlsoMatchesDense) {
   const auto planted = make_instance(3, 120, 8, 20, 77);

@@ -2,7 +2,9 @@
 // processes, including the statistical validation of Lemma 2.1.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 #include <vector>
 
@@ -220,6 +222,143 @@ TEST(Trajectory1d, RecordsAllSnapshots) {
   for (const auto& snap : snapshots) {
     EXPECT_NEAR(linalg::sum(snap), 1.0, 1e-9);
   }
+}
+
+TEST(MatchingProtocol, ParallelCoinsDeterministicAcrossThreadCounts) {
+  // The same (graph, seed) must yield the same coin flips and the same
+  // matching — partner vector AND edge order — for every worker count,
+  // including the serial fused path (no pool) used by next().
+  util::Rng rng(12);
+  const auto g = graph::random_regular(700, 8, rng);
+  matching::MatchingGenerator reference(g, 4242);
+  std::vector<matching::Matching> expected;
+  std::vector<matching::MatchingGenerator::Coins> expected_coins;
+  matching::MatchingGenerator coin_reference(g, 4242);
+  for (std::size_t round = 0; round < 6; ++round) {
+    expected.push_back(reference.next());
+    expected_coins.push_back(coin_reference.flip_round_coins());
+  }
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    matching::MatchingGenerator generator(g, 4242);
+    generator.use_thread_pool(&pool);
+    matching::MatchingGenerator::Coins coins;
+    matching::Matching m;
+    for (std::size_t round = 0; round < 6; ++round) {
+      generator.flip_round_coins(coins);
+      EXPECT_EQ(coins.active, expected_coins[round].active) << threads << " threads";
+      EXPECT_EQ(coins.probe, expected_coins[round].probe) << threads << " threads";
+      generator.resolve(coins, m);
+      EXPECT_EQ(m.partner, expected[round].partner) << threads << " threads";
+      EXPECT_EQ(m.edges, expected[round].edges) << threads << " threads";
+      EXPECT_TRUE(m.valid(g));
+    }
+  }
+}
+
+TEST(MatchingProtocol, PooledNextMatchesSerialNext) {
+  // next() switches between the fused serial path and the pooled
+  // flip+resolve path; both must produce identical matchings.
+  util::Rng rng(13);
+  const auto g = graph::random_regular(520, 6, rng);
+  matching::MatchingGenerator serial(g, 99);
+  matching::MatchingGenerator pooled(g, 99);
+  util::ThreadPool pool(4);
+  pooled.use_thread_pool(&pool);
+  matching::Matching ms;
+  matching::Matching mp;
+  for (int round = 0; round < 8; ++round) {
+    serial.next(ms);
+    pooled.next(mp);
+    EXPECT_EQ(ms.partner, mp.partner) << "round " << round;
+    EXPECT_EQ(ms.edges, mp.edges) << "round " << round;
+  }
+}
+
+TEST(LoadState, SkipZerosApplyBitIdenticalToDense) {
+  // Property test: for random graphs, random sparse initial states
+  // (including negative values and -0.0), and random matchings, the
+  // skip-zeros apply must leave every stored double bit-identical to the
+  // dense apply.
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    util::Rng rng(100 + trial);
+    const auto n = static_cast<graph::NodeId>(64 + 32 * trial);
+    const auto g = graph::random_regular(n, 6, rng);
+    const std::size_t dims = 1 + trial % 5;
+    matching::MultiLoadState dense(n, dims);
+    matching::MultiLoadState sparse(n, dims);
+    dense.set_skip_zeros(false);
+    sparse.set_skip_zeros(true);
+    // ~10% of rows start nonzero, with signed values and one -0.0 row.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (rng.next_bool(0.1)) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          const double value = rng.next_double() * 2.0 - 1.0;
+          dense.set(v, d, value);
+          sparse.set(v, d, value);
+        }
+      }
+    }
+    dense.set(0, 0, -0.0);
+    sparse.set(0, 0, -0.0);
+    matching::MatchingGenerator gen_a(g, 7000 + trial);
+    matching::MatchingGenerator gen_b(g, 7000 + trial);
+    for (int round = 0; round < 30; ++round) {
+      dense.apply(gen_a.next());
+      sparse.apply(gen_b.next());
+    }
+    for (graph::NodeId v = 0; v < n; ++v) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(dense.at(v, d)),
+                  std::bit_cast<std::uint64_t>(sparse.at(v, d)))
+            << "trial " << trial << " node " << v << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(LoadState, ActiveRowsDoubleAtMostPerRound) {
+  // §3.2 support growth: a zero row only becomes nonzero by averaging
+  // with a nonzero one, and a matching pairs each row at most once, so
+  // the flagged support can at most double per round (and never shrinks).
+  util::Rng rng(14);
+  const auto g = graph::random_regular(256, 8, rng);
+  matching::MultiLoadState state(256, 3);
+  state.set(5, 0, 1.0);
+  state.set(100, 1, 1.0);
+  state.set(200, 2, 1.0);
+  EXPECT_EQ(state.active_rows(), 3u);
+  matching::MatchingGenerator generator(g, 21);
+  std::size_t previous = state.active_rows();
+  for (int round = 0; round < 40; ++round) {
+    state.apply(generator.next());
+    const std::size_t active = state.active_rows();
+    EXPECT_GE(active, previous);
+    EXPECT_LE(active, 2 * previous);
+    previous = active;
+  }
+  EXPECT_GT(previous, 3u);  // mass has spread
+  // Flags are sound: every row with a nonzero value is flagged.
+  for (graph::NodeId v = 0; v < 256; ++v) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (state.at(v, d) != 0.0) {
+        EXPECT_TRUE(state.row_active(v));
+      }
+    }
+  }
+}
+
+TEST(LoadState, SkipZerosToggleKeepsValues) {
+  matching::MultiLoadState state(4, 2);
+  EXPECT_TRUE(state.skip_zeros());
+  state.set(0, 0, 3.0);
+  state.average_pair(0, 1);  // activates row 1
+  state.set_skip_zeros(false);
+  state.average_pair(2, 3);  // dense: averages two zero rows, stays zero
+  EXPECT_EQ(state.active_rows(), 2u);
+  EXPECT_NEAR(state.at(0, 0), 1.5, 1e-12);
+  EXPECT_NEAR(state.at(1, 0), 1.5, 1e-12);
+  EXPECT_EQ(state.at(2, 0), 0.0);
 }
 
 TEST(MatchingProtocol, ProjectionProperty) {
