@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 64));
   const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 40000));
+  cli.reject_unknown();
 
   bench::banner("E1",
                 "Lemma 2.1: E[M] = (1 - dbar/4) I + (dbar/4) P; M is a projection",

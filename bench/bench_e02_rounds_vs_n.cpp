@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto degree = static_cast<std::size_t>(cli.get_int("degree", 16));
   const double phi = cli.get_double("phi", 0.02);
   const auto max_log2 = static_cast<int>(cli.get_int("max_log2", 16));
+  cli.reject_unknown();
 
   bench::banner("E2", "Theorem 1.1: T = Theta(log n / (1 - lambda_{k+1})) rounds suffice",
                 "k=4 regular expander clusters, fixed conductance, n sweep");

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(cli.get_int("k", 4));
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
   const auto degree = static_cast<std::size_t>(cli.get_int("degree", 16));
+  cli.reject_unknown();
 
   bench::banner("E3", "Theorem 1.1: misclassified nodes = o(n) under the gap condition",
                 "k=4 planted clusters, conductance sweep -> Upsilon sweep");

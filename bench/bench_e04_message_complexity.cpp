@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto degree = static_cast<std::size_t>(cli.get_int("degree", 16));
   const double phi = cli.get_double("phi", 0.02);
+  cli.reject_unknown();
 
   bench::banner("E4", "Theorem 1.1: message complexity O(T n k log k) words; <= n/2 "
                       "matched edges per round (vs Theta(m)/round baselines)",

@@ -92,6 +92,7 @@ void run_family(const std::string& family, const graph::PlantedGraph& planted,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
+  cli.reject_unknown();
 
   bench::banner("E5", "Simple distributed load balancing matches centralised spectral "
                       "quality on well-clustered graphs",

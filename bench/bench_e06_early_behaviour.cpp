@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 800));
   const auto trials = static_cast<std::size_t>(cli.get_int("trials", 8));
+  cli.reject_unknown();
 
   bench::banner("E6", "Lemma 4.1: E||Q y0 - y(t)|| <= 2 sqrt(t(1-lambda_k)) ||Q y0|| + o(1); "
                       "Remark 1: error grows again for t >> T",

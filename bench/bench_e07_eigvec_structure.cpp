@@ -13,6 +13,7 @@ using namespace dgc;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
+  cli.reject_unknown();
 
   bench::banner("E7", "Lemma 4.2: ||chi_hat_i - f_i|| <= Theta(k sqrt(k/Upsilon))",
                 "planted clusters; conductance sweep -> Upsilon sweep; k in {2,4}");

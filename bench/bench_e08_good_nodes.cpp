@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
   const auto k = static_cast<std::uint32_t>(cli.get_int("k", 4));
+  cli.reject_unknown();
 
   bench::banner("E8", "Good-node counting: #bad <= beta n / (C k log n log 1/beta); "
                       "Lemma 4.3: good seeds converge to chi_S",

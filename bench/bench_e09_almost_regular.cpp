@@ -17,6 +17,7 @@ using namespace dgc;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 1000));
+  cli.reject_unknown();
 
   bench::banner("E9", "Section 4.5: the algorithm works on almost-regular graphs via "
                       "self-loop padding to degree D",

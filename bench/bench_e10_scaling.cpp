@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto k = static_cast<std::uint32_t>(cli.get_int("k", 4));
   const auto max_log2 = static_cast<int>(cli.get_int("max_log2", 17));
+  cli.reject_unknown();
 
   bench::banner("E10", "Section 1.2: O(log n) rounds, O(n log n) messages for k = Theta(1); "
                        "near-linear sequential time",

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 4096));
   const auto runs = static_cast<std::size_t>(cli.get_int("runs", 2000));
+  cli.reject_unknown();
 
   bench::banner("E11", "Seeding: every cluster hit w.p. >= 1 - k e^{-3}; E[s] = sbar; "
                        "all seeds good w.c.p.",

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 750));
   const auto k = static_cast<std::uint32_t>(cli.get_int("k", 4));
+  cli.reject_unknown();
 
   bench::banner("E12", "Ablations: query threshold reading, min-ID vs argmax, rounds "
                        "multiplier",

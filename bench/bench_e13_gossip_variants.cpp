@@ -50,6 +50,7 @@ std::size_t rounds_until(matching::MultiLoadState& state,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 600));
+  cli.reject_unknown();
 
   bench::banner("E13 (extension)",
                 "Abstract: the early-behaviour tool applies to other gossip "

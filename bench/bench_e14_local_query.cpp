@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto size = static_cast<graph::NodeId>(cli.get_int("size", 600));
   const auto pairs = static_cast<std::size_t>(cli.get_int("pairs", 40));
+  cli.reject_unknown();
 
   bench::banner("E14 (extension)",
                 "Section 1.2: local/property-testing use — same-cluster pair queries "

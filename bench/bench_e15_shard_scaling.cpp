@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   const auto min_log2 = static_cast<int>(cli.get_int("min_log2", 13));
   const auto max_log2 = static_cast<int>(cli.get_int("max_log2", 16));
   const bool bfs = cli.get_bool("bfs", false);
+  const std::string json_path = cli.get("json", "BENCH_E15.json");
+  cli.reject_unknown();
   const auto mode = bfs ? graph::PartitionMode::kBfs : graph::PartitionMode::kRange;
 
   bench::banner("E15",
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
-  bench::write_bench_json(cli.get("json", "BENCH_E15.json"), "E15", {&table});
+  bench::write_bench_json(json_path, "E15", {&table});
   std::cout << "# PASS criteria: labels_eq = yes everywhere (sharding never changes a\n"
                "# label); speedup > 1 for P > 1 on multi-core hardware, growing with n;\n"
                "# cross_words tracks the partition cut (P=1 => 0 cross words).\n";

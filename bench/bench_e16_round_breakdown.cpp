@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
   const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
   const bool scaling = cli.get_bool("thread_scaling", true);
   const std::string json_path = cli.get("json", "BENCH_E16.json");
+  cli.reject_unknown();
 
   bench::banner(
       "E16",

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   config.rounds_multiplier = 2.0;
   config.query_rule = core::QueryRule::kArgmax;
   config.seed = cli.get_uint64("seed", 7);
+  cli.reject_unknown();
   util::Timer timer;
   const auto report = core::DistributedClusterer(g, config).run();
   const double dgc_seconds = timer.seconds();

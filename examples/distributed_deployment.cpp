@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   config.k_hint = sites;
   config.rounds_multiplier = 2.0;
   config.seed = cli.get_uint64("seed", 5);
+  cli.reject_unknown();
 
   std::printf("network: %u nodes over %u sites, %zu links\n\n",
               planted.graph.num_nodes(), sites, planted.graph.num_edges());

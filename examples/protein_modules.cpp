@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   config.protocol.virtual_degree = loaded.max_degree();        // §4.5 padding
   config.protocol.degree_biased_activation = true;             // §4.5 literal
   config.seed = cli.get_uint64("seed", 13);
+  cli.reject_unknown();
   const auto result = core::Clusterer(loaded, config).run();
 
   const auto compacted = metrics::compact(result.labels);

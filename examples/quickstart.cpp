@@ -44,9 +44,14 @@ int main(int argc, char** argv) {
   // watch a cluster miss its seed and come back unclustered).
   const auto s_bar = core::default_seeding_trials(config.beta);
   config.seeding_trials = cli.get_uint64("trials", 2) * s_bar;
+  const std::string labels_out = cli.get("labels_out", "");
+  cli.reject_unknown();
 
   // 3. Run the three procedures (seeding -> averaging -> query).
   const core::ClusterResult result = core::Clusterer(planted.graph, config).run();
+  // The CLI smoke test diffs these against `dgc cluster` on the same
+  // instance saved to a file: ingestion must not change a single label.
+  if (!labels_out.empty()) core::save_labels(labels_out, result.labels);
 
   // 4. Labels are seed IDs; compact them to 0..c-1 for downstream use.
   const auto compacted = metrics::compact(result.labels);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/builder.hpp"
 #include "linalg/lanczos.hpp"
 #include "linalg/walk_matrix.hpp"
 #include "util/require.hpp"
@@ -94,17 +95,16 @@ std::pair<std::vector<graph::NodeId>, std::vector<graph::NodeId>> split_part(
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     local_id[nodes[i]] = static_cast<graph::NodeId>(i);
   }
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  graph::GraphBuilder builder(static_cast<graph::NodeId>(nodes.size()));
   for (const auto v : nodes) {
     for (const auto u : g.neighbors(v)) {
       if (local_id[u] != graph::kInvalidNode && v < u) {
-        edges.emplace_back(local_id[v], local_id[u]);
+        builder.add_edge(local_id[v], local_id[u]);
       }
     }
   }
-  if (edges.empty()) return {};
-  const graph::Graph sub =
-      graph::Graph::from_edges(static_cast<graph::NodeId>(nodes.size()), std::move(edges));
+  if (builder.edges_added() == 0) return {};
+  const graph::Graph sub = builder.build();
   if (sub.min_degree() == 0) return {};
 
   const auto cut = fiedler_sweep_cut(sub, seed);

@@ -1,6 +1,8 @@
 #include "core/summary.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <fstream>
 #include <unordered_map>
 
 #include "graph/analysis.hpp"
@@ -61,6 +63,40 @@ PartitionSummary summarize_partition(const graph::Graph& g,
   summary.beta_hat =
       static_cast<double>(min_size) / static_cast<double>(labels.size());
   return summary;
+}
+
+void save_labels(const std::string& file_path, std::span<const std::uint64_t> labels) {
+  std::string out;
+  out.reserve(labels.size() * 8);
+  char buf[24];
+  for (const auto label : labels) {
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, label);
+    (void)ec;
+    out.append(buf, ptr);
+    out += '\n';
+  }
+  std::ofstream os(file_path, std::ios::binary | std::ios::trunc);
+  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  DGC_REQUIRE(os.good(), "failed to write: " + file_path);
+}
+
+std::vector<std::uint64_t> load_labels(const std::string& file_path) {
+  std::ifstream is(file_path);
+  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
+  std::vector<std::uint64_t> labels;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + line.size(), value);
+    DGC_REQUIRE(ec == std::errc() && ptr == line.data() + line.size(),
+                "malformed label line: " + line);
+    labels.push_back(value);
+  }
+  return labels;
 }
 
 }  // namespace dgc::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -37,5 +38,13 @@ struct PartitionSummary {
 /// Summarises raw labels (seed IDs + sentinel) against the graph.
 [[nodiscard]] PartitionSummary summarize_partition(const graph::Graph& g,
                                                    std::span<const std::uint64_t> labels);
+
+/// Writes one decimal label per line (node order).  The quickstart
+/// example and `dgc cluster` both use this, so their outputs are
+/// byte-comparable — the CLI smoke test diffs them.
+void save_labels(const std::string& file_path, std::span<const std::uint64_t> labels);
+
+/// Inverse of save_labels (blank lines ignored).
+[[nodiscard]] std::vector<std::uint64_t> load_labels(const std::string& file_path);
 
 }  // namespace dgc::core

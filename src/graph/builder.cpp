@@ -1,0 +1,162 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dgc::graph {
+
+namespace {
+
+/// Edges per block for the parallel count/scatter passes.
+constexpr std::size_t kEdgeGrain = std::size_t{1} << 15;
+/// Nodes per block for the parallel sort/unique and compaction passes.
+constexpr std::size_t kNodeGrain = std::size_t{1} << 14;
+
+}  // namespace
+
+void GraphBuilder::ensure_nodes(NodeId n) { nodes_ = std::max(nodes_, n); }
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DGC_REQUIRE(u != v, "self-loops are not allowed");
+  if (fixed_) {
+    DGC_REQUIRE(u < nodes_ && v < nodes_, "edge endpoint out of range");
+  } else {
+    DGC_REQUIRE(std::max(u, v) < kInvalidNode, "edge endpoint exceeds the NodeId range");
+    nodes_ = std::max(nodes_, std::max(u, v) + 1);
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build(util::ThreadPool* pool) {
+  const std::size_t n = nodes_;
+  // The parallel count/scatter passes keep one n-sized histogram per
+  // edge block; raise the grain so that scratch stays within ~one raw
+  // adjacency array (blocks <= m/n, i.e. <= d_avg/2 histograms).  Very
+  // sparse graphs degrade to a serial placement, which is memory-bound
+  // anyway; dedup/compaction stay node-parallel regardless.
+  std::size_t edge_grain = kEdgeGrain;
+  if (n > 0) {
+    const std::size_t max_blocks = std::max<std::size_t>(1, edges_.size() / n);
+    edge_grain = std::max(edge_grain, edges_.size() / max_blocks + 1);
+  }
+  const std::size_t edge_blocks =
+      pool != nullptr ? pool->blocks_for(edges_.size(), edge_grain) : 1;
+  const bool parallel = pool != nullptr && edge_blocks > 1;
+
+  // Pass 1: count both endpoints of every buffered edge (duplicates
+  // included) into raw_offsets[v + 1].  Parallel mode keeps one
+  // histogram per edge block so pass 2 can hand every block a disjoint
+  // cursor range and still lay buckets out in serial edge order.
+  std::vector<std::uint64_t> raw_offsets(n + 1, 0);
+  std::vector<std::vector<std::uint64_t>> block_counts;
+  if (parallel) {
+    block_counts.assign(edge_blocks, {});
+    pool->parallel_blocks(edges_.size(), edge_grain,
+                          [&](std::size_t block, std::size_t begin, std::size_t end) {
+                            auto& counts = block_counts[block];
+                            counts.assign(n, 0);
+                            for (std::size_t i = begin; i < end; ++i) {
+                              ++counts[edges_[i].first];
+                              ++counts[edges_[i].second];
+                            }
+                          });
+    // Turn per-block counts into per-block starting cursors in place:
+    // block b's bucket segment for node v follows the segments of every
+    // earlier block, so concatenation reproduces serial edge order.
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t total = 0;
+      for (auto& counts : block_counts) {
+        const std::uint64_t c = counts[v];
+        counts[v] = total;
+        total += c;
+      }
+      raw_offsets[v + 1] = total;
+    }
+  } else {
+    for (const auto& [u, v] : edges_) {
+      ++raw_offsets[u + 1];
+      ++raw_offsets[v + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) raw_offsets[v + 1] += raw_offsets[v];
+
+  // Pass 2: scatter both directions into the per-node buckets.
+  std::vector<NodeId> raw_adjacency(edges_.size() * 2);
+  if (parallel) {
+    pool->parallel_blocks(
+        edges_.size(), edge_grain,
+        [&](std::size_t block, std::size_t begin, std::size_t end) {
+          auto& cursor = block_counts[block];
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto [u, v] = edges_[i];
+            raw_adjacency[raw_offsets[u] + cursor[u]++] = v;
+            raw_adjacency[raw_offsets[v] + cursor[v]++] = u;
+          }
+        });
+    block_counts.clear();
+    block_counts.shrink_to_fit();
+  } else {
+    std::vector<std::uint64_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      raw_adjacency[cursor[u]++] = v;
+      raw_adjacency[cursor[v]++] = u;
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort + unique every bucket; unique_degree feeds the final offsets.
+  std::vector<std::uint64_t> unique_degree(n, 0);
+  const auto dedup_nodes = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto first =
+          raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]);
+      const auto last =
+          raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v + 1]);
+      std::sort(first, last);
+      unique_degree[v] =
+          static_cast<std::uint64_t>(std::unique(first, last) - first);
+    }
+  };
+  if (pool != nullptr && pool->blocks_for(n, kNodeGrain) > 1) {
+    pool->parallel_blocks(n, kNodeGrain,
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            dedup_nodes(begin, end);
+                          });
+  } else {
+    dedup_nodes(0, n);
+  }
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + unique_degree[v];
+
+  // Compact the deduplicated runs into the final CSR.
+  g.adjacency_.resize(g.offsets_[n]);
+  const auto compact_nodes = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::copy_n(raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]),
+                  unique_degree[v],
+                  g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
+    }
+  };
+  if (pool != nullptr && pool->blocks_for(n, kNodeGrain) > 1) {
+    pool->parallel_blocks(n, kNodeGrain,
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            compact_nodes(begin, end);
+                          });
+  } else {
+    compact_nodes(0, n);
+  }
+
+  g.finalize_degrees();
+  // Leave the builder ready for a fresh graph: a fixed-size builder
+  // keeps its node count (that is its contract), an auto-growing one
+  // starts over from zero.
+  if (!fixed_) nodes_ = 0;
+  return g;
+}
+
+}  // namespace dgc::graph

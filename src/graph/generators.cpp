@@ -1,5 +1,7 @@
 #include "graph/generators.hpp"
 
+#include "graph/builder.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -226,15 +228,15 @@ PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
   const NodeId s = spec.nodes_per_cluster;
   const std::uint32_t k = spec.clusters;
   const NodeId n = s * k;
-  std::vector<Edge> edges;
+  GraphBuilder builder(n);
 
-  // Intra-block pairs.
+  // Intra-block pairs, streamed straight into the builder.
   const std::uint64_t intra_pairs = static_cast<std::uint64_t>(s) * (s - 1) / 2;
   for (std::uint32_t c = 0; c < k; ++c) {
     const NodeId block_base = c * s;
     sample_bernoulli_indices(intra_pairs, spec.p_in, rng, [&](std::uint64_t r) {
       const auto [i, j] = unrank_triangular(r, s);
-      edges.emplace_back(block_base + i, block_base + j);
+      builder.add_edge(block_base + i, block_base + j);
     });
   }
   // Inter-block rectangles, one per ordered pair a < b.
@@ -244,13 +246,13 @@ PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
       sample_bernoulli_indices(rect, spec.p_out, rng, [&](std::uint64_t r) {
         const auto i = static_cast<NodeId>(r / s);
         const auto j = static_cast<NodeId>(r % s);
-        edges.emplace_back(a * s + i, b * s + j);
+        builder.add_edge(a * s + i, b * s + j);
       });
     }
   }
 
   PlantedGraph out;
-  out.graph = Graph::from_edges(n, std::move(edges));
+  out.graph = builder.build();
   out.membership.resize(n);
   for (NodeId v = 0; v < n; ++v) out.membership[v] = v / s;
   out.num_clusters = k;
@@ -261,27 +263,27 @@ PlantedGraph ring_of_cliques(std::uint32_t k, NodeId clique_size) {
   DGC_REQUIRE(k >= 2, "need at least two cliques");
   DGC_REQUIRE(clique_size >= 3, "cliques need at least three nodes");
   const NodeId n = k * clique_size;
-  std::vector<Edge> edges;
+  GraphBuilder builder(n);
   for (std::uint32_t c = 0; c < k; ++c) {
     const NodeId block_base = c * clique_size;
     for (NodeId i = 0; i < clique_size; ++i) {
       for (NodeId j = i + 1; j < clique_size; ++j) {
-        edges.emplace_back(block_base + i, block_base + j);
+        builder.add_edge(block_base + i, block_base + j);
       }
     }
   }
   if (k == 2) {
     // Two disjoint bridges so the graph is simple and 2-edge-connected.
-    edges.emplace_back(0, clique_size);
-    edges.emplace_back(1, clique_size + 1);
+    builder.add_edge(0, clique_size);
+    builder.add_edge(1, clique_size + 1);
   } else {
     for (std::uint32_t c = 0; c < k; ++c) {
       const std::uint32_t next = (c + 1) % k;
-      edges.emplace_back(c * clique_size, next * clique_size + 1);
+      builder.add_edge(c * clique_size, next * clique_size + 1);
     }
   }
   PlantedGraph out;
-  out.graph = Graph::from_edges(n, std::move(edges));
+  out.graph = builder.build();
   out.membership.resize(n);
   for (NodeId v = 0; v < n; ++v) out.membership[v] = v / clique_size;
   out.num_clusters = k;
@@ -292,43 +294,43 @@ PlantedGraph almost_regular_clusters(const ClusteredRegularSpec& spec, double dr
                                      util::Rng& rng) {
   DGC_REQUIRE(drop_prob >= 0.0 && drop_prob < 0.5, "drop_prob must be in [0, 0.5)");
   PlantedGraph planted = clustered_regular(spec, rng);
-  std::vector<Edge> kept;
-  kept.reserve(planted.graph.num_edges());
+  GraphBuilder builder(planted.graph.num_nodes());
+  builder.reserve_edges(planted.graph.num_edges());
   planted.graph.for_each_edge([&](NodeId u, NodeId v) {
-    if (!rng.next_bool(drop_prob)) kept.emplace_back(u, v);
+    if (!rng.next_bool(drop_prob)) builder.add_edge(u, v);
   });
-  planted.graph = Graph::from_edges(planted.graph.num_nodes(), std::move(kept));
+  planted.graph = builder.build();
   return planted;
 }
 
 Graph path(NodeId n) {
   DGC_REQUIRE(n >= 2, "path needs at least two nodes");
-  std::vector<Edge> edges;
-  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
-  return Graph::from_edges(n, std::move(edges));
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return builder.build();
 }
 
 Graph cycle(NodeId n) {
   DGC_REQUIRE(n >= 3, "cycle needs at least three nodes");
-  std::vector<Edge> edges;
-  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
-  return Graph::from_edges(n, std::move(edges));
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return builder.build();
 }
 
 Graph complete(NodeId n) {
   DGC_REQUIRE(n >= 2, "complete graph needs at least two nodes");
-  std::vector<Edge> edges;
+  GraphBuilder builder(n);
   for (NodeId i = 0; i < n; ++i) {
-    for (NodeId j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+    for (NodeId j = i + 1; j < n; ++j) builder.add_edge(i, j);
   }
-  return Graph::from_edges(n, std::move(edges));
+  return builder.build();
 }
 
 Graph star(NodeId n) {
   DGC_REQUIRE(n >= 2, "star needs at least two nodes");
-  std::vector<Edge> edges;
-  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
-  return Graph::from_edges(n, std::move(edges));
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build();
 }
 
 }  // namespace dgc::graph

@@ -2,47 +2,75 @@
 
 #include <algorithm>
 
+#include "graph/builder.hpp"
 #include "util/require.hpp"
 
 namespace dgc::graph {
 
 Graph Graph::from_edges(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) {
-  for (auto& [u, v] : edges) {
-    DGC_REQUIRE(u < n && v < n, "edge endpoint out of range");
-    DGC_REQUIRE(u != v, "self-loops are not allowed");
-    if (u > v) std::swap(u, v);
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  GraphBuilder builder(n);
+  builder.reserve_edges(edges.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  edges.clear();
+  return builder.build();
+}
 
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency) {
+  DGC_REQUIRE(!offsets.empty(), "CSR offsets must have size n+1 >= 1");
+  DGC_REQUIRE(offsets.front() == 0, "CSR offsets must start at 0");
+  DGC_REQUIRE(offsets.back() == adjacency.size(),
+              "CSR offsets must end at the adjacency length");
+  DGC_REQUIRE(adjacency.size() % 2 == 0, "undirected CSR needs an even adjacency length");
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  // Validate every offset before touching adjacency: a single decreasing
+  // pair further down must not let an earlier node's run read past the
+  // adjacency array.
+  for (NodeId v = 0; v < n; ++v) {
+    DGC_REQUIRE(offsets[v] <= offsets[v + 1], "CSR offsets must be non-decreasing");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const NodeId u = adjacency[i];
+      DGC_REQUIRE(u < n, "CSR neighbour out of range");
+      DGC_REQUIRE(u != v, "CSR contains a self-loop");
+      DGC_REQUIRE(i == offsets[v] || adjacency[i - 1] < u,
+                  "CSR adjacency must be strictly increasing per node");
+    }
+  }
+  // Symmetry in O(m): arcs (v, u) arrive in increasing v for every u, so
+  // walking each node's run with a monotone cursor must consume it slot
+  // by slot — any mismatch, and any cursor not ending exactly at its
+  // run's end, means a one-sided arc.
+  {
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        const NodeId u = adjacency[i];
+        DGC_REQUIRE(cursor[u] < offsets[u + 1] && adjacency[cursor[u]] == v,
+                    "CSR adjacency is not symmetric");
+        ++cursor[u];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      DGC_REQUIRE(cursor[v] == offsets[v + 1], "CSR adjacency is not symmetric");
+    }
+  }
   Graph g;
-  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (const auto& [u, v] : edges) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
-  }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
-
-  g.adjacency_.resize(edges.size() * 2);
-  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const auto& [u, v] : edges) {
-    g.adjacency_[cursor[u]++] = v;
-    g.adjacency_[cursor[v]++] = u;
-  }
-  for (NodeId v = 0; v < n; ++v) {
-    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
-    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
-    std::sort(begin, end);
-  }
-
-  g.max_degree_ = 0;
-  g.min_degree_ = n > 0 ? g.adjacency_.size() : 0;
-  for (NodeId v = 0; v < n; ++v) {
-    const std::size_t d = g.degree(v);
-    g.max_degree_ = std::max(g.max_degree_, d);
-    g.min_degree_ = std::min(g.min_degree_, d);
-  }
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.finalize_degrees();
   return g;
+}
+
+void Graph::finalize_degrees() {
+  const NodeId n = num_nodes();
+  max_degree_ = 0;
+  min_degree_ = n > 0 ? adjacency_.size() : 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t d = degree(v);
+    max_degree_ = std::max(max_degree_, d);
+    min_degree_ = std::min(min_degree_, d);
+  }
 }
 
 std::span<const NodeId> Graph::neighbors(NodeId v) const {

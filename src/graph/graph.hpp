@@ -36,8 +36,16 @@ class Graph {
 
   /// Builds from an undirected edge list on nodes `0 … n-1`.
   /// Duplicate edges (in either orientation) are collapsed; self-loops
-  /// are a contract violation.
+  /// are a contract violation.  Thin wrapper over graph::GraphBuilder
+  /// (builder.hpp), which is the streaming / parallel construction path.
   static Graph from_edges(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  /// Adopts a ready-made CSR after validating every class invariant:
+  /// offsets has size n+1, starts at 0, is non-decreasing and ends at
+  /// adjacency.size(); every adjacency run is strictly increasing (sorted,
+  /// no duplicates), in range, self-loop free, and symmetric.  This is the
+  /// trust boundary for the binary graph loader (io.hpp).
+  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency);
 
   [[nodiscard]] NodeId num_nodes() const noexcept {
     return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
@@ -76,7 +84,16 @@ class Graph {
     }
   }
 
+  /// Raw CSR views for serialisation (io.hpp) and bit-identity tests.
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const NodeId> adjacency() const noexcept { return adjacency_; }
+
  private:
+  friend class GraphBuilder;
+
+  /// Recomputes min/max degree from the CSR arrays.
+  void finalize_degrees();
+
   std::vector<std::uint64_t> offsets_;  // size n+1
   std::vector<NodeId> adjacency_;       // size 2m, sorted within each node
   std::size_t max_degree_ = 0;

@@ -1,93 +1,452 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
 #include <fstream>
-#include <sstream>
-#include <string>
+#include <istream>
+#include <ostream>
 
+#include "graph/builder.hpp"
 #include "util/require.hpp"
 
 namespace dgc::graph {
 
-void write_edge_list(std::ostream& os, const Graph& g) {
-  os << "# nodes " << g.num_nodes() << '\n';
-  g.for_each_edge([&](NodeId u, NodeId v) { os << u << ' ' << v << '\n'; });
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fast text scanning over a slurped buffer.
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+void skip_spaces(const char*& p, const char* end) {
+  while (p != end && is_space(*p)) ++p;
 }
 
-Graph read_edge_list(std::istream& is) {
-  std::vector<std::pair<NodeId, NodeId>> edges;
+template <typename Int>
+bool parse_int(const char*& p, const char* end, Int& out) {
+  const auto [ptr, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc() || ptr == p) return false;
+  p = ptr;
+  return true;
+}
+
+/// Pops the next line (without the terminator; trailing '\r' stripped).
+/// Returns false when the text is exhausted.
+bool next_line(std::string_view& rest, std::string_view& line) {
+  if (rest.empty()) return false;
+  const auto pos = rest.find('\n');
+  if (pos == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, pos);
+    rest.remove_prefix(pos + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return true;
+}
+
+std::string slurp_stream(std::istream& is) {
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+std::string slurp_file(const std::string& file_path) {
+  std::ifstream is(file_path, std::ios::binary);
+  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamsize>(is.tellg());
+  DGC_REQUIRE(size >= 0, "cannot determine file size: " + file_path);
+  is.seekg(0, std::ios::beg);
+  std::string data(static_cast<std::size_t>(size), '\0');
+  is.read(data.data(), size);
+  DGC_REQUIRE(is.gcount() == size, "short read: " + file_path);
+  return data;
+}
+
+void write_file(const std::string& file_path, const std::string& data) {
+  std::ofstream os(file_path, std::ios::binary | std::ios::trunc);
+  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  DGC_REQUIRE(os.good(), "failed to write: " + file_path);
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+std::string render_edge_list(const Graph& g) {
+  std::string out;
+  out.reserve(g.num_edges() * 14 + 32);
+  out += "# nodes ";
+  append_uint(out, g.num_nodes());
+  out += '\n';
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    append_uint(out, u);
+    out += ' ';
+    append_uint(out, v);
+    out += '\n';
+  });
+  return out;
+}
+
+std::string render_metis(const Graph& g) {
+  std::string out;
+  out.reserve(g.adjacency().size() * 7 + 32);
+  append_uint(out, g.num_nodes());
+  out += ' ';
+  append_uint(out, g.num_edges());
+  out += '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool first = true;
+    for (const NodeId u : g.neighbors(v)) {
+      if (!first) out += ' ';
+      append_uint(out, u + std::uint64_t{1});
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binary .dgcg header.
+
+constexpr char kMagic[4] = {'D', 'G', 'C', 'G'};
+constexpr std::uint32_t kEndianMarker = 0x01020304u;
+constexpr std::uint32_t kVersion = 1;
+
+struct BinaryHeader {
+  char magic[4];
+  std::uint32_t endian;
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t num_nodes;
+  std::uint64_t adjacency_len;
+};
+static_assert(sizeof(BinaryHeader) == 32, "binary header layout must be stable");
+
+/// Reads `count` elements in bounded chunks, so a corrupt header cannot
+/// demand a giant allocation up front: a truncated stream fails after at
+/// most one chunk of over-allocation, not after resizing to the header's
+/// claim.
+template <typename T>
+std::vector<T> read_array(std::istream& is, std::uint64_t count, const char* what) {
+  constexpr std::uint64_t kChunkElems = (std::uint64_t{1} << 22) / sizeof(T);  // 4 MB
+  std::vector<T> out;
+  while (out.size() < count) {
+    const auto take = std::min<std::uint64_t>(kChunkElems, count - out.size());
+    const std::size_t old = out.size();
+    if (out.capacity() < old + take) {
+      out.reserve(std::max<std::size_t>(old * 2, old + static_cast<std::size_t>(take)));
+    }
+    out.resize(old + static_cast<std::size_t>(take));
+    const auto bytes = static_cast<std::streamsize>(take * sizeof(T));
+    is.read(reinterpret_cast<char*>(out.data() + old), bytes);
+    DGC_REQUIRE(is.gcount() == bytes, std::string("truncated binary graph ") + what);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Format names and detection.
+
+std::string_view to_string(GraphFormat format) noexcept {
+  switch (format) {
+    case GraphFormat::kEdgeList: return "edges";
+    case GraphFormat::kMetis: return "metis";
+    case GraphFormat::kBinary: return "binary";
+    case GraphFormat::kAuto: break;
+  }
+  return "auto";
+}
+
+GraphFormat parse_format(std::string_view name) {
+  if (name == "auto") return GraphFormat::kAuto;
+  if (name == "edges" || name == "edgelist" || name == "el") return GraphFormat::kEdgeList;
+  if (name == "metis" || name == "graph") return GraphFormat::kMetis;
+  if (name == "binary" || name == "dgcg") return GraphFormat::kBinary;
+  DGC_REQUIRE(false, "unknown graph format: " + std::string(name) +
+                         " (expected auto|edges|metis|binary)");
+  return GraphFormat::kAuto;  // unreachable
+}
+
+GraphFormat format_from_path(const std::string& file_path) noexcept {
+  const auto slash = file_path.find_last_of("/\\");
+  const std::string base =
+      slash == std::string::npos ? file_path : file_path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot == std::string::npos || dot + 1 == base.size()) return GraphFormat::kAuto;
+  std::string ext = base.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (ext == "dgcg") return GraphFormat::kBinary;
+  if (ext == "graph" || ext == "metis") return GraphFormat::kMetis;
+  if (ext == "edges" || ext == "el" || ext == "edgelist" || ext == "txt") {
+    return GraphFormat::kEdgeList;
+  }
+  return GraphFormat::kAuto;
+}
+
+GraphFormat sniff_format(const std::string& file_path) {
+  std::ifstream is(file_path, std::ios::binary);
+  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
+  char head[256];
+  is.read(head, sizeof head);
+  const auto got = static_cast<std::size_t>(is.gcount());
+  if (got >= sizeof kMagic && std::memcmp(head, kMagic, sizeof kMagic) == 0) {
+    return GraphFormat::kBinary;
+  }
+  for (std::size_t i = 0; i < got; ++i) {
+    const char c = head[i];
+    if (is_space(c) || c == '\n') continue;
+    if (c == '%') return GraphFormat::kMetis;
+    // '#' comments and anything numeric default to the edge-list reader
+    // (a headerless METIS file is indistinguishable from an edge list;
+    // name those .graph/.metis or pass the format explicitly).
+    return GraphFormat::kEdgeList;
+  }
+  return GraphFormat::kEdgeList;  // empty file: empty edge list
+}
+
+// ---------------------------------------------------------------------------
+// Edge list.
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  const std::string out = render_edge_list(g);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+Graph parse_edge_list(std::string_view text) {
+  GraphBuilder builder;
   NodeId n = 0;
   bool have_n = false;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      std::istringstream header(line.substr(1));
-      std::string word;
-      header >> word;
-      if (word == "nodes") {
-        header >> n;
+  std::string_view line;
+  while (next_line(text, line)) {
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    skip_spaces(p, end);
+    if (p == end) continue;
+    if (*p == '#') {
+      ++p;
+      skip_spaces(p, end);
+      constexpr std::string_view kNodes = "nodes";
+      if (static_cast<std::size_t>(end - p) > kNodes.size() &&
+          std::string_view(p, kNodes.size()) == kNodes && is_space(p[kNodes.size()])) {
+        p += kNodes.size();
+        skip_spaces(p, end);
+        // A declared node count that does not parse (junk, or a value
+        // overflowing NodeId) must fail loudly, not silently fall back
+        // to max-endpoint+1 and drop isolated trailing nodes.
+        DGC_REQUIRE(parse_int(p, end, n),
+                    "malformed '# nodes' header: " + std::string(line));
         have_n = true;
       }
       continue;
     }
-    std::istringstream row(line);
     NodeId u = 0;
     NodeId v = 0;
-    DGC_REQUIRE(static_cast<bool>(row >> u >> v), "malformed edge list line: " + line);
-    edges.emplace_back(u, v);
-    if (!have_n) n = std::max({n, u + 1, v + 1});
+    bool ok = parse_int(p, end, u);
+    if (ok) {
+      const char* before = p;
+      skip_spaces(p, end);
+      ok = p != before && parse_int(p, end, v);
+    }
+    // Anything after `u v` must be whitespace-separated; extra columns
+    // (weights, timestamps — common in real edge-list dumps) are
+    // ignored, matching the iostream reader this replaced.
+    DGC_REQUIRE(ok && (p == end || is_space(*p)),
+                "malformed edge list line: " + std::string(line));
+    builder.add_edge(u, v);
   }
-  return Graph::from_edges(n, std::move(edges));
+  if (have_n) {
+    DGC_REQUIRE(builder.num_nodes() <= n, "edge endpoint out of range");
+    builder.ensure_nodes(n);
+  }
+  return builder.build();
 }
+
+Graph read_edge_list(std::istream& is) { return parse_edge_list(slurp_stream(is)); }
+
+// ---------------------------------------------------------------------------
+// METIS.
 
 void write_metis(std::ostream& os, const Graph& g) {
-  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    bool first = true;
-    for (const NodeId u : g.neighbors(v)) {
-      if (!first) os << ' ';
-      os << (u + 1);
-      first = false;
-    }
-    os << '\n';
-  }
+  const std::string out = render_metis(g);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
-Graph read_metis(std::istream& is) {
-  std::string line;
-  DGC_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing METIS header");
-  std::istringstream header(line);
+Graph parse_metis(std::string_view text) {
+  std::string_view line;
+  // The METIS spec allows `%` comment lines anywhere, including before
+  // the header; empty lines are *not* comments — they are the adjacency
+  // lines of isolated nodes.
+  const auto next_content_line = [&](std::string_view& out) {
+    while (next_line(text, out)) {
+      const char* p = out.data();
+      const char* const end = p + out.size();
+      skip_spaces(p, end);
+      if (p != end && *p == '%') continue;
+      return true;
+    }
+    return false;
+  };
+
+  DGC_REQUIRE(next_content_line(line), "missing METIS header");
   NodeId n = 0;
-  std::size_t m = 0;
-  DGC_REQUIRE(static_cast<bool>(header >> n >> m), "malformed METIS header");
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(m);
+  std::uint64_t m = 0;
+  {
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    skip_spaces(p, end);
+    bool ok = parse_int(p, end, n);
+    if (ok) {
+      skip_spaces(p, end);
+      ok = parse_int(p, end, m);
+    }
+    skip_spaces(p, end);
+    if (ok && p != end) {
+      // Optional third header field: the format code.  Only fmt = 0
+      // (no weights) is supported.
+      const char* const fmt_begin = p;
+      while (p != end && *p == '0') ++p;
+      skip_spaces(p, end);
+      DGC_REQUIRE(p == end && p != fmt_begin,
+                  "unsupported METIS format field (only unweighted graphs, fmt 0)");
+    }
+    DGC_REQUIRE(ok, "malformed METIS header");
+  }
+
+  GraphBuilder builder;
+  // Cap the reservation by what the remaining text could possibly hold,
+  // so a corrupt header cannot trigger a giant allocation.
+  builder.reserve_edges(static_cast<std::size_t>(
+      std::min<std::uint64_t>(m, text.size() / 4 + 16)));
+  std::uint64_t mentions = 0;
   for (NodeId v = 0; v < n; ++v) {
-    DGC_REQUIRE(static_cast<bool>(std::getline(is, line)),
+    DGC_REQUIRE(next_content_line(line),
                 "METIS file ended before all adjacency lines were read");
-    std::istringstream row(line);
-    NodeId u = 0;
-    while (row >> u) {
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    for (;;) {
+      skip_spaces(p, end);
+      if (p == end) break;
+      NodeId u = 0;
+      DGC_REQUIRE(parse_int(p, end, u),
+                  "malformed METIS adjacency line: " + std::string(line));
       DGC_REQUIRE(u >= 1 && u <= n, "METIS neighbour id out of range");
-      if (u - 1 > v) edges.emplace_back(v, u - 1);
+      DGC_REQUIRE(u - 1 != v, "METIS adjacency contains a self-loop");
+      ++mentions;
+      if (u - 1 > v) builder.add_edge(v, u - 1);
     }
   }
-  Graph g = Graph::from_edges(n, std::move(edges));
+  DGC_REQUIRE(mentions == 2 * m,
+              "METIS neighbour entries do not match the declared edge count");
+  builder.ensure_nodes(n);
+  Graph g = builder.build();
   DGC_REQUIRE(g.num_edges() == m, "METIS header edge count mismatch");
   return g;
 }
 
+Graph read_metis(std::istream& is) { return parse_metis(slurp_stream(is)); }
+
+// ---------------------------------------------------------------------------
+// Binary.
+
+void write_binary(std::ostream& os, const Graph& g) {
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.endian = kEndianMarker;
+  header.version = kVersion;
+  header.reserved = 0;
+  header.num_nodes = g.num_nodes();
+  header.adjacency_len = g.adjacency().size();
+  os.write(reinterpret_cast<const char*>(&header), sizeof header);
+  os.write(reinterpret_cast<const char*>(g.offsets().data()),
+           static_cast<std::streamsize>(g.offsets().size_bytes()));
+  os.write(reinterpret_cast<const char*>(g.adjacency().data()),
+           static_cast<std::streamsize>(g.adjacency().size_bytes()));
+}
+
+Graph read_binary(std::istream& is) {
+  BinaryHeader header{};
+  is.read(reinterpret_cast<char*>(&header), sizeof header);
+  DGC_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof header),
+              "truncated binary graph header");
+  DGC_REQUIRE(std::memcmp(header.magic, kMagic, sizeof kMagic) == 0,
+              "not a binary graph file (bad magic)");
+  DGC_REQUIRE(header.endian == kEndianMarker,
+              "binary graph file has foreign byte order");
+  DGC_REQUIRE(header.version == kVersion, "unsupported binary graph version");
+  DGC_REQUIRE(header.num_nodes <= kInvalidNode, "binary graph node count overflows NodeId");
+  DGC_REQUIRE(header.adjacency_len % 2 == 0, "binary graph adjacency length must be even");
+
+  auto offsets = read_array<std::uint64_t>(is, header.num_nodes + 1, "offsets");
+  auto adjacency = read_array<NodeId>(is, header.adjacency_len, "adjacency");
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+// ---------------------------------------------------------------------------
+// File-path conveniences and format dispatch.
+
 void save_edge_list(const std::string& file_path, const Graph& g) {
-  std::ofstream os(file_path);
-  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
-  write_edge_list(os, g);
+  write_file(file_path, render_edge_list(g));
 }
 
 Graph load_edge_list(const std::string& file_path) {
-  std::ifstream is(file_path);
+  return parse_edge_list(slurp_file(file_path));
+}
+
+void save_metis(const std::string& file_path, const Graph& g) {
+  write_file(file_path, render_metis(g));
+}
+
+Graph load_metis(const std::string& file_path) {
+  return parse_metis(slurp_file(file_path));
+}
+
+void save_binary(const std::string& file_path, const Graph& g) {
+  std::ofstream os(file_path, std::ios::binary | std::ios::trunc);
+  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
+  write_binary(os, g);
+  DGC_REQUIRE(os.good(), "failed to write: " + file_path);
+}
+
+Graph load_binary(const std::string& file_path) {
+  std::ifstream is(file_path, std::ios::binary);
   DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
-  return read_edge_list(is);
+  return read_binary(is);
+}
+
+void save_graph(const std::string& file_path, const Graph& g, GraphFormat format) {
+  if (format == GraphFormat::kAuto) format = format_from_path(file_path);
+  DGC_REQUIRE(format != GraphFormat::kAuto,
+              "cannot infer graph format from extension; pass an explicit format: " +
+                  file_path);
+  switch (format) {
+    case GraphFormat::kEdgeList: save_edge_list(file_path, g); return;
+    case GraphFormat::kMetis: save_metis(file_path, g); return;
+    case GraphFormat::kBinary: save_binary(file_path, g); return;
+    case GraphFormat::kAuto: break;
+  }
+}
+
+Graph load_graph(const std::string& file_path, GraphFormat format) {
+  if (format == GraphFormat::kAuto) format = format_from_path(file_path);
+  if (format == GraphFormat::kAuto) format = sniff_format(file_path);
+  switch (format) {
+    case GraphFormat::kMetis: return load_metis(file_path);
+    case GraphFormat::kBinary: return load_binary(file_path);
+    case GraphFormat::kEdgeList:
+    case GraphFormat::kAuto: break;
+  }
+  return load_edge_list(file_path);
 }
 
 }  // namespace dgc::graph

@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <ostream>
 #include <string_view>
 
 #include "util/require.hpp"
@@ -15,9 +17,21 @@ namespace dgc::util {
 #pragma GCC diagnostic ignored "-Wrestrict"
 #endif
 
-Cli::Cli(int argc, const char* const* argv) {
-  for (int i = 1; i < argc; ++i) {
+Cli::Cli(int argc, const char* const* argv, bool allow_command) {
+  int i = 1;
+  if (allow_command && argc > 1) {
+    const std::string_view first(argv[1]);
+    if (!first.empty() && first.front() != '-') {
+      command_ = first;
+      i = 2;
+    }
+  }
+  for (; i < argc; ++i) {
     std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
     DGC_REQUIRE(arg.starts_with("--"),
                 std::string("arguments must look like --name[=value]: ").append(arg));
     arg.remove_prefix(2);
@@ -34,20 +48,26 @@ Cli::Cli(int argc, const char* const* argv) {
 #pragma GCC diagnostic pop
 #endif
 
-bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+bool Cli::has(const std::string& name) const {
+  known_.insert(name);
+  return values_.count(name) != 0;
+}
 
 std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 std::uint64_t Cli::get_uint64(const std::string& name, std::uint64_t fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   // strtoull wraps negative input instead of failing, so reject it up front.
@@ -61,15 +81,49 @@ std::uint64_t Cli::get_uint64(const std::string& name, std::uint64_t fallback) c
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {
+  known_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second != "0" && it->second != "false";
+}
+
+void Cli::describe(const std::string& name, const std::string& fallback,
+                   const std::string& help_text) {
+  known_.insert(name);
+  docs_.push_back({name, fallback, help_text});
+}
+
+void Cli::print_help(std::ostream& os) const {
+  std::size_t width = 0;
+  std::vector<std::string> lhs;
+  lhs.reserve(docs_.size());
+  for (const auto& doc : docs_) {
+    std::string item = "--" + doc.name;
+    if (!doc.fallback.empty()) item += "=" + doc.fallback;
+    width = std::max(width, item.size());
+    lhs.push_back(std::move(item));
+  }
+  for (std::size_t i = 0; i < docs_.size(); ++i) {
+    os << "  " << lhs[i] << std::string(width - lhs[i].size() + 2, ' ')
+       << docs_[i].help << '\n';
+  }
+}
+
+void Cli::reject_unknown() const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    if (known_.count(name) != 0) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + name;
+  }
+  DGC_REQUIRE(unknown.empty(), "unknown flags: " + unknown);
 }
 
 }  // namespace dgc::util

@@ -1,19 +1,41 @@
-// Tiny `--flag=value` command-line parser used by bench and example
-// binaries so every experiment is re-runnable with different parameters
-// without recompiling.
+// `--flag=value` command-line parser used by the bench, example, and
+// tool binaries so every experiment is re-runnable with different
+// parameters without recompiling.
+//
+// Two layers:
+//  * the getters (`get`, `get_int`, …) read a flag with a fallback, as
+//    the bench harness always has; every getter also records the flag
+//    name as *known*, so a final `reject_unknown()` call turns typos
+//    like `--seeed=7` (silently ignored before) into contract errors;
+//  * `describe()` + `print_help()` + `command()` support multi-verb
+//    tools (`dgc <verb> --flags`): the verb is the first non-flag
+//    argument, described flags are listed by `--help`, and unknown
+//    flags are rejected against the described/read set.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace dgc::util {
 
 class Cli {
  public:
   /// Parses `--name=value` and bare `--name` (value "1") arguments.
-  /// Unrecognised positional arguments raise contract_error.
-  Cli(int argc, const char* const* argv);
+  /// With `allow_command`, a first argument that does not start with
+  /// `-` is captured as the subcommand verb instead.  `--help` / `-h`
+  /// anywhere sets help_requested() and is never an unknown flag.
+  /// Other non-flag positionals raise contract_error.
+  Cli(int argc, const char* const* argv, bool allow_command = false);
+
+  /// The subcommand verb ("" when none was given).
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  /// True when --help or -h was passed; callers print help and exit.
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
@@ -25,8 +47,34 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Registers a flag in the --help table (and as known).  `fallback`
+  /// is shown as the default; pass "" for pure switches.
+  void describe(const std::string& name, const std::string& fallback,
+                const std::string& help_text);
+
+  /// Prints the described flags as an aligned `--name=default  help`
+  /// table (in description order).
+  void print_help(std::ostream& os) const;
+
+  /// Throws contract_error naming every provided `--flag` that was
+  /// neither described nor read by a getter.  Call after all flags have
+  /// been read so typos fail loudly instead of silently using defaults.
+  void reject_unknown() const;
+
  private:
+  struct FlagDoc {
+    std::string name;
+    std::string fallback;
+    std::string help;
+  };
+
   std::map<std::string, std::string> values_;
+  std::string command_;
+  bool help_ = false;
+  std::vector<FlagDoc> docs_;
+  // Getters are const but still mark the flag known: "known" tracks how
+  // the binary *reads* flags, not parser state.
+  mutable std::set<std::string> known_;
 };
 
 }  // namespace dgc::util

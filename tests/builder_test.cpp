@@ -1,0 +1,148 @@
+// GraphBuilder: bit-identity with Graph::from_edges (the equivalence
+// suite gating the ingestion refactor), contract checks, and the
+// parallel placement path.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+void expect_bit_identical(const Graph& a, const Graph& b) {
+  const auto ao = a.offsets();
+  const auto bo = b.offsets();
+  ASSERT_EQ(ao.size(), bo.size());
+  for (std::size_t i = 0; i < ao.size(); ++i) ASSERT_EQ(ao[i], bo[i]) << "offset " << i;
+  const auto aa = a.adjacency();
+  const auto ba = b.adjacency();
+  ASSERT_EQ(aa.size(), ba.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) ASSERT_EQ(aa[i], ba[i]) << "slot " << i;
+  EXPECT_EQ(a.min_degree(), b.min_degree());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+}
+
+std::vector<std::pair<NodeId, NodeId>> random_edges_with_duplicates(NodeId n,
+                                                                    std::size_t count,
+                                                                    util::Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(count);
+  while (edges.size() < count) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    edges.emplace_back(u, v);
+    // Repeat some edges verbatim and some in the flipped orientation so
+    // both duplicate shapes are exercised.
+    if (edges.size() < count && rng.next_bool(0.3)) edges.emplace_back(u, v);
+    if (edges.size() < count && rng.next_bool(0.3)) edges.emplace_back(v, u);
+  }
+  return edges;
+}
+
+TEST(GraphBuilder, MatchesFromEdgesOnRandomDuplicateLists) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    util::Rng rng(seed);
+    const NodeId n = static_cast<NodeId>(50 + rng.next_below(200));
+    const auto edges = random_edges_with_duplicates(n, 60 + rng.next_below(900), rng);
+
+    const Graph reference = Graph::from_edges(n, edges);
+    GraphBuilder builder(n);
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    expect_bit_identical(builder.build(), reference);
+  }
+}
+
+TEST(GraphBuilder, ParallelBuildIsBitIdentical) {
+  util::Rng rng(99);
+  const NodeId n = 3000;
+  const auto edges = random_edges_with_duplicates(n, 200000, rng);
+  const Graph reference = Graph::from_edges(n, edges);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    GraphBuilder builder(n);
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    expect_bit_identical(builder.build(&pool), reference);
+  }
+}
+
+TEST(GraphBuilder, MatchesGeneratorOutput) {
+  util::Rng rng(7);
+  const Graph g = graph::random_regular(120, 6, rng);
+  GraphBuilder builder(g.num_nodes());
+  g.for_each_edge([&](NodeId u, NodeId v) { builder.add_edge(u, v); });
+  expect_bit_identical(builder.build(), g);
+}
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder builder;
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  expect_bit_identical(g, Graph::from_edges(0, {}));
+}
+
+TEST(GraphBuilder, IsolatedTrailingNodes) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1);
+  builder.ensure_nodes(5);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  expect_bit_identical(g, Graph::from_edges(5, {{0, 1}}));
+}
+
+TEST(GraphBuilder, AutoGrowsFromEndpoints) {
+  GraphBuilder builder;
+  builder.add_edge(4, 2);
+  EXPECT_EQ(builder.num_nodes(), 5u);
+  EXPECT_EQ(builder.edges_added(), 1u);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_TRUE(g.has_edge(2, 4));
+}
+
+TEST(GraphBuilder, FixedSizeRejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(0, 3), util::contract_error);
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder builder;
+  EXPECT_THROW(builder.add_edge(2, 2), util::contract_error);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  (void)builder.build();
+  EXPECT_EQ(builder.edges_added(), 0u);
+  EXPECT_EQ(builder.num_nodes(), 4u);  // fixed-size: n is the contract
+  builder.add_edge(2, 3);
+  const Graph g = builder.build();
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphBuilder, AutoGrowingBuilderResetsOnReuse) {
+  GraphBuilder builder;
+  builder.add_edge(0, 999);
+  EXPECT_EQ(builder.build().num_nodes(), 1000u);
+  // The second graph must not inherit the first one's node count.
+  builder.add_edge(0, 1);
+  EXPECT_EQ(builder.build().num_nodes(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// util::Cli: subcommand capture, flag lookup, unknown-flag rejection,
+// and --help plumbing for the multi-verb `dgc` tool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace dgc;
+
+util::Cli make_cli(std::vector<const char*> args, bool allow_command = false) {
+  args.insert(args.begin(), "prog");
+  return {static_cast<int>(args.size()), args.data(), allow_command};
+}
+
+TEST(Cli, ParsesFlagsAndFallbacks) {
+  const auto cli = make_cli({"--n=42", "--phi=0.5", "--verbose", "--name=x"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("phi", 0.0), 0.5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get("name", ""), "x");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing2"));
+}
+
+TEST(Cli, CapturesSubcommand) {
+  const auto cli = make_cli({"generate", "--n=8"}, /*allow_command=*/true);
+  EXPECT_EQ(cli.command(), "generate");
+  EXPECT_EQ(cli.get_int("n", 0), 8);
+}
+
+TEST(Cli, NoSubcommandLeavesVerbEmpty) {
+  const auto cli = make_cli({"--n=8"}, /*allow_command=*/true);
+  EXPECT_EQ(cli.command(), "");
+}
+
+TEST(Cli, PositionalWithoutCommandSupportThrows) {
+  EXPECT_THROW(make_cli({"generate"}), util::contract_error);
+}
+
+TEST(Cli, HelpIsRecognisedEverywhere) {
+  EXPECT_TRUE(make_cli({"--help"}).help_requested());
+  EXPECT_TRUE(make_cli({"cluster", "-h"}, true).help_requested());
+  EXPECT_FALSE(make_cli({"--n=1"}).help_requested());
+}
+
+TEST(Cli, RejectUnknownCatchesTypos) {
+  const auto cli = make_cli({"--seed=3", "--seeed=7"});
+  EXPECT_EQ(cli.get_uint64("seed", 0), 3u);
+  // "seeed" was provided but never read or described.
+  EXPECT_THROW(cli.reject_unknown(), util::contract_error);
+}
+
+TEST(Cli, RejectUnknownPassesWhenAllFlagsAreRead) {
+  const auto cli = make_cli({"--seed=3", "--json=o.json"});
+  EXPECT_EQ(cli.get_uint64("seed", 0), 3u);
+  EXPECT_TRUE(cli.has("json"));
+  EXPECT_NO_THROW(cli.reject_unknown());
+}
+
+TEST(Cli, DescribeMarksKnownAndPrintsHelp) {
+  auto cli = make_cli({"--out=g.dgcg"});
+  cli.describe("out", "graph.dgcg", "output file");
+  cli.describe("quiet", "", "suppress progress output");
+  EXPECT_NO_THROW(cli.reject_unknown());
+  std::ostringstream help;
+  cli.print_help(help);
+  EXPECT_NE(help.str().find("--out=graph.dgcg"), std::string::npos);
+  EXPECT_NE(help.str().find("suppress progress"), std::string::npos);
+}
+
+TEST(Cli, NegativeUint64Throws) {
+  const auto cli = make_cli({"--seed=-1"});
+  EXPECT_THROW((void)cli.get_uint64("seed", 0), util::contract_error);
+}
+
+}  // namespace

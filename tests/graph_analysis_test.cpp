@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/analysis.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 
@@ -64,7 +65,10 @@ TEST(Analysis, RhoIsMaxClusterConductance) {
 
 TEST(Analysis, Connectivity) {
   EXPECT_TRUE(graph::is_connected(graph::cycle(10)));
-  const Graph disconnected = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  graph::GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  const Graph disconnected = builder.build();
   EXPECT_FALSE(graph::is_connected(disconnected));
   EXPECT_EQ(graph::num_components(disconnected), 2u);
 }

@@ -1,8 +1,15 @@
-// Round-trip and error-path tests for graph IO.
+// Round-trip and error-path tests for graph IO: the three on-disk
+// formats (edge list, METIS, binary .dgcg), the from_chars parsers,
+// format detection, and the file conveniences.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "util/require.hpp"
@@ -12,26 +19,56 @@ namespace {
 
 using namespace dgc;
 using graph::Graph;
+using graph::GraphFormat;
 using graph::NodeId;
 
 void expect_same_graph(const Graph& a, const Graph& b) {
-  ASSERT_EQ(a.num_nodes(), b.num_nodes());
-  ASSERT_EQ(a.num_edges(), b.num_edges());
-  for (NodeId v = 0; v < a.num_nodes(); ++v) {
-    const auto na = a.neighbors(v);
-    const auto nb = b.neighbors(v);
-    ASSERT_EQ(na.size(), nb.size()) << "node " << v;
-    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
-  }
+  // Bit-identical CSR, not just isomorphic: the binary format round-trips
+  // the raw arrays and the builders promise identical layout.
+  const auto ao = a.offsets();
+  const auto bo = b.offsets();
+  ASSERT_EQ(ao.size(), bo.size());
+  for (std::size_t i = 0; i < ao.size(); ++i) ASSERT_EQ(ao[i], bo[i]) << "offset " << i;
+  const auto aa = a.adjacency();
+  const auto ba = b.adjacency();
+  ASSERT_EQ(aa.size(), ba.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) ASSERT_EQ(aa[i], ba[i]) << "slot " << i;
 }
 
-TEST(IoEdgeList, RoundTrip) {
-  util::Rng rng(5);
-  const Graph g = graph::random_regular(50, 6, rng);
+Graph round_trip(const Graph& g, GraphFormat format) {
   std::stringstream buffer;
-  graph::write_edge_list(buffer, g);
-  const Graph back = graph::read_edge_list(buffer);
-  expect_same_graph(g, back);
+  switch (format) {
+    case GraphFormat::kEdgeList: graph::write_edge_list(buffer, g); return graph::read_edge_list(buffer);
+    case GraphFormat::kMetis: graph::write_metis(buffer, g); return graph::read_metis(buffer);
+    case GraphFormat::kBinary: graph::write_binary(buffer, g); return graph::read_binary(buffer);
+    case GraphFormat::kAuto: break;
+  }
+  return {};
+}
+
+TEST(IoRoundTrip, AllFormatsOnEdgeCases) {
+  util::Rng rng(5);
+  std::vector<std::pair<std::string, Graph>> fixtures;
+  fixtures.emplace_back("empty", Graph::from_edges(0, {}));
+  fixtures.emplace_back("edgeless", Graph::from_edges(3, {}));
+  fixtures.emplace_back("isolated", Graph::from_edges(6, {{0, 1}, {1, 4}}));
+  fixtures.emplace_back("regular", graph::random_regular(50, 6, rng));
+  // n > 2^16 exercises wide node ids in every format.
+  {
+    graph::GraphBuilder builder;
+    builder.add_edge(0, 70000);
+    builder.add_edge(65535, 65536);
+    builder.add_edge(69999, 70000);
+    builder.ensure_nodes(70002);  // one isolated trailing node too
+    fixtures.emplace_back("wide", builder.build());
+  }
+  for (const auto& [name, g] : fixtures) {
+    for (const GraphFormat format :
+         {GraphFormat::kEdgeList, GraphFormat::kMetis, GraphFormat::kBinary}) {
+      SCOPED_TRACE(name + " via " + std::string(graph::to_string(format)));
+      expect_same_graph(round_trip(g, format), g);
+    }
+  }
 }
 
 TEST(IoEdgeList, HeaderPreservesIsolatedTrailingNodes) {
@@ -50,50 +87,189 @@ TEST(IoEdgeList, WithoutHeaderInfersN) {
   EXPECT_EQ(g.num_nodes(), 5u);
 }
 
-TEST(IoEdgeList, MalformedLineThrows) {
+TEST(IoEdgeList, ToleratesCommentsBlanksAndCrLf) {
   std::stringstream buffer;
-  buffer << "0 not_a_number\n";
+  buffer << "# a comment\r\n\r\n  0 1\r\n1 2\t\n";
+  const Graph g = graph::read_edge_list(buffer);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoEdgeList, IgnoresTrailingColumns) {
+  // `u v weight` / `u v timestamp` dumps are common; extra columns are
+  // ignored (as the iostream reader always did).
+  std::stringstream buffer("0 1 5\n1 2 0.25 1234567\n");
+  const Graph g = graph::read_edge_list(buffer);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoEdgeList, MalformedLineThrows) {
+  std::stringstream a("0 not_a_number\n");
+  EXPECT_THROW(graph::read_edge_list(a), util::contract_error);
+  std::stringstream b("0 1x\n");  // junk fused to the endpoint
+  EXPECT_THROW(graph::read_edge_list(b), util::contract_error);
+  std::stringstream c("7\n");  // lone endpoint
+  EXPECT_THROW(graph::read_edge_list(c), util::contract_error);
+}
+
+TEST(IoEdgeList, MalformedNodesHeaderThrows) {
+  // A declared count that overflows NodeId must not silently fall back
+  // to max-endpoint+1 (isolated trailing nodes would vanish).
+  std::stringstream overflow("# nodes 99999999999999999999\n0 1\n");
+  EXPECT_THROW(graph::read_edge_list(overflow), util::contract_error);
+  std::stringstream junk("# nodes lots\n0 1\n");
+  EXPECT_THROW(graph::read_edge_list(junk), util::contract_error);
+}
+
+TEST(IoEdgeList, EndpointBeyondDeclaredHeaderThrows) {
+  std::stringstream buffer("# nodes 2\n0 5\n");
   EXPECT_THROW(graph::read_edge_list(buffer), util::contract_error);
 }
 
-TEST(IoMetis, RoundTrip) {
-  util::Rng rng(9);
-  const Graph g = graph::random_regular(40, 4, rng);
+TEST(IoMetis, SkipsCommentLines) {
+  // % comments are legal anywhere in a METIS file, including above the
+  // header and between adjacency lines (real benchmark files use them).
   std::stringstream buffer;
-  graph::write_metis(buffer, g);
-  const Graph back = graph::read_metis(buffer);
-  expect_same_graph(g, back);
+  buffer << "% a comment\n3 2 \n% another\n2\n1 3\n% mid-adjacency\n2\n";
+  const Graph g = graph::read_metis(buffer);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
 }
 
-TEST(IoMetis, HeaderMismatchThrows) {
-  std::stringstream buffer;
-  buffer << "3 5\n2\n1 3\n2\n";  // claims 5 edges, has 2
+TEST(IoMetis, EmptyLineIsAnIsolatedNode) {
+  std::stringstream buffer("3 1\n2\n1\n\n");
+  const Graph g = graph::read_metis(buffer);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(IoMetis, AcceptsUnweightedFmtField) {
+  std::stringstream buffer("2 1 0\n2\n1\n");
+  EXPECT_EQ(graph::read_metis(buffer).num_edges(), 1u);
+  std::stringstream buffer2("2 1 000\n2\n1\n");
+  EXPECT_EQ(graph::read_metis(buffer2).num_edges(), 1u);
+}
+
+TEST(IoMetis, WeightedFmtFieldThrows) {
+  std::stringstream buffer("2 1 011\n2 5\n1 5\n");
   EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
 }
 
+TEST(IoMetis, DeclaredEdgeCountIsValidatedAgainstEntriesRead) {
+  // Claims 5 edges but only lists 2 (4 neighbour entries != 10).
+  std::stringstream buffer("3 5\n2\n1 3\n2\n");
+  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+  // One-sided listing: edge {0,1} appears only in node 0's line.
+  std::stringstream one_sided("2 1\n2\n\n");
+  EXPECT_THROW(graph::read_metis(one_sided), util::contract_error);
+}
+
 TEST(IoMetis, TruncatedFileThrows) {
-  std::stringstream buffer;
-  buffer << "3 2\n2\n";  // missing adjacency lines
+  std::stringstream buffer("3 2\n2\n");  // missing adjacency lines
   EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
 }
 
 TEST(IoMetis, NeighbourOutOfRangeThrows) {
-  std::stringstream buffer;
-  buffer << "2 1\n9\n1\n";
+  std::stringstream buffer("2 1\n9\n1\n");
   EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
 }
 
-TEST(IoFiles, SaveAndLoad) {
+TEST(IoMetis, SelfLoopThrows) {
+  std::stringstream buffer("2 1\n1\n2\n");
+  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+}
+
+TEST(IoBinary, CorruptedHeaderThrows) {
+  util::Rng rng(3);
+  const Graph g = graph::random_regular(20, 4, rng);
+  std::stringstream buffer;
+  graph::write_binary(buffer, g);
+  std::string bytes = buffer.str();
+
+  {  // bad magic
+    std::string mutated = bytes;
+    mutated[0] = 'X';
+    std::stringstream in(mutated);
+    EXPECT_THROW(graph::read_binary(in), util::contract_error);
+  }
+  {  // unsupported version
+    std::string mutated = bytes;
+    mutated[8] = 99;
+    std::stringstream in(mutated);
+    EXPECT_THROW(graph::read_binary(in), util::contract_error);
+  }
+  {  // truncated payload
+    std::stringstream in(bytes.substr(0, bytes.size() - 4));
+    EXPECT_THROW(graph::read_binary(in), util::contract_error);
+  }
+  {  // payload corruption must fail CSR validation, not crash
+    std::string mutated = bytes;
+    mutated[mutated.size() - 1] = '\xff';
+    std::stringstream in(mutated);
+    EXPECT_THROW(graph::read_binary(in), util::contract_error);
+  }
+}
+
+TEST(IoFormat, NamesRoundTrip) {
+  for (const GraphFormat format :
+       {GraphFormat::kAuto, GraphFormat::kEdgeList, GraphFormat::kMetis,
+        GraphFormat::kBinary}) {
+    EXPECT_EQ(graph::parse_format(graph::to_string(format)), format);
+  }
+  EXPECT_THROW((void)graph::parse_format("csv"), util::contract_error);
+}
+
+TEST(IoFormat, FromPathUsesExtension) {
+  EXPECT_EQ(graph::format_from_path("/tmp/a/web.dgcg"), GraphFormat::kBinary);
+  EXPECT_EQ(graph::format_from_path("web.graph"), GraphFormat::kMetis);
+  EXPECT_EQ(graph::format_from_path("web.metis"), GraphFormat::kMetis);
+  EXPECT_EQ(graph::format_from_path("web.edges"), GraphFormat::kEdgeList);
+  EXPECT_EQ(graph::format_from_path("web.txt"), GraphFormat::kEdgeList);
+  EXPECT_EQ(graph::format_from_path("web.bin"), GraphFormat::kAuto);
+  EXPECT_EQ(graph::format_from_path("no_extension"), GraphFormat::kAuto);
+}
+
+TEST(IoFiles, SaveAndLoadAllFormats) {
   util::Rng rng(11);
   const Graph g = graph::random_regular(30, 4, rng);
-  const std::string file_path = ::testing::TempDir() + "/dgc_io_test.edges";
-  graph::save_edge_list(file_path, g);
-  const Graph back = graph::load_edge_list(file_path);
-  expect_same_graph(g, back);
+  for (const char* name : {"dgc_io_test.edges", "dgc_io_test.graph", "dgc_io_test.dgcg"}) {
+    const std::string file_path = ::testing::TempDir() + "/" + name;
+    graph::save_graph(file_path, g);
+    expect_same_graph(graph::load_graph(file_path), g);
+    std::remove(file_path.c_str());
+  }
+}
+
+TEST(IoFiles, LoadSniffsUnknownExtension) {
+  util::Rng rng(13);
+  const Graph g = graph::random_regular(24, 4, rng);
+  {  // binary magic wins
+    const std::string file_path = ::testing::TempDir() + "/dgc_io_sniff.bin";
+    graph::save_binary(file_path, g);
+    expect_same_graph(graph::load_graph(file_path), g);
+    std::remove(file_path.c_str());
+  }
+  {  // '%' comment head -> METIS
+    const std::string file_path = ::testing::TempDir() + "/dgc_io_sniff.dat";
+    std::stringstream text;
+    text << "% comment\n";
+    graph::write_metis(text, g);
+    std::ofstream os(file_path);
+    os << text.str();
+    os.close();
+    expect_same_graph(graph::load_graph(file_path), g);
+    std::remove(file_path.c_str());
+  }
+}
+
+TEST(IoFiles, SaveWithUnknownExtensionThrows) {
+  EXPECT_THROW(graph::save_graph("/tmp/dgc_io_test.unknowable", Graph::from_edges(2, {{0, 1}})),
+               util::contract_error);
 }
 
 TEST(IoFiles, MissingFileThrows) {
   EXPECT_THROW(graph::load_edge_list("/nonexistent/path/g.edges"), util::contract_error);
+  EXPECT_THROW(graph::load_graph("/nonexistent/path/g.edges"), util::contract_error);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/partitioner.hpp"
 #include "metrics/graph_metrics.hpp"
@@ -113,7 +114,11 @@ TEST(Partitioner, RejectsBadShardCounts) {
 
 TEST(PartitionMetrics, EdgeCutCountsCrossingEdges) {
   // Path 0-1-2-3 split {0,1} | {2,3}: only edge (1,2) crosses.
-  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  graph::GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  const auto g = builder.build();
   const std::vector<std::uint32_t> part{0, 0, 1, 1};
   EXPECT_EQ(metrics::edge_cut(g, part), 1u);
   const std::vector<std::uint32_t> all_same{0, 0, 0, 0};

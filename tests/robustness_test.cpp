@@ -7,6 +7,7 @@
 #include "core/clusterer.hpp"
 #include "core/distributed_clusterer.hpp"
 #include "core/summary.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "linalg/hungarian.hpp"
@@ -63,7 +64,9 @@ TEST(Robustness, LoadBalancingOnPathConservesDespiteSlowMixing) {
 }
 
 TEST(Robustness, ClustererRejectsGraphWithIsolatedNode) {
-  const auto g = graph::Graph::from_edges(3, {{0, 1}});  // node 2 isolated
+  graph::GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  const auto g = builder.build();  // node 2 isolated
   core::ClusterConfig config;
   config.beta = 0.5;
   config.rounds = 5;

@@ -8,6 +8,7 @@
 #include "core/clusterer.hpp"
 #include "core/engine.hpp"
 #include "core/sharded_clusterer.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "metrics/graph_metrics.hpp"
 #include "util/rng.hpp"
@@ -120,7 +121,11 @@ TEST(Sharded, MoreThreadsThanShardsStillMatches) {
 
 TEST(Sharded, DefaultShardCountIsCappedAtN) {
   // A tiny graph must not get more shards than nodes.
-  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  graph::GraphBuilder builder(4);
+  for (const auto& [u, v] : {std::pair<graph::NodeId, graph::NodeId>{0, 1}, {1, 2}, {2, 3}, {3, 0}}) {
+    builder.add_edge(u, v);
+  }
+  const auto g = builder.build();
   core::ClusterConfig config;
   config.rounds = 5;
   config.seed = 3;

@@ -2,6 +2,9 @@
 // baseline.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "baselines/fiedler.hpp"
 #include "core/clusterer.hpp"
 #include "core/summary.hpp"
@@ -70,6 +73,29 @@ TEST(Summary, RejectsSizeMismatch) {
   const auto g = graph::cycle(10);
   const std::vector<std::uint64_t> labels(5, 1);
   EXPECT_THROW(core::summarize_partition(g, labels), util::contract_error);
+}
+
+TEST(Labels, SaveLoadRoundTrip) {
+  const std::vector<std::uint64_t> labels = {7, 0, metrics::kUnclustered, 42};
+  const std::string file_path = ::testing::TempDir() + "/dgc_labels_test.txt";
+  core::save_labels(file_path, labels);
+  EXPECT_EQ(core::load_labels(file_path), labels);
+  std::remove(file_path.c_str());
+}
+
+TEST(Labels, LoadToleratesCrLfAndRejectsJunk) {
+  const std::string file_path = ::testing::TempDir() + "/dgc_labels_crlf.txt";
+  {
+    std::ofstream os(file_path, std::ios::binary);
+    os << "3\r\n\r\n5\n";
+  }
+  EXPECT_EQ(core::load_labels(file_path), (std::vector<std::uint64_t>{3, 5}));
+  {
+    std::ofstream os(file_path, std::ios::binary);
+    os << "3x\n";
+  }
+  EXPECT_THROW((void)core::load_labels(file_path), util::contract_error);
+  std::remove(file_path.c_str());
 }
 
 TEST(Fiedler, FindsThePlantedBisection) {

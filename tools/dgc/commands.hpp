@@ -1,0 +1,23 @@
+// The `dgc` driver's subcommands.  Each takes the already-parsed Cli,
+// registers its flag table (describe), honours --help, rejects unknown
+// flags, and returns a process exit code.  main.cpp dispatches on the
+// verb and converts contract_error into a clean stderr message.
+#pragma once
+
+#include "util/cli.hpp"
+
+namespace dgc::tools {
+
+/// `dgc generate` — synthesize a planted instance to a graph file.
+int run_generate(util::Cli& cli);
+
+/// `dgc convert` — re-serialise a graph file into another format.
+int run_convert(util::Cli& cli);
+
+/// `dgc stats` — n / m / degree profile / regularity of a graph file.
+int run_stats(util::Cli& cli);
+
+/// `dgc cluster` — run an engine on a graph file; labels + JSON out.
+int run_cluster(util::Cli& cli);
+
+}  // namespace dgc::tools

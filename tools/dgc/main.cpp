@@ -1,0 +1,61 @@
+// dgc — the end-to-end driver binary for the SPAA'17 reproduction.
+//
+//   dgc generate --type=clustered --n=4000 --k=4 --out=g.dgcg
+//   dgc convert  --in=g.dgcg --out=g.metis
+//   dgc stats    --in=g.metis
+//   dgc cluster  --in=g.dgcg --beta=0.25 --labels_out=labels.txt --json=run.json
+//
+// Every subcommand prints its flag table with `dgc <verb> --help`.
+// Graph files flow through graph/io.hpp (edge list, METIS, binary
+// .dgcg; format inferred from the extension or sniffed).
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "commands.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: dgc <verb> [--flags]\n"
+        "\n"
+        "verbs:\n"
+        "  generate  synthesize a planted instance to a graph file\n"
+        "  convert   re-serialise a graph file into another format\n"
+        "  stats     print n / m / degree profile of a graph file\n"
+        "  cluster   run a clustering engine on a graph file\n"
+        "\n"
+        "`dgc <verb> --help` lists the verb's flags.  Graph files may be\n"
+        "edge lists (.edges/.txt), METIS (.graph/.metis), or the binary\n"
+        "format (.dgcg); formats are inferred from the extension and can\n"
+        "be forced with --format / --in_format / --out_format.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dgc;
+  try {
+    util::Cli cli(argc, argv, /*allow_command=*/true);
+    const std::string& verb = cli.command();
+    if (verb.empty()) {
+      print_usage(cli.help_requested() ? std::cout : std::cerr);
+      return cli.help_requested() ? 0 : 2;
+    }
+    if (verb == "generate") return tools::run_generate(cli);
+    if (verb == "convert") return tools::run_convert(cli);
+    if (verb == "stats") return tools::run_stats(cli);
+    if (verb == "cluster") return tools::run_cluster(cli);
+    std::cerr << "dgc: unknown verb '" << verb << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  } catch (const util::contract_error& e) {
+    std::cerr << "dgc: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dgc: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,92 @@
+# End-to-end smoke test for the `dgc` CLI, run by ctest (see
+# tools/CMakeLists.txt).  Drives the real binary through
+# generate -> convert -> stats -> cluster and asserts:
+#   * converting .dgcg -> edge list -> METIS -> .dgcg reproduces the
+#     original binary file byte for byte;
+#   * the cluster JSON summary is well-formed (CMake's string(JSON));
+#   * `dgc cluster` on the generated *file* emits exactly the labels the
+#     in-memory quickstart path computes for the same instance, seed,
+#     and config — ingestion must not perturb a single coin.
+#
+# Expects -DDGC_CLI=<dgc binary> -DQUICKSTART=<example_quickstart binary
+# or empty> -DWORK_DIR=<scratch dir>.
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Quickstart's instance: n=400, k=4, seed=1, degree 16, phi 0.02.
+run_checked(${DGC_CLI} generate --type=clustered --n=400 --k=4 --seed=1
+            --out=${WORK_DIR}/g.dgcg --labels_out=${WORK_DIR}/planted.txt)
+
+# Unknown flags must fail loudly.
+execute_process(COMMAND ${DGC_CLI} generate --typ=clustered --out=${WORK_DIR}/x.dgcg
+                RESULT_VARIABLE typo_code OUTPUT_QUIET ERROR_QUIET)
+if(typo_code EQUAL 0)
+  message(FATAL_ERROR "dgc generate accepted a misspelled flag (--typ)")
+endif()
+
+# Format round trip: binary -> edges -> metis -> binary, byte-identical.
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/g.dgcg --out=${WORK_DIR}/g.edges)
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/g.edges --out=${WORK_DIR}/g.metis)
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/g.metis --out=${WORK_DIR}/g2.dgcg)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/g.dgcg ${WORK_DIR}/g2.dgcg RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "binary -> edges -> metis -> binary round trip changed the file")
+endif()
+
+# Stats reads every format and reports the regular planted instance.
+run_checked(${DGC_CLI} stats --in=${WORK_DIR}/g.metis)
+if(NOT LAST_OUTPUT MATCHES "nodes +400" OR NOT LAST_OUTPUT MATCHES "regular +yes")
+  message(FATAL_ERROR "unexpected stats output:\n${LAST_OUTPUT}")
+endif()
+
+# Cluster from the file; quickstart's config is beta=1/k, k_hint=k,
+# rounds_multiplier=2, trials = 2 * s_bar, seed=1.
+run_checked(${DGC_CLI} cluster --in=${WORK_DIR}/g.dgcg --engine=dense --beta=0.25
+            --k_hint=4 --rounds_multiplier=2 --trials_scale=2 --seed=1
+            --labels_out=${WORK_DIR}/labels_cli.txt --json=${WORK_DIR}/summary.json)
+
+# The JSON summary must parse and carry the tool marker + node count.
+file(READ ${WORK_DIR}/summary.json summary)
+string(JSON tool GET "${summary}" tool)
+string(JSON nodes GET "${summary}" nodes)
+string(JSON unclustered GET "${summary}" result unclustered)
+if(NOT tool STREQUAL "dgc-cluster" OR NOT nodes EQUAL 400)
+  message(FATAL_ERROR "unexpected JSON summary: tool=${tool} nodes=${nodes}")
+endif()
+
+# Loading the edge-list rendering must yield the same labels as the
+# binary file (bit-identical CSR either way).
+run_checked(${DGC_CLI} cluster --in=${WORK_DIR}/g.edges --engine=dense --beta=0.25
+            --k_hint=4 --rounds_multiplier=2 --trials_scale=2 --seed=1
+            --labels_out=${WORK_DIR}/labels_cli_edges.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/labels_cli.txt ${WORK_DIR}/labels_cli_edges.txt
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "labels differ between binary and edge-list inputs")
+endif()
+
+# File path vs in-memory quickstart path: identical labels.
+if(QUICKSTART)
+  run_checked(${QUICKSTART} --n=400 --k=4 --seed=1
+              --labels_out=${WORK_DIR}/labels_memory.txt)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/labels_cli.txt ${WORK_DIR}/labels_memory.txt
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "dgc cluster (file) and quickstart (memory) labels differ")
+  endif()
+endif()
+
+message(STATUS "dgc CLI smoke test passed")

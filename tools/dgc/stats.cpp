@@ -1,0 +1,52 @@
+// `dgc stats` — the quantities the algorithm's preconditions care
+// about: size, degree profile (the paper's protocol is pitched at
+// regular and almost-regular graphs; §4.5 needs max/min degree
+// bounded), and isolated nodes (never matched, never clustered).
+#include <cstdio>
+#include <iostream>
+
+#include "commands.hpp"
+#include "graph/io.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace dgc::tools {
+
+int run_stats(util::Cli& cli) {
+  cli.describe("in", "", "input graph file (required)");
+  cli.describe("format", "auto", "input format: auto|edges|metis|binary");
+  if (cli.help_requested()) {
+    std::cout << "usage: dgc stats --in=FILE [--flags]\n\n";
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  const std::string in = cli.get("in", "");
+  const auto format = graph::parse_format(cli.get("format", "auto"));
+  cli.reject_unknown();
+  DGC_REQUIRE(!in.empty(), "--in is required");
+
+  util::Timer timer;
+  const graph::Graph g = graph::load_graph(in, format);
+  const double load_seconds = timer.seconds();
+
+  std::size_t isolated = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) isolated += g.degree(v) == 0;
+  const double avg_degree =
+      g.num_nodes() == 0 ? 0.0
+                         : static_cast<double>(g.adjacency().size()) /
+                               static_cast<double>(g.num_nodes());
+
+  std::printf("file         %s\n", in.c_str());
+  std::printf("nodes        %u\n", g.num_nodes());
+  std::printf("edges        %zu\n", g.num_edges());
+  std::printf("min_degree   %zu\n", g.min_degree());
+  std::printf("max_degree   %zu\n", g.max_degree());
+  std::printf("avg_degree   %.3f\n", avg_degree);
+  std::printf("regular      %s\n", g.is_regular() ? "yes" : "no");
+  std::printf("isolated     %zu\n", isolated);
+  std::printf("load_seconds %.3f\n", load_seconds);
+  return 0;
+}
+
+}  // namespace dgc::tools
