@@ -178,8 +178,9 @@ int main(int argc, char** argv) {
                          {"n", "m", "format", "MB", "iostream_s", "fast_s", "speedup",
                           "MB_per_s", "identical"});
   util::Table binary_table("binary .dgcg vs re-parsing text",
-                           {"n", "m", "MB", "save_s", "load_s", "vs_iostream_text",
-                            "vs_fast_text", "identical"});
+                           {"n", "m", "MB", "save_s", "stream_s", "mmap_s",
+                            "vs_iostream_text", "vs_fast_text", "mmap_vs_stream",
+                            "identical"});
   util::Table build_table("CSR construction from a buffered edge list",
                           {"n", "m", "legacy_sort_s", "builder_s", "builder_pool_s",
                            "speedup", "identical"});
@@ -249,20 +250,29 @@ int main(int argc, char** argv) {
           graph::save_binary(binary_path, g);
           return true;
         });
-    const double load_s = best_seconds(repeats, &ok, [&] {
+    // Stream path: bulk ifstream reads into fresh vectors (the pre-mmap
+    // loader); mmap path: load_binary adopts zero-copy views of the
+    // mapped file (validation only, no array copies).
+    const double stream_s = best_seconds(repeats, &ok, [&] {
+      std::ifstream is(binary_path, std::ios::binary);
+      const graph::Graph loaded = graph::read_binary(is);
+      return csr_equal(loaded.offsets(), loaded.adjacency(), g);
+    });
+    const double mmap_s = best_seconds(repeats, &ok, [&] {
       const graph::Graph loaded = graph::load_binary(binary_path);
       return csr_equal(loaded.offsets(), loaded.adjacency(), g);
     });
     const auto binary_bytes = std::filesystem::file_size(binary_path);
     std::filesystem::remove(binary_path);
-    binary_table.row({static_cast<std::int64_t>(n), m64, mb(binary_bytes), save_s, load_s,
-                      edges_iostream / load_s, edges_fast / load_s, ok ? "yes" : "NO"});
+    binary_table.row({static_cast<std::int64_t>(n), m64, mb(binary_bytes), save_s,
+                      stream_s, mmap_s, edges_iostream / mmap_s, edges_fast / mmap_s,
+                      stream_s / mmap_s, ok ? "yes" : "NO"});
     all_identical = all_identical && ok;
 
     if (m >= 1000000) {
       headline_m = m;
       headline_speedup =
-          std::max({headline_speedup, edges_iostream / edges_fast, edges_iostream / load_s});
+          std::max({headline_speedup, edges_iostream / edges_fast, edges_iostream / mmap_s});
     }
 
     // --- construction ------------------------------------------------------

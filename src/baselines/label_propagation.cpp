@@ -20,17 +20,24 @@ LabelPropagationResult label_propagation(const graph::Graph& g,
   util::Rng rng(options.seed);
 
   LabelPropagationResult result;
-  std::unordered_map<std::uint32_t, std::size_t> votes;
+  // Votes are edge-weight sums; on unweighted graphs every vote is
+  // exactly 1.0, so the doubles reproduce the old integer tallies (and
+  // their tie-breaks) exactly.
+  std::unordered_map<std::uint32_t, double> votes;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     util::shuffle(order.begin(), order.end(), rng);
     bool changed = false;
     for (const graph::NodeId v : order) {
       votes.clear();
-      for (const graph::NodeId u : g.neighbors(v)) ++votes[label[u]];
-      // Most frequent neighbour label; ties broken towards the smallest
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        votes[label[nbrs[i]]] += ws.empty() ? 1.0 : ws[i];
+      }
+      // Heaviest neighbour label; ties broken towards the smallest
       // label for determinism.
       std::uint32_t best = label[v];
-      std::size_t best_count = 0;
+      double best_count = 0.0;
       for (const auto& [lab, count] : votes) {
         if (count > best_count || (count == best_count && lab < best)) {
           best = lab;

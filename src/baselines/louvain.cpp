@@ -26,11 +26,14 @@ WeightedGraph lift(const graph::Graph& g) {
   WeightedGraph wg;
   wg.adjacency.resize(g.num_nodes());
   wg.self_loop.assign(g.num_nodes(), 0.0);
-  g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
-    wg.adjacency[u].emplace_back(v, 1.0);
-    wg.adjacency[v].emplace_back(u, 1.0);
+  // The aggregation levels are weighted multigraphs anyway, so a
+  // weighted input just seeds level 0 with the real edge weights
+  // (1.0 everywhere on unweighted graphs — the old behaviour).
+  g.for_each_weighted_edge([&](graph::NodeId u, graph::NodeId v, double w) {
+    wg.adjacency[u].emplace_back(v, w);
+    wg.adjacency[v].emplace_back(u, w);
   });
-  wg.total_weight = static_cast<double>(g.num_edges());
+  wg.total_weight = g.total_weight();
   return wg;
 }
 

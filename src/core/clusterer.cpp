@@ -34,6 +34,7 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
   // --- Averaging procedure ------------------------------------------
   matching::MultiLoadState state(n, s);
   state.set_skip_zeros(hot.skip_zero_rows);
+  state.set_weighted_graph(&g);  // no-op on unweighted graphs
   for (std::size_t i = 0; i < s; ++i) {
     state.set(result.seeds[i], i, 1.0);  // x^(0,i) = χ_{v_i}
   }

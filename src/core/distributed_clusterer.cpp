@@ -14,23 +14,35 @@ namespace {
 
 using SparseState = std::vector<std::pair<std::uint64_t, double>>;  // sorted by id
 
-/// The averaging rule of §3.1: shared prefixes average, unshared halve.
-/// Equivalently: elementwise mean with missing entries read as 0.  Both
-/// endpoints of a matched pair compute exactly this same result.
-SparseState merge_states(const SparseState& a, const SparseState& b) {
+/// One merged entry: x_own' = (1-λ)·x_own + λ·x_other, with missing
+/// entries read as 0.  λ = 0.5 evaluates the unweighted 0.5·(a+b)
+/// expression so unweighted (and all-equal-weight) runs stay bit-
+/// identical to the dense engine's averaging loop.
+double mix(double own, double other, double lambda, double keep) {
+  if (lambda == 0.5) return 0.5 * (own + other);
+  return keep * own + lambda * other;
+}
+
+/// The averaging rule of §3.1: shared prefixes average, unshared halve
+/// (λ-partially on weighted graphs — matching/load_state.hpp documents
+/// the weighted step).  Both endpoints of a matched pair compute their
+/// own side of this same exchange.
+SparseState merge_states(const SparseState& own, const SparseState& other,
+                         double lambda) {
+  const double keep = 1.0 - lambda;
   SparseState out;
-  out.reserve(a.size() + b.size());
+  out.reserve(own.size() + other.size());
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < a.size() || j < b.size()) {
-    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
-      out.emplace_back(a[i].first, 0.5 * (a[i].second + 0.0));
+  while (i < own.size() || j < other.size()) {
+    if (j == other.size() || (i < own.size() && own[i].first < other[j].first)) {
+      out.emplace_back(own[i].first, mix(own[i].second, 0.0, lambda, keep));
       ++i;
-    } else if (i == a.size() || b[j].first < a[i].first) {
-      out.emplace_back(b[j].first, 0.5 * (b[j].second + 0.0));
+    } else if (i == own.size() || other[j].first < own[i].first) {
+      out.emplace_back(other[j].first, mix(0.0, other[j].second, lambda, keep));
       ++j;
     } else {
-      out.emplace_back(a[i].first, 0.5 * (a[i].second + b[j].second));
+      out.emplace_back(own[i].first, mix(own[i].second, other[j].second, lambda, keep));
       ++i;
       ++j;
     }
@@ -71,6 +83,14 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
       g, derive_seed(cfg.seed, Stream::kMatching), cfg.protocol);
   const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(cfg.hot_path, n);
   generator.use_thread_pool(coin_pool.get());
+
+  // Weighted graphs average λ-partially along the matched edge; both
+  // endpoints derive the same λ from the (symmetric) edge weight.
+  const bool weighted = g.is_weighted() && g.max_weight() > 0.0;
+  const double two_max_weight = 2.0 * g.max_weight();
+  const auto pair_lambda = [&](graph::NodeId u, graph::NodeId v) {
+    return weighted ? g.edge_weight(u, v) / two_max_weight : 0.5;
+  };
 
   std::vector<graph::NodeId> pending_partner(n, graph::kInvalidNode);
   matching::MatchingGenerator::Coins coins;  // hoisted: refilled in place per round
@@ -119,7 +139,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
         if (message.kind != net::MsgKind::kAccept) continue;
         // u probed exactly one neighbour, so at most one accept arrives.
         network.send({u, message.from, net::MsgKind::kState, state[u]});
-        state[u] = merge_states(state[u], message.payload);
+        state[u] = merge_states(state[u], message.payload, pair_lambda(u, message.from));
         break;
       }
     }
@@ -131,7 +151,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
       for (const auto& message : network.inbox(v)) {
         if (message.kind == net::MsgKind::kState &&
             message.from == pending_partner[v]) {
-          state[v] = merge_states(state[v], message.payload);
+          state[v] = merge_states(state[v], message.payload, pair_lambda(v, message.from));
           break;
         }
       }

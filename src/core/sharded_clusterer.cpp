@@ -72,6 +72,7 @@ ShardedReport ShardedClusterer::run() const {
   // --- Shard assignment ---------------------------------------------
   report.partition = graph::partition_graph(g, P, options_.mode);
   report.partition_edge_cut = metrics::edge_cut(g, report.partition.shard_of);
+  report.partition_cut_weight = metrics::edge_cut_weight(g, report.partition.shard_of);
   report.partition_imbalance = metrics::partition_imbalance(report.partition.shard_of, P);
 
   if (s == 0) {
@@ -83,6 +84,7 @@ ShardedReport ShardedClusterer::run() const {
   // --- Averaging procedure, sharded ---------------------------------
   matching::MultiLoadState state(n, s);
   state.set_skip_zeros(config().hot_path.skip_zero_rows);
+  state.set_weighted_graph(&g);  // no-op on unweighted graphs
   for (std::size_t i = 0; i < s; ++i) state.set(result.seeds[i], i, 1.0);
 
   matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),

@@ -51,6 +51,8 @@ struct ShardedReport {
   graph::Partition partition;
   /// Static edge cut of the partition (metrics::edge_cut).
   std::uint64_t partition_edge_cut = 0;
+  /// Cut weight of the partition (= partition_edge_cut when unweighted).
+  double partition_cut_weight = 0.0;
   /// metrics::partition_imbalance of the partition (1.0 = perfect).
   double partition_imbalance = 0.0;
   /// Matched pairs applied shard-locally / via the mailbox, over all rounds.

@@ -36,8 +36,14 @@ PartitionSummary summarize_partition(const graph::Graph& g,
   for (std::size_t v = 0; v < labels.size(); ++v) {
     if (labels[v] == metrics::kUnclustered) compacted[v] = phantom;
   }
-  const auto phis = graph::partition_conductances(
-      g, compacted, summary.num_clusters + (summary.unclustered > 0 ? 1 : 0));
+  // Weighted graphs report weighted conductances (cut weight over
+  // touching weight); on unweighted graphs the weighted variant equals
+  // the counting one, but the integer path is kept for exactness.
+  const std::uint32_t parts =
+      summary.num_clusters + (summary.unclustered > 0 ? 1 : 0);
+  const auto phis = g.is_weighted()
+                        ? graph::weighted_partition_conductances(g, compacted, parts)
+                        : graph::partition_conductances(g, compacted, parts);
 
   std::vector<std::size_t> sizes(summary.num_clusters, 0);
   for (std::size_t v = 0; v < labels.size(); ++v) {

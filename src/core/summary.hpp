@@ -19,7 +19,9 @@ namespace dgc::core {
 struct ClusterSummary {
   std::uint64_t label = 0;     ///< original seed ID (or kUnclustered)
   std::size_t size = 0;
-  double conductance = 0.0;    ///< paper conductance of the cluster
+  /// Paper conductance of the cluster (weighted — cut weight over
+  /// touching weight — when the graph carries edge weights).
+  double conductance = 0.0;
 };
 
 struct PartitionSummary {

@@ -119,6 +119,113 @@ double rho(const Graph& g, std::span<const std::uint32_t> membership,
 
 namespace {
 
+/// Weight of edges with at least one endpoint in S, plus the cut weight.
+struct SetEdgeWeights {
+  double cut = 0.0;
+  double touching = 0.0;  // w(E(S,S)) + cut
+};
+
+SetEdgeWeights weigh_set_edges(const Graph& g, std::span<const NodeId> set) {
+  std::vector<char> in_set(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    DGC_REQUIRE(v < g.num_nodes(), "set member out of range");
+    in_set[v] = 1;
+  }
+  SetEdgeWeights weights;
+  double internal_halves = 0.0;
+  for (const NodeId v : set) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = ws.empty() ? 1.0 : ws[i];
+      if (in_set[nbrs[i]]) {
+        internal_halves += w;
+      } else {
+        weights.cut += w;
+      }
+    }
+  }
+  weights.touching = internal_halves / 2.0 + weights.cut;
+  return weights;
+}
+
+}  // namespace
+
+double cut_weight(const Graph& g, std::span<const NodeId> set) {
+  return weigh_set_edges(g, set).cut;
+}
+
+double weighted_conductance(const Graph& g, std::span<const NodeId> set) {
+  const auto weights = weigh_set_edges(g, set);
+  if (weights.touching == 0.0) return 0.0;
+  return weights.cut / weights.touching;
+}
+
+std::vector<double> weighted_partition_conductances(
+    const Graph& g, std::span<const std::uint32_t> membership,
+    std::uint32_t num_clusters) {
+  DGC_REQUIRE(membership.size() == g.num_nodes(), "membership size mismatch");
+  std::vector<double> cuts(num_clusters, 0.0);
+  std::vector<double> internal(num_clusters, 0.0);
+  g.for_each_weighted_edge([&](NodeId u, NodeId v, double w) {
+    const auto cu = membership[u];
+    const auto cv = membership[v];
+    DGC_REQUIRE(cu < num_clusters && cv < num_clusters, "label out of range");
+    if (cu == cv) {
+      internal[cu] += w;
+    } else {
+      cuts[cu] += w;
+      cuts[cv] += w;
+    }
+  });
+  std::vector<double> phis(num_clusters, 0.0);
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    const double touching = internal[c] + cuts[c];
+    phis[c] = touching == 0.0 ? 0.0 : cuts[c] / touching;
+  }
+  return phis;
+}
+
+double weighted_rho(const Graph& g, std::span<const std::uint32_t> membership,
+                    std::uint32_t num_clusters) {
+  const auto phis = weighted_partition_conductances(g, membership, num_clusters);
+  double worst = 0.0;
+  for (const double phi : phis) worst = std::max(worst, phi);
+  return worst;
+}
+
+CompactedGraph drop_isolated(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CompactedGraph out;
+  std::vector<NodeId> new_id(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > 0) {
+      new_id[v] = static_cast<NodeId>(out.original_of.size());
+      out.original_of.push_back(v);
+    }
+  }
+  const auto kept = static_cast<NodeId>(out.original_of.size());
+  std::vector<std::uint64_t> offsets(kept + 1, 0);
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(g.adjacency().size());
+  std::vector<double> weights;
+  if (g.is_weighted()) weights.reserve(g.adjacency().size());
+  for (NodeId c = 0; c < kept; ++c) {
+    const NodeId v = out.original_of[c];
+    // The relabelling is monotone, so runs stay sorted and symmetric.
+    for (const NodeId u : g.neighbors(v)) adjacency.push_back(new_id[u]);
+    if (g.is_weighted()) {
+      const auto ws = g.weights(v);
+      weights.insert(weights.end(), ws.begin(), ws.end());
+    }
+    offsets[c + 1] = adjacency.size();
+  }
+  out.graph = Graph::from_csr(std::move(offsets), std::move(adjacency), std::move(weights));
+  return out;
+}
+
+namespace {
+
 std::size_t count_components(const Graph& g) {
   const NodeId n = g.num_nodes();
   std::vector<char> visited(n, 0);

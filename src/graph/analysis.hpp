@@ -42,6 +42,37 @@ namespace dgc::graph {
 [[nodiscard]] double rho(const Graph& g, std::span<const std::uint32_t> membership,
                          std::uint32_t num_clusters);
 
+// --- Weighted variants (our extension; the paper is unweighted) ----------
+// Edge counts become weight sums; on unweighted graphs every variant
+// reduces exactly to its counting counterpart (weights read as 1.0).
+
+/// Total weight of the cut arcs leaving S (= cut_size when unweighted).
+[[nodiscard]] double cut_weight(const Graph& g, std::span<const NodeId> set);
+
+/// Weighted paper conductance: cut weight / (weight of edges touching S).
+[[nodiscard]] double weighted_conductance(const Graph& g, std::span<const NodeId> set);
+
+/// Per-cluster weighted paper-conductance of a partition.
+[[nodiscard]] std::vector<double> weighted_partition_conductances(
+    const Graph& g, std::span<const std::uint32_t> membership, std::uint32_t num_clusters);
+
+/// max_i of weighted_partition_conductances.
+[[nodiscard]] double weighted_rho(const Graph& g,
+                                  std::span<const std::uint32_t> membership,
+                                  std::uint32_t num_clusters);
+
+/// A graph with its degree-0 nodes removed and the survivors relabelled
+/// densely (`dgc cluster --drop-isolated`): original_of[new_id] = old id.
+/// Weights and adjacency order are preserved.
+struct CompactedGraph {
+  Graph graph;
+  std::vector<NodeId> original_of;
+};
+
+/// Strips isolated nodes (the matching protocol needs degree >= 1
+/// everywhere); returns the compacted graph plus the id mapping back.
+[[nodiscard]] CompactedGraph drop_isolated(const Graph& g);
+
 /// BFS connectivity.
 [[nodiscard]] bool is_connected(const Graph& g);
 

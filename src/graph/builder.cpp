@@ -1,6 +1,7 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/require.hpp"
 
@@ -17,7 +18,7 @@ constexpr std::size_t kNodeGrain = std::size_t{1} << 14;
 
 void GraphBuilder::ensure_nodes(NodeId n) { nodes_ = std::max(nodes_, n); }
 
-void GraphBuilder::add_edge(NodeId u, NodeId v) {
+void GraphBuilder::check_endpoints(NodeId& u, NodeId& v) {
   DGC_REQUIRE(u != v, "self-loops are not allowed");
   if (fixed_) {
     DGC_REQUIRE(u < nodes_ && v < nodes_, "edge endpoint out of range");
@@ -26,11 +27,33 @@ void GraphBuilder::add_edge(NodeId u, NodeId v) {
     nodes_ = std::max(nodes_, std::max(u, v) + 1);
   }
   if (u > v) std::swap(u, v);
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DGC_REQUIRE(!weighted_, "cannot mix unweighted edges into a weighted builder");
+  check_endpoints(u, v);
   edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, double weight) {
+  DGC_REQUIRE(weighted_ || edges_.empty(),
+              "cannot mix weighted edges into an unweighted builder");
+  DGC_REQUIRE(std::isfinite(weight) && weight > 0.0,
+              "edge weight must be positive and finite");
+  check_endpoints(u, v);
+  if (!weighted_) {
+    weighted_ = true;
+    // Catch up with any reserve_edges() issued before the builder knew
+    // it was weighted, so weights_ grows in step with edges_.
+    weights_.reserve(edges_.capacity());
+  }
+  edges_.emplace_back(u, v);
+  weights_.push_back(weight);
 }
 
 Graph GraphBuilder::build(util::ThreadPool* pool) {
   const std::size_t n = nodes_;
+  const bool weighted = weighted_;
   // The parallel count/scatter passes keep one n-sized histogram per
   // edge block; raise the grain so that scratch stays within ~one raw
   // adjacency array (blocks <= m/n, i.e. <= d_avg/2 histograms).  Very
@@ -82,8 +105,10 @@ Graph GraphBuilder::build(util::ThreadPool* pool) {
   }
   for (std::size_t v = 0; v < n; ++v) raw_offsets[v + 1] += raw_offsets[v];
 
-  // Pass 2: scatter both directions into the per-node buckets.
+  // Pass 2: scatter both directions into the per-node buckets (weights,
+  // when present, travel on the same cursors).
   std::vector<NodeId> raw_adjacency(edges_.size() * 2);
+  std::vector<double> raw_weights(weighted ? edges_.size() * 2 : 0);
   if (parallel) {
     pool->parallel_blocks(
         edges_.size(), edge_grain,
@@ -91,33 +116,76 @@ Graph GraphBuilder::build(util::ThreadPool* pool) {
           auto& cursor = block_counts[block];
           for (std::size_t i = begin; i < end; ++i) {
             const auto [u, v] = edges_[i];
-            raw_adjacency[raw_offsets[u] + cursor[u]++] = v;
-            raw_adjacency[raw_offsets[v] + cursor[v]++] = u;
+            const std::uint64_t pu = raw_offsets[u] + cursor[u]++;
+            const std::uint64_t pv = raw_offsets[v] + cursor[v]++;
+            raw_adjacency[pu] = v;
+            raw_adjacency[pv] = u;
+            if (weighted) {
+              raw_weights[pu] = weights_[i];
+              raw_weights[pv] = weights_[i];
+            }
           }
         });
     block_counts.clear();
     block_counts.shrink_to_fit();
   } else {
     std::vector<std::uint64_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
-    for (const auto& [u, v] : edges_) {
-      raw_adjacency[cursor[u]++] = v;
-      raw_adjacency[cursor[v]++] = u;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const auto [u, v] = edges_[i];
+      const std::uint64_t pu = cursor[u]++;
+      const std::uint64_t pv = cursor[v]++;
+      raw_adjacency[pu] = v;
+      raw_adjacency[pv] = u;
+      if (weighted) {
+        raw_weights[pu] = weights_[i];
+        raw_weights[pv] = weights_[i];
+      }
     }
   }
   edges_.clear();
   edges_.shrink_to_fit();
+  weights_.clear();
+  weights_.shrink_to_fit();
 
   // Sort + unique every bucket; unique_degree feeds the final offsets.
+  // Weighted buckets stable-sort (neighbour, weight) pairs keyed on the
+  // neighbour only and sum duplicate runs left to right: bucket contents
+  // are in serial edge order for every thread count, so the sums add the
+  // same doubles in the same order — bit-identical output.
   std::vector<std::uint64_t> unique_degree(n, 0);
   const auto dedup_nodes = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::pair<NodeId, double>> scratch;
     for (std::size_t v = begin; v < end; ++v) {
-      const auto first =
-          raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]);
-      const auto last =
-          raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v + 1]);
-      std::sort(first, last);
-      unique_degree[v] =
-          static_cast<std::uint64_t>(std::unique(first, last) - first);
+      const auto first = raw_offsets[v];
+      const auto last = raw_offsets[v + 1];
+      if (!weighted) {
+        const auto sort_first =
+            raw_adjacency.begin() + static_cast<std::ptrdiff_t>(first);
+        const auto sort_last = raw_adjacency.begin() + static_cast<std::ptrdiff_t>(last);
+        std::sort(sort_first, sort_last);
+        unique_degree[v] =
+            static_cast<std::uint64_t>(std::unique(sort_first, sort_last) - sort_first);
+        continue;
+      }
+      scratch.clear();
+      scratch.reserve(static_cast<std::size_t>(last - first));
+      for (std::uint64_t i = first; i < last; ++i) {
+        scratch.emplace_back(raw_adjacency[i], raw_weights[i]);
+      }
+      std::stable_sort(scratch.begin(), scratch.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::uint64_t out = first;
+      for (std::size_t i = 0; i < scratch.size();) {
+        const NodeId nbr = scratch[i].first;
+        double w = scratch[i].second;
+        for (++i; i < scratch.size() && scratch[i].first == nbr; ++i) {
+          w += scratch[i].second;
+        }
+        raw_adjacency[out] = nbr;
+        raw_weights[out] = w;
+        ++out;
+      }
+      unique_degree[v] = out - first;
     }
   };
   if (pool != nullptr && pool->blocks_for(n, kNodeGrain) > 1) {
@@ -129,17 +197,25 @@ Graph GraphBuilder::build(util::ThreadPool* pool) {
     dedup_nodes(0, n);
   }
 
-  Graph g;
-  g.offsets_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + unique_degree[v];
+  Graph::VectorStorage storage;
+  storage.offsets.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    storage.offsets[v + 1] = storage.offsets[v] + unique_degree[v];
+  }
 
   // Compact the deduplicated runs into the final CSR.
-  g.adjacency_.resize(g.offsets_[n]);
+  storage.adjacency.resize(storage.offsets[n]);
+  if (weighted) storage.weights.resize(storage.offsets[n]);
   const auto compact_nodes = [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
       std::copy_n(raw_adjacency.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]),
                   unique_degree[v],
-                  g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
+                  storage.adjacency.begin() + static_cast<std::ptrdiff_t>(storage.offsets[v]));
+      if (weighted) {
+        std::copy_n(raw_weights.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]),
+                    unique_degree[v],
+                    storage.weights.begin() + static_cast<std::ptrdiff_t>(storage.offsets[v]));
+      }
     }
   };
   if (pool != nullptr && pool->blocks_for(n, kNodeGrain) > 1) {
@@ -151,12 +227,12 @@ Graph GraphBuilder::build(util::ThreadPool* pool) {
     compact_nodes(0, n);
   }
 
-  g.finalize_degrees();
   // Leave the builder ready for a fresh graph: a fixed-size builder
   // keeps its node count (that is its contract), an auto-growing one
   // starts over from zero.
   if (!fixed_) nodes_ = 0;
-  return g;
+  weighted_ = false;
+  return Graph::adopt(std::move(storage));
 }
 
 }  // namespace dgc::graph

@@ -21,6 +21,14 @@
 // a serial build, and every bucket is sorted afterwards anyway, so the
 // resulting Graph is bit-identical for every thread count and identical
 // to Graph::from_edges on the same multiset of edges (tested).
+//
+// Weighted builds: `add_edge(u, v, w)` buffers a weight alongside the
+// edge; a builder is all-weighted or all-unweighted (mixing throws).
+// Duplicate weighted edges *sum* their weights.  The dedup pass uses a
+// stable sort keyed on the neighbour only, so duplicates keep their
+// serial arrival order and the left-to-right summation adds the same
+// doubles in the same order for every thread count — weighted builds
+// are bit-identical across thread counts too (tested).
 #pragma once
 
 #include <cstddef>
@@ -42,7 +50,10 @@ class GraphBuilder {
   explicit GraphBuilder(NodeId num_nodes) : nodes_(num_nodes), fixed_(true) {}
 
   /// Pre-sizes the edge buffer (optional; builders grow as needed).
-  void reserve_edges(std::size_t m) { edges_.reserve(m); }
+  void reserve_edges(std::size_t m) {
+    edges_.reserve(m);
+    if (weighted_) weights_.reserve(m);
+  }
 
   /// Raises the node count to at least n (for isolated trailing nodes).
   void ensure_nodes(NodeId n);
@@ -51,8 +62,14 @@ class GraphBuilder {
   /// duplicates (in either orientation) are collapsed at build time.
   void add_edge(NodeId u, NodeId v);
 
+  /// Buffers one weighted undirected edge (weight positive and finite);
+  /// duplicates sum their weights at build time.  A builder must be fed
+  /// consistently: all edges weighted, or none.
+  void add_edge(NodeId u, NodeId v, double weight);
+
   [[nodiscard]] std::size_t edges_added() const noexcept { return edges_.size(); }
   [[nodiscard]] NodeId num_nodes() const noexcept { return nodes_; }
+  [[nodiscard]] bool weighted() const noexcept { return weighted_; }
 
   /// Assembles the Graph and releases the edge buffer, leaving the
   /// builder ready for a new graph (a fixed-size builder keeps its node
@@ -62,9 +79,13 @@ class GraphBuilder {
   [[nodiscard]] Graph build(util::ThreadPool* pool = nullptr);
 
  private:
+  void check_endpoints(NodeId& u, NodeId& v);
+
   std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<double> weights_;  // parallel to edges_ when weighted_
   NodeId nodes_ = 0;
   bool fixed_ = false;
+  bool weighted_ = false;
 };
 
 }  // namespace dgc::graph

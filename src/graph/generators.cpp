@@ -157,7 +157,21 @@ PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng)
   }
 
   PlantedGraph out;
-  out.graph = Graph::from_edges(n, std::move(edges));
+  if (spec.weighted) {
+    DGC_REQUIRE(std::isfinite(spec.intra_weight) && spec.intra_weight > 0.0 &&
+                    std::isfinite(spec.inter_weight) && spec.inter_weight > 0.0,
+                "weighted spec needs positive finite weights");
+    std::vector<WeightedEdge> weighted_edges;
+    weighted_edges.reserve(edges.size());
+    for (const auto& [u, v] : edges) {
+      weighted_edges.push_back(
+          {u, v,
+           membership[u] == membership[v] ? spec.intra_weight : spec.inter_weight});
+    }
+    out.graph = Graph::from_weighted_edges(n, std::move(weighted_edges));
+  } else {
+    out.graph = Graph::from_edges(n, std::move(edges));
+  }
   out.membership = std::move(membership);
   out.num_clusters = k;
   return out;
@@ -225,10 +239,23 @@ PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
   DGC_REQUIRE(spec.p_in >= 0.0 && spec.p_in <= 1.0, "p_in out of range");
   DGC_REQUIRE(spec.p_out >= 0.0 && spec.p_out <= 1.0, "p_out out of range");
 
+  if (spec.weighted) {
+    DGC_REQUIRE(std::isfinite(spec.intra_weight) && spec.intra_weight > 0.0 &&
+                    std::isfinite(spec.inter_weight) && spec.inter_weight > 0.0,
+                "weighted spec needs positive finite weights");
+  }
+
   const NodeId s = spec.nodes_per_cluster;
   const std::uint32_t k = spec.clusters;
   const NodeId n = s * k;
   GraphBuilder builder(n);
+  const auto add = [&](NodeId u, NodeId v, double w) {
+    if (spec.weighted) {
+      builder.add_edge(u, v, w);
+    } else {
+      builder.add_edge(u, v);
+    }
+  };
 
   // Intra-block pairs, streamed straight into the builder.
   const std::uint64_t intra_pairs = static_cast<std::uint64_t>(s) * (s - 1) / 2;
@@ -236,7 +263,7 @@ PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
     const NodeId block_base = c * s;
     sample_bernoulli_indices(intra_pairs, spec.p_in, rng, [&](std::uint64_t r) {
       const auto [i, j] = unrank_triangular(r, s);
-      builder.add_edge(block_base + i, block_base + j);
+      add(block_base + i, block_base + j, spec.intra_weight);
     });
   }
   // Inter-block rectangles, one per ordered pair a < b.
@@ -246,7 +273,7 @@ PlantedGraph stochastic_block_model(const SbmSpec& spec, util::Rng& rng) {
       sample_bernoulli_indices(rect, spec.p_out, rng, [&](std::uint64_t r) {
         const auto i = static_cast<NodeId>(r / s);
         const auto j = static_cast<NodeId>(r % s);
-        builder.add_edge(a * s + i, b * s + j);
+        add(a * s + i, b * s + j, spec.inter_weight);
       });
     }
   }

@@ -50,6 +50,15 @@ struct ClusteredRegularSpec {
     kRing,      ///< only consecutive clusters i, i+1 (mod k)
   };
   Topology topology = Topology::kComplete;
+  /// Weighted variant: intra-cluster edges carry intra_weight and
+  /// inter-cluster edges inter_weight (the in/out weight-ratio knob).
+  /// The adjacency structure is identical to the unweighted instance
+  /// with the same spec and Rng stream — only the weight array differs,
+  /// so intra_weight = inter_weight = 1 yields the all-ones weighting of
+  /// the unweighted graph.
+  bool weighted = false;
+  double intra_weight = 1.0;
+  double inter_weight = 1.0;
 };
 
 /// Builds the planted instance; ground truth is the generating partition.
@@ -69,6 +78,11 @@ struct SbmSpec {
   std::uint32_t clusters = 0;
   double p_in = 0.0;   ///< intra-block edge probability
   double p_out = 0.0;  ///< inter-block edge probability
+  /// Weighted variant (same structure and Rng stream as unweighted):
+  /// intra-block edges carry intra_weight, inter-block edges inter_weight.
+  bool weighted = false;
+  double intra_weight = 1.0;
+  double inter_weight = 1.0;
 };
 
 /// O(m)-time SBM sampler (geometric skipping, no n^2 pass).

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/builder.hpp"
 #include "util/require.hpp"
@@ -15,12 +16,24 @@ Graph Graph::from_edges(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) 
   return builder.build();
 }
 
-Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency) {
+Graph Graph::from_weighted_edges(NodeId n, std::vector<WeightedEdge> edges) {
+  GraphBuilder builder(n);
+  builder.reserve_edges(edges.size());
+  for (const auto& e : edges) builder.add_edge(e.u, e.v, e.weight);
+  edges.clear();
+  return builder.build();
+}
+
+void Graph::validate_views(std::span<const std::uint64_t> offsets,
+                           std::span<const NodeId> adjacency,
+                           std::span<const double> weights) {
   DGC_REQUIRE(!offsets.empty(), "CSR offsets must have size n+1 >= 1");
   DGC_REQUIRE(offsets.front() == 0, "CSR offsets must start at 0");
   DGC_REQUIRE(offsets.back() == adjacency.size(),
               "CSR offsets must end at the adjacency length");
   DGC_REQUIRE(adjacency.size() % 2 == 0, "undirected CSR needs an even adjacency length");
+  DGC_REQUIRE(weights.empty() || weights.size() == adjacency.size(),
+              "CSR weights must be empty or parallel to adjacency");
   const auto n = static_cast<NodeId>(offsets.size() - 1);
   // Validate every offset before touching adjacency: a single decreasing
   // pair further down must not let an earlier node's run read past the
@@ -37,10 +50,17 @@ Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> ad
                   "CSR adjacency must be strictly increasing per node");
     }
   }
+  if (!weights.empty()) {
+    for (const double w : weights) {
+      DGC_REQUIRE(std::isfinite(w) && w > 0.0,
+                  "CSR edge weights must be positive and finite");
+    }
+  }
   // Symmetry in O(m): arcs (v, u) arrive in increasing v for every u, so
   // walking each node's run with a monotone cursor must consume it slot
   // by slot — any mismatch, and any cursor not ending exactly at its
-  // run's end, means a one-sided arc.
+  // run's end, means a one-sided arc.  The same walk pairs the two
+  // directions of every edge, so it also checks weight symmetry.
   {
     std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
     for (NodeId v = 0; v < n; ++v) {
@@ -48,6 +68,10 @@ Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> ad
         const NodeId u = adjacency[i];
         DGC_REQUIRE(cursor[u] < offsets[u + 1] && adjacency[cursor[u]] == v,
                     "CSR adjacency is not symmetric");
+        if (!weights.empty()) {
+          DGC_REQUIRE(weights[cursor[u]] == weights[i],
+                      "CSR edge weights are not symmetric");
+        }
         ++cursor[u];
       }
     }
@@ -55,14 +79,40 @@ Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> ad
       DGC_REQUIRE(cursor[v] == offsets[v + 1], "CSR adjacency is not symmetric");
     }
   }
+}
+
+Graph Graph::adopt(VectorStorage storage) {
+  auto holder = std::make_shared<const VectorStorage>(std::move(storage));
   Graph g;
-  g.offsets_ = std::move(offsets);
-  g.adjacency_ = std::move(adjacency);
-  g.finalize_degrees();
+  g.offsets_ = holder->offsets;
+  g.adjacency_ = holder->adjacency;
+  g.weights_ = holder->weights;
+  g.backing_ = std::move(holder);
+  g.finalize_stats();
   return g;
 }
 
-void Graph::finalize_degrees() {
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency,
+                      std::vector<double> weights) {
+  validate_views(offsets, adjacency, weights);
+  return adopt({std::move(offsets), std::move(adjacency), std::move(weights)});
+}
+
+Graph Graph::from_csr_views(std::shared_ptr<const void> backing,
+                            std::span<const std::uint64_t> offsets,
+                            std::span<const NodeId> adjacency,
+                            std::span<const double> weights) {
+  validate_views(offsets, adjacency, weights);
+  Graph g;
+  g.backing_ = std::move(backing);
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  g.weights_ = weights;
+  g.finalize_stats();
+  return g;
+}
+
+void Graph::finalize_stats() {
   const NodeId n = num_nodes();
   max_degree_ = 0;
   min_degree_ = n > 0 ? adjacency_.size() : 0;
@@ -70,6 +120,17 @@ void Graph::finalize_degrees() {
     const std::size_t d = degree(v);
     max_degree_ = std::max(max_degree_, d);
     min_degree_ = std::min(min_degree_, d);
+  }
+  max_weight_ = 0.0;
+  total_weight_ = 0.0;
+  if (!weights_.empty()) {
+    for (const double w : weights_) max_weight_ = std::max(max_weight_, w);
+    // Sum each undirected edge once, in u < v CSR order (deterministic).
+    for (NodeId u = 0; u < n; ++u) {
+      for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        if (adjacency_[i] > u) total_weight_ += weights_[i];
+      }
+    }
   }
 }
 
@@ -80,9 +141,22 @@ std::span<const NodeId> Graph::neighbors(NodeId v) const {
   return {adjacency_.data() + begin, adjacency_.data() + end};
 }
 
+std::span<const double> Graph::weights(NodeId v) const {
+  DGC_REQUIRE(v < num_nodes(), "node out of range");
+  if (weights_.empty()) return {};
+  return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+}
+
 std::size_t Graph::degree(NodeId v) const {
   DGC_REQUIRE(v < num_nodes(), "node out of range");
   return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+double Graph::strength(NodeId v) const {
+  if (weights_.empty()) return static_cast<double>(degree(v));
+  double total = 0.0;
+  for (const double w : weights(v)) total += w;
+  return total;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -90,9 +164,23 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  DGC_REQUIRE(it != nbrs.end() && *it == v, "edge_weight of a non-edge");
+  if (weights_.empty()) return 1.0;
+  return weights_[offsets_[u] + static_cast<std::uint64_t>(it - nbrs.begin())];
+}
+
 std::uint64_t Graph::volume(std::span<const NodeId> set) const {
   std::uint64_t total = 0;
   for (const NodeId v : set) total += degree(v);
+  return total;
+}
+
+double Graph::weighted_volume(std::span<const NodeId> set) const {
+  double total = 0.0;
+  for (const NodeId v : set) total += strength(v);
   return total;
 }
 

@@ -13,11 +13,21 @@
 //    materialised self-loops.)
 //  * `num_edges()` counts undirected edges; adjacency stores both
 //    directions and is sorted, so `has_edge` is O(log d).
+//  * Edge weights are optional: `weights()` is a per-arc array parallel
+//    to `adjacency()` (absent ⇒ unweighted; every weight is positive and
+//    finite, and symmetric across the two directions of an edge).  The
+//    unweighted representation carries no weight storage at all, so the
+//    existing hot paths pay nothing for the extension.
+//
+// Storage is an immutable, shared backing block (vectors from a builder,
+// or an mmap'd file for zero-copy binary loads — io.hpp) viewed through
+// spans; copying a Graph shares the backing instead of deep-copying it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -28,6 +38,14 @@ using NodeId = std::uint32_t;
 
 /// Sentinel for "no node" (used by matching / BFS internals).
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One undirected edge with a weight (the streaming input unit of the
+/// weighted Graph::from_edges / GraphBuilder paths).
+struct WeightedEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+};
 
 class Graph {
  public:
@@ -40,12 +58,30 @@ class Graph {
   /// (builder.hpp), which is the streaming / parallel construction path.
   static Graph from_edges(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
 
+  /// Weighted variant: duplicate edges (in either orientation) *sum*
+  /// their weights; every weight must be positive and finite.  (Named,
+  /// not overloaded: brace-initialised edge lists would be ambiguous.)
+  static Graph from_weighted_edges(NodeId n, std::vector<WeightedEdge> edges);
+
   /// Adopts a ready-made CSR after validating every class invariant:
   /// offsets has size n+1, starts at 0, is non-decreasing and ends at
   /// adjacency.size(); every adjacency run is strictly increasing (sorted,
-  /// no duplicates), in range, self-loop free, and symmetric.  This is the
-  /// trust boundary for the binary graph loader (io.hpp).
-  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency);
+  /// no duplicates), in range, self-loop free, and symmetric.  `weights`
+  /// is either empty (unweighted) or parallel to `adjacency` with every
+  /// entry positive, finite, and equal across the two directions of an
+  /// edge.  This is the trust boundary for the binary graph loader
+  /// (io.hpp).
+  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<NodeId> adjacency,
+                        std::vector<double> weights = {});
+
+  /// Zero-copy variant of from_csr: adopts views into caller-owned
+  /// memory (e.g. an mmap'd .dgcg file) after the same validation.
+  /// `backing` keeps the viewed memory alive for the lifetime of the
+  /// Graph and of every copy of it.
+  static Graph from_csr_views(std::shared_ptr<const void> backing,
+                              std::span<const std::uint64_t> offsets,
+                              std::span<const NodeId> adjacency,
+                              std::span<const double> weights = {});
 
   [[nodiscard]] NodeId num_nodes() const noexcept {
     return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
@@ -66,12 +102,46 @@ class Graph {
     return num_nodes() > 0 && max_degree_ == min_degree_;
   }
 
+  /// True iff the graph carries an edge-weight array.  An unweighted
+  /// graph behaves exactly like the all-ones weighting everywhere a
+  /// weight is consumed (edge_weight, strength, total_weight, …).
+  [[nodiscard]] bool is_weighted() const noexcept { return !weights_.empty(); }
+
+  /// Per-arc weights parallel to adjacency(); empty when unweighted.
+  [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
+
+  /// Node v's weight run, parallel to neighbors(v); empty when unweighted.
+  [[nodiscard]] std::span<const double> weights(NodeId v) const;
+
+  /// Weight of the edge {u, v} (1.0 on unweighted graphs).  The edge
+  /// must exist; O(log d) lookup.
+  [[nodiscard]] double edge_weight(NodeId u, NodeId v) const;
+
+  /// Largest edge weight (1.0 on unweighted graphs — the all-ones view;
+  /// 0.0 on edgeless weighted graphs).  Normalises the weighted
+  /// averaging step (matching/load_state.hpp).
+  [[nodiscard]] double max_weight() const noexcept {
+    return is_weighted() ? max_weight_ : 1.0;
+  }
+
+  /// Sum of edge weights over undirected edges (= num_edges() when
+  /// unweighted).
+  [[nodiscard]] double total_weight() const noexcept {
+    return is_weighted() ? total_weight_ : static_cast<double>(num_edges());
+  }
+
+  /// Weighted degree sum_u w(v,u) (= degree(v) when unweighted).
+  [[nodiscard]] double strength(NodeId v) const;
+
   /// O(log d) membership test; adjacency lists are sorted.
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
   /// Sum of degrees over `set` (the standard volume; see analysis.hpp for
   /// the paper's edge-counting variant).
   [[nodiscard]] std::uint64_t volume(std::span<const NodeId> set) const;
+
+  /// Sum of strengths over `set` (= volume(set) when unweighted).
+  [[nodiscard]] double weighted_volume(std::span<const NodeId> set) const;
 
   /// Calls fn(u, v) once per undirected edge with u < v.
   template <typename Fn>
@@ -84,6 +154,20 @@ class Graph {
     }
   }
 
+  /// Calls fn(u, v, w) once per undirected edge with u < v; w is 1.0 on
+  /// unweighted graphs.
+  template <typename Fn>
+  void for_each_weighted_edge(Fn&& fn) const {
+    const NodeId n = num_nodes();
+    const bool weighted = is_weighted();
+    for (NodeId u = 0; u < n; ++u) {
+      for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        const NodeId v = adjacency_[i];
+        if (u < v) fn(u, v, weighted ? weights_[i] : 1.0);
+      }
+    }
+  }
+
   /// Raw CSR views for serialisation (io.hpp) and bit-identity tests.
   [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept { return offsets_; }
   [[nodiscard]] std::span<const NodeId> adjacency() const noexcept { return adjacency_; }
@@ -91,13 +175,34 @@ class Graph {
  private:
   friend class GraphBuilder;
 
-  /// Recomputes min/max degree from the CSR arrays.
-  void finalize_degrees();
+  /// The owned-vector backing used by the builder / from_csr paths.
+  struct VectorStorage {
+    std::vector<std::uint64_t> offsets;
+    std::vector<NodeId> adjacency;
+    std::vector<double> weights;
+  };
 
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<NodeId> adjacency_;       // size 2m, sorted within each node
+  /// Adopts already-validated vectors (the GraphBuilder exit; invariants
+  /// hold by construction there).
+  static Graph adopt(VectorStorage storage);
+
+  /// Validates every CSR invariant on raw views (throws contract_error).
+  static void validate_views(std::span<const std::uint64_t> offsets,
+                             std::span<const NodeId> adjacency,
+                             std::span<const double> weights);
+
+  /// Recomputes min/max degree and the weight aggregates from the views.
+  void finalize_stats();
+
+  /// Keeps the viewed memory alive: a VectorStorage or an mmap holder.
+  std::shared_ptr<const void> backing_;
+  std::span<const std::uint64_t> offsets_;  // size n+1
+  std::span<const NodeId> adjacency_;       // size 2m, sorted within each node
+  std::span<const double> weights_;         // size 2m or empty
   std::size_t max_degree_ = 0;
   std::size_t min_degree_ = 0;
+  double max_weight_ = 0.0;
+  double total_weight_ = 0.0;
 };
 
 /// A generated graph together with its planted ground-truth partition.

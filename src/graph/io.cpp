@@ -3,13 +3,24 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <unordered_map>
 
 #include "graph/builder.hpp"
 #include "util/require.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DGC_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace dgc::graph {
 
@@ -26,6 +37,13 @@ void skip_spaces(const char*& p, const char* end) {
 
 template <typename Int>
 bool parse_int(const char*& p, const char* end, Int& out) {
+  const auto [ptr, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc() || ptr == p) return false;
+  p = ptr;
+  return true;
+}
+
+bool parse_double(const char*& p, const char* end, double& out) {
   const auto [ptr, ec] = std::from_chars(p, end, out);
   if (ec != std::errc() || ptr == p) return false;
   p = ptr;
@@ -79,33 +97,61 @@ void append_uint(std::string& out, std::uint64_t value) {
   out.append(buf, ptr);
 }
 
+/// Shortest round-trip rendering: re-parsing restores the exact bits.
+void append_double(std::string& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
 std::string render_edge_list(const Graph& g) {
   std::string out;
-  out.reserve(g.num_edges() * 14 + 32);
+  out.reserve(g.num_edges() * (g.is_weighted() ? 22 : 14) + 48);
   out += "# nodes ";
   append_uint(out, g.num_nodes());
   out += '\n';
-  g.for_each_edge([&](NodeId u, NodeId v) {
-    append_uint(out, u);
-    out += ' ';
-    append_uint(out, v);
-    out += '\n';
-  });
+  if (g.is_weighted()) {
+    out += "# weighted\n";
+    g.for_each_weighted_edge([&](NodeId u, NodeId v, double w) {
+      append_uint(out, u);
+      out += ' ';
+      append_uint(out, v);
+      out += ' ';
+      append_double(out, w);
+      out += '\n';
+    });
+  } else {
+    g.for_each_edge([&](NodeId u, NodeId v) {
+      append_uint(out, u);
+      out += ' ';
+      append_uint(out, v);
+      out += '\n';
+    });
+  }
   return out;
 }
 
 std::string render_metis(const Graph& g) {
+  const bool weighted = g.is_weighted();
   std::string out;
-  out.reserve(g.adjacency().size() * 7 + 32);
+  out.reserve(g.adjacency().size() * (weighted ? 15 : 7) + 32);
   append_uint(out, g.num_nodes());
   out += ' ';
   append_uint(out, g.num_edges());
+  if (weighted) out += " 1";  // fmt: edge weights
   out += '\n';
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
     bool first = true;
-    for (const NodeId u : g.neighbors(v)) {
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
       if (!first) out += ' ';
-      append_uint(out, u + std::uint64_t{1});
+      append_uint(out, nbrs[i] + std::uint64_t{1});
+      if (weighted) {
+        out += ' ';
+        append_double(out, ws[i]);
+      }
       first = false;
     }
     out += '\n';
@@ -118,17 +164,37 @@ std::string render_metis(const Graph& g) {
 
 constexpr char kMagic[4] = {'D', 'G', 'C', 'G'};
 constexpr std::uint32_t kEndianMarker = 0x01020304u;
-constexpr std::uint32_t kVersion = 1;
+/// Version 1: header + offsets + adjacency.  Version 2 adds a flags
+/// field (the old reserved slot) and, when kFlagWeighted is set, the
+/// per-arc weight array after adjacency.  Both versions load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kFlagWeighted = 1u << 0;
 
 struct BinaryHeader {
   char magic[4];
   std::uint32_t endian;
   std::uint32_t version;
-  std::uint32_t reserved;
+  std::uint32_t flags;  ///< reserved (zero) in version 1
   std::uint64_t num_nodes;
   std::uint64_t adjacency_len;
 };
 static_assert(sizeof(BinaryHeader) == 32, "binary header layout must be stable");
+
+/// Shared header validation for the stream and mmap loaders; returns
+/// whether the payload carries a weight section.
+bool check_binary_header(const BinaryHeader& header) {
+  DGC_REQUIRE(std::memcmp(header.magic, kMagic, sizeof kMagic) == 0,
+              "not a binary graph file (bad magic)");
+  DGC_REQUIRE(header.endian == kEndianMarker,
+              "binary graph file has foreign byte order");
+  DGC_REQUIRE(header.version == 1 || header.version == kVersion,
+              "unsupported binary graph version");
+  DGC_REQUIRE(header.num_nodes <= kInvalidNode, "binary graph node count overflows NodeId");
+  DGC_REQUIRE(header.adjacency_len % 2 == 0, "binary graph adjacency length must be even");
+  if (header.version == 1) return false;  // pre-weights format, flags reserved
+  DGC_REQUIRE((header.flags & ~kFlagWeighted) == 0, "unknown binary graph flags");
+  return (header.flags & kFlagWeighted) != 0;
+}
 
 /// Reads `count` elements in bounded chunks, so a corrupt header cannot
 /// demand a giant allocation up front: a truncated stream fails after at
@@ -151,6 +217,81 @@ std::vector<T> read_array(std::istream& is, std::uint64_t count, const char* wha
   }
   return out;
 }
+
+#ifdef DGC_HAS_MMAP
+
+/// Owns one read-only file mapping; Graphs share it via shared_ptr.
+struct MappedFile {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data != nullptr) {
+      ::munmap(const_cast<unsigned char*>(data), size);
+    }
+  }
+};
+
+/// Maps the whole file read-only; nullptr on any failure (the caller
+/// falls back to the stream path, which reports open errors properly).
+std::shared_ptr<const MappedFile> map_file(const std::string& file_path) {
+  const int fd = ::open(file_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return nullptr;
+  auto out = std::make_shared<MappedFile>();
+  out->data = static_cast<const unsigned char*>(base);
+  out->size = size;
+  return out;
+}
+
+/// Zero-copy load: validate the header and array bounds against the
+/// mapped size, then hand the Graph views straight into the mapping
+/// (from_csr_views re-validates every CSR invariant in place).
+Graph load_mapped(std::shared_ptr<const MappedFile> file) {
+  DGC_REQUIRE(file->size >= sizeof(BinaryHeader), "truncated binary graph header");
+  BinaryHeader header{};
+  std::memcpy(&header, file->data, sizeof header);
+  const bool weighted = check_binary_header(header);
+  // Bound the lengths by the file size first so the byte arithmetic
+  // below cannot overflow on an adversarial header.
+  DGC_REQUIRE(header.num_nodes < file->size / sizeof(std::uint64_t) &&
+                  header.adjacency_len <= file->size / sizeof(NodeId),
+              "truncated binary graph payload");
+  const std::uint64_t offsets_bytes = (header.num_nodes + 1) * sizeof(std::uint64_t);
+  const std::uint64_t adjacency_bytes = header.adjacency_len * sizeof(NodeId);
+  const std::uint64_t weight_bytes =
+      weighted ? header.adjacency_len * sizeof(double) : 0;
+  DGC_REQUIRE(sizeof(BinaryHeader) + offsets_bytes + adjacency_bytes + weight_bytes <=
+                  file->size,
+              "truncated binary graph payload");
+  const unsigned char* cursor = file->data + sizeof(BinaryHeader);
+  const std::span<const std::uint64_t> offsets{
+      reinterpret_cast<const std::uint64_t*>(cursor),
+      static_cast<std::size_t>(header.num_nodes + 1)};
+  cursor += offsets_bytes;
+  const std::span<const NodeId> adjacency{reinterpret_cast<const NodeId*>(cursor),
+                                          static_cast<std::size_t>(header.adjacency_len)};
+  cursor += adjacency_bytes;
+  std::span<const double> weights;
+  if (weighted) {
+    weights = {reinterpret_cast<const double*>(cursor),
+               static_cast<std::size_t>(header.adjacency_len)};
+  }
+  return Graph::from_csr_views(std::move(file), offsets, adjacency, weights);
+}
+
+#endif  // DGC_HAS_MMAP
 
 }  // namespace
 
@@ -175,6 +316,15 @@ GraphFormat parse_format(std::string_view name) {
   DGC_REQUIRE(false, "unknown graph format: " + std::string(name) +
                          " (expected auto|edges|metis|binary)");
   return GraphFormat::kAuto;  // unreachable
+}
+
+WeightMode parse_weight_mode(std::string_view name) {
+  if (name == "auto") return WeightMode::kAuto;
+  if (name == "yes") return WeightMode::kYes;
+  if (name == "no") return WeightMode::kNo;
+  DGC_REQUIRE(false, "unknown weight mode: " + std::string(name) +
+                         " (expected auto|yes|no)");
+  return WeightMode::kAuto;  // unreachable
 }
 
 GraphFormat format_from_path(const std::string& file_path) noexcept {
@@ -223,10 +373,11 @@ void write_edge_list(std::ostream& os, const Graph& g) {
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
-Graph parse_edge_list(std::string_view text) {
+Graph parse_edge_list(std::string_view text, WeightMode mode) {
   GraphBuilder builder;
   NodeId n = 0;
   bool have_n = false;
+  bool header_weighted = false;
   std::string_view line;
   while (next_line(text, line)) {
     const char* p = line.data();
@@ -237,6 +388,7 @@ Graph parse_edge_list(std::string_view text) {
       ++p;
       skip_spaces(p, end);
       constexpr std::string_view kNodes = "nodes";
+      constexpr std::string_view kWeighted = "weighted";
       if (static_cast<std::size_t>(end - p) > kNodes.size() &&
           std::string_view(p, kNodes.size()) == kNodes && is_space(p[kNodes.size()])) {
         p += kNodes.size();
@@ -247,23 +399,45 @@ Graph parse_edge_list(std::string_view text) {
         DGC_REQUIRE(parse_int(p, end, n),
                     "malformed '# nodes' header: " + std::string(line));
         have_n = true;
+      } else if (static_cast<std::size_t>(end - p) >= kWeighted.size() &&
+                 std::string_view(p, kWeighted.size()) == kWeighted &&
+                 (static_cast<std::size_t>(end - p) == kWeighted.size() ||
+                  is_space(p[kWeighted.size()]))) {
+        DGC_REQUIRE(builder.edges_added() == 0,
+                    "'# weighted' header must precede the first edge");
+        header_weighted = true;
       }
       continue;
     }
+    const bool read_weight =
+        mode == WeightMode::kYes || (mode == WeightMode::kAuto && header_weighted);
     NodeId u = 0;
     NodeId v = 0;
+    double w = 1.0;
     bool ok = parse_int(p, end, u);
     if (ok) {
       const char* before = p;
       skip_spaces(p, end);
       ok = p != before && parse_int(p, end, v);
     }
-    // Anything after `u v` must be whitespace-separated; extra columns
-    // (weights, timestamps — common in real edge-list dumps) are
-    // ignored, matching the iostream reader this replaced.
+    if (ok && read_weight) {
+      const char* before = p;
+      skip_spaces(p, end);
+      ok = p != before && parse_double(p, end, w);
+      DGC_REQUIRE(ok, "edge list line is missing its weight column: " + std::string(line));
+      DGC_REQUIRE(std::isfinite(w) && w > 0.0,
+                  "edge list weight must be positive and finite: " + std::string(line));
+    }
+    // Anything after the consumed columns must be whitespace-separated;
+    // extra columns (weights, timestamps — common in real edge-list
+    // dumps) are ignored unless the weight column was requested.
     DGC_REQUIRE(ok && (p == end || is_space(*p)),
                 "malformed edge list line: " + std::string(line));
-    builder.add_edge(u, v);
+    if (read_weight) {
+      builder.add_edge(u, v, w);
+    } else {
+      builder.add_edge(u, v);
+    }
   }
   if (have_n) {
     DGC_REQUIRE(builder.num_nodes() <= n, "edge endpoint out of range");
@@ -272,7 +446,9 @@ Graph parse_edge_list(std::string_view text) {
   return builder.build();
 }
 
-Graph read_edge_list(std::istream& is) { return parse_edge_list(slurp_stream(is)); }
+Graph read_edge_list(std::istream& is, WeightMode mode) {
+  return parse_edge_list(slurp_stream(is), mode);
+}
 
 // ---------------------------------------------------------------------------
 // METIS.
@@ -284,11 +460,13 @@ void write_metis(std::ostream& os, const Graph& g) {
 
 Graph parse_metis(std::string_view text) {
   std::string_view line;
+  std::size_t line_no = 0;
   // The METIS spec allows `%` comment lines anywhere, including before
   // the header; empty lines are *not* comments — they are the adjacency
   // lines of isolated nodes.
   const auto next_content_line = [&](std::string_view& out) {
     while (next_line(text, out)) {
+      ++line_no;
       const char* p = out.data();
       const char* const end = p + out.size();
       skip_spaces(p, end);
@@ -297,10 +475,16 @@ Graph parse_metis(std::string_view text) {
     }
     return false;
   };
+  const auto at_line = [&](const std::string& what) {
+    return "METIS line " + std::to_string(line_no) + ": " + what;
+  };
 
   DGC_REQUIRE(next_content_line(line), "missing METIS header");
   NodeId n = 0;
   std::uint64_t m = 0;
+  bool edge_weights = false;
+  bool vertex_weights = false;
+  std::uint64_t ncon = 0;
   {
     const char* p = line.data();
     const char* const end = p + line.size();
@@ -310,17 +494,29 @@ Graph parse_metis(std::string_view text) {
       skip_spaces(p, end);
       ok = parse_int(p, end, m);
     }
-    skip_spaces(p, end);
-    if (ok && p != end) {
-      // Optional third header field: the format code.  Only fmt = 0
-      // (no weights) is supported.
-      const char* const fmt_begin = p;
-      while (p != end && *p == '0') ++p;
-      skip_spaces(p, end);
-      DGC_REQUIRE(p == end && p != fmt_begin,
-                  "unsupported METIS format field (only unweighted graphs, fmt 0)");
-    }
     DGC_REQUIRE(ok, "malformed METIS header");
+    skip_spaces(p, end);
+    if (p != end) {
+      // Optional third header field: the format code — a bit string
+      // read as [vertex sizes][vertex weights][edge weights].
+      std::uint32_t fmt = 0;
+      DGC_REQUIRE(parse_int(p, end, fmt), at_line("malformed METIS format field"));
+      DGC_REQUIRE(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
+                  at_line("unsupported METIS format field (expected 0, 1, 10 or 11; "
+                          "vertex sizes are not supported)"));
+      edge_weights = fmt % 10 == 1;
+      vertex_weights = fmt / 10 == 1;
+      skip_spaces(p, end);
+      if (p != end) {
+        // Optional fourth field: vertex weights per vertex.
+        DGC_REQUIRE(parse_int(p, end, ncon), at_line("malformed METIS ncon field"));
+        DGC_REQUIRE(vertex_weights, at_line("ncon requires vertex weights (fmt 10/11)"));
+        DGC_REQUIRE(ncon >= 1, at_line("ncon must be at least 1"));
+        skip_spaces(p, end);
+        DGC_REQUIRE(p == end, at_line("trailing junk after the METIS header"));
+      }
+    }
+    if (vertex_weights && ncon == 0) ncon = 1;
   }
 
   GraphBuilder builder;
@@ -328,22 +524,66 @@ Graph parse_metis(std::string_view text) {
   // so a corrupt header cannot trigger a giant allocation.
   builder.reserve_edges(static_cast<std::size_t>(
       std::min<std::uint64_t>(m, text.size() / 4 + 16)));
+  // For weighted graphs the two listings of every edge must agree; the
+  // lower endpoint's line records the weight, the higher one checks it.
+  std::unordered_map<std::uint64_t, double> recorded_weight;
+  if (edge_weights) {
+    recorded_weight.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(m, text.size() / 4 + 16)));
+  }
   std::uint64_t mentions = 0;
   for (NodeId v = 0; v < n; ++v) {
     DGC_REQUIRE(next_content_line(line),
                 "METIS file ended before all adjacency lines were read");
     const char* p = line.data();
     const char* const end = p + line.size();
+    // Leading vertex weights: validated (non-negative integers per the
+    // spec) and discarded — the engines carry no node-weight notion.
+    for (std::uint64_t c = 0; c < (vertex_weights ? ncon : 0); ++c) {
+      skip_spaces(p, end);
+      std::int64_t vw = 0;
+      DGC_REQUIRE(parse_int(p, end, vw), at_line("malformed vertex weight"));
+      DGC_REQUIRE(vw >= 0, at_line("negative vertex weight"));
+    }
     for (;;) {
       skip_spaces(p, end);
       if (p == end) break;
       NodeId u = 0;
-      DGC_REQUIRE(parse_int(p, end, u),
-                  "malformed METIS adjacency line: " + std::string(line));
-      DGC_REQUIRE(u >= 1 && u <= n, "METIS neighbour id out of range");
-      DGC_REQUIRE(u - 1 != v, "METIS adjacency contains a self-loop");
+      DGC_REQUIRE(parse_int(p, end, u), at_line("malformed METIS adjacency entry"));
+      DGC_REQUIRE(u >= 1 && u <= n, at_line("METIS neighbour id out of range"));
+      DGC_REQUIRE(u - 1 != v, at_line("METIS adjacency contains a self-loop"));
+      double w = 1.0;
+      if (edge_weights) {
+        skip_spaces(p, end);
+        DGC_REQUIRE(parse_double(p, end, w), at_line("missing METIS edge weight"));
+        DGC_REQUIRE(std::isfinite(w) && w > 0.0,
+                    at_line("METIS edge weights must be positive and finite"));
+      }
       ++mentions;
-      if (u - 1 > v) builder.add_edge(v, u - 1);
+      const NodeId nbr = u - 1;
+      if (edge_weights) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(v, nbr)) << 32) | std::max(v, nbr);
+        if (nbr > v) {
+          recorded_weight.emplace(key, w);
+        } else {
+          const auto it = recorded_weight.find(key);
+          DGC_REQUIRE(it != recorded_weight.end(),
+                      at_line("METIS edge is not listed from both endpoints"));
+          DGC_REQUIRE(it->second == w,
+                      at_line("METIS edge weight differs between its two listings"));
+          // Each entry is dead after its one check: erase it so the live
+          // map is bounded by the unmatched frontier, not by m.
+          recorded_weight.erase(it);
+        }
+      }
+      if (nbr > v) {
+        if (edge_weights) {
+          builder.add_edge(v, nbr, w);
+        } else {
+          builder.add_edge(v, nbr);
+        }
+      }
     }
   }
   DGC_REQUIRE(mentions == 2 * m,
@@ -363,8 +603,10 @@ void write_binary(std::ostream& os, const Graph& g) {
   BinaryHeader header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
   header.endian = kEndianMarker;
-  header.version = kVersion;
-  header.reserved = 0;
+  // Unweighted payloads are byte-identical to the version-1 layout, so
+  // stamp them as v1 — pre-weights readers keep working on them.
+  header.version = g.is_weighted() ? kVersion : 1;
+  header.flags = g.is_weighted() ? kFlagWeighted : 0;
   header.num_nodes = g.num_nodes();
   header.adjacency_len = g.adjacency().size();
   os.write(reinterpret_cast<const char*>(&header), sizeof header);
@@ -372,6 +614,10 @@ void write_binary(std::ostream& os, const Graph& g) {
            static_cast<std::streamsize>(g.offsets().size_bytes()));
   os.write(reinterpret_cast<const char*>(g.adjacency().data()),
            static_cast<std::streamsize>(g.adjacency().size_bytes()));
+  if (g.is_weighted()) {
+    os.write(reinterpret_cast<const char*>(g.weights().data()),
+             static_cast<std::streamsize>(g.weights().size_bytes()));
+  }
 }
 
 Graph read_binary(std::istream& is) {
@@ -379,17 +625,13 @@ Graph read_binary(std::istream& is) {
   is.read(reinterpret_cast<char*>(&header), sizeof header);
   DGC_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof header),
               "truncated binary graph header");
-  DGC_REQUIRE(std::memcmp(header.magic, kMagic, sizeof kMagic) == 0,
-              "not a binary graph file (bad magic)");
-  DGC_REQUIRE(header.endian == kEndianMarker,
-              "binary graph file has foreign byte order");
-  DGC_REQUIRE(header.version == kVersion, "unsupported binary graph version");
-  DGC_REQUIRE(header.num_nodes <= kInvalidNode, "binary graph node count overflows NodeId");
-  DGC_REQUIRE(header.adjacency_len % 2 == 0, "binary graph adjacency length must be even");
+  const bool weighted = check_binary_header(header);
 
   auto offsets = read_array<std::uint64_t>(is, header.num_nodes + 1, "offsets");
   auto adjacency = read_array<NodeId>(is, header.adjacency_len, "adjacency");
-  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+  std::vector<double> weights;
+  if (weighted) weights = read_array<double>(is, header.adjacency_len, "weights");
+  return Graph::from_csr(std::move(offsets), std::move(adjacency), std::move(weights));
 }
 
 // ---------------------------------------------------------------------------
@@ -399,8 +641,8 @@ void save_edge_list(const std::string& file_path, const Graph& g) {
   write_file(file_path, render_edge_list(g));
 }
 
-Graph load_edge_list(const std::string& file_path) {
-  return parse_edge_list(slurp_file(file_path));
+Graph load_edge_list(const std::string& file_path, WeightMode mode) {
+  return parse_edge_list(slurp_file(file_path), mode);
 }
 
 void save_metis(const std::string& file_path, const Graph& g) {
@@ -419,6 +661,11 @@ void save_binary(const std::string& file_path, const Graph& g) {
 }
 
 Graph load_binary(const std::string& file_path) {
+#ifdef DGC_HAS_MMAP
+  if (auto mapped = map_file(file_path)) {
+    return load_mapped(std::move(mapped));
+  }
+#endif
   std::ifstream is(file_path, std::ios::binary);
   DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
   return read_binary(is);
@@ -437,7 +684,7 @@ void save_graph(const std::string& file_path, const Graph& g, GraphFormat format
   }
 }
 
-Graph load_graph(const std::string& file_path, GraphFormat format) {
+Graph load_graph(const std::string& file_path, GraphFormat format, WeightMode weights) {
   if (format == GraphFormat::kAuto) format = format_from_path(file_path);
   if (format == GraphFormat::kAuto) format = sniff_format(file_path);
   switch (format) {
@@ -446,7 +693,7 @@ Graph load_graph(const std::string& file_path, GraphFormat format) {
     case GraphFormat::kEdgeList:
     case GraphFormat::kAuto: break;
   }
-  return load_edge_list(file_path);
+  return load_edge_list(file_path, weights);
 }
 
 }  // namespace dgc::graph

@@ -1,15 +1,24 @@
 // Graph serialisation: the ingestion formats real datasets ship in,
 // plus the repository's own binary format for O(1)-parse reloads.
 //
-//  * Edge list — one `u v` pair per line, `#` comments, optional
-//    `# nodes N` header (SNAP-style).
-//  * METIS .graph — header `n m [fmt]`, then one 1-indexed adjacency
-//    line per node; `%` comment lines allowed anywhere (per the spec);
-//    only unweighted graphs (fmt 0) are supported.
+//  * Edge list — one `u v` (or `u v w` when weighted) line per line,
+//    `#` comments, optional `# nodes N` header (SNAP-style); weighted
+//    files written by this repo carry a `# weighted` header so loads
+//    round-trip without flags (WeightMode::kAuto).
+//  * METIS .graph — header `n m [fmt [ncon]]`, then one 1-indexed
+//    adjacency line per node; `%` comment lines allowed anywhere (per
+//    the spec).  fmt 0 (unweighted), 1 (edge weights), 10 (vertex
+//    weights), and 11 (both) are supported; vertex weights are
+//    validated and discarded (the engines have no node-weight notion),
+//    edge weights must be positive and symmetric and malformed lines
+//    are reported with their line number.
 //  * Binary .dgcg — versioned header (magic, endianness marker,
-//    version) followed by the raw CSR arrays.  Loading is a handful of
-//    bulk reads plus invariant validation (Graph::from_csr), no
-//    per-byte parsing.
+//    version, flags) followed by the raw CSR arrays and, for weighted
+//    graphs (version 2, flag bit 0), the parallel weight array.
+//    Loading is zero-copy via mmap when possible (the Graph views the
+//    mapped file directly), falling back to bulk ifstream reads; either
+//    way every invariant is re-validated.  Version-1 files (the
+//    pre-weights format) still load.
 //
 // Text parsing uses std::from_chars over a slurped buffer — an order of
 // magnitude faster than the iostream readers it replaced (bench E17).
@@ -34,11 +43,22 @@ enum class GraphFormat : std::uint8_t {
   kBinary = 3,    ///< versioned binary CSR (.dgcg)
 };
 
+/// How the edge-list reader treats a third numeric column.  METIS and
+/// binary files are self-describing and ignore this.
+enum class WeightMode : std::uint8_t {
+  kAuto = 0,  ///< weighted iff a `# weighted` header precedes the edges
+  kYes = 1,   ///< every edge line must carry a weight column
+  kNo = 2,    ///< extra columns are ignored (weights, timestamps, …)
+};
+
 /// Canonical lowercase name ("auto", "edges", "metis", "binary").
 [[nodiscard]] std::string_view to_string(GraphFormat format) noexcept;
 
 /// Inverse of to_string; throws contract_error on unknown names.
 [[nodiscard]] GraphFormat parse_format(std::string_view name);
+
+/// Parses "auto" | "yes" | "no"; throws contract_error otherwise.
+[[nodiscard]] WeightMode parse_weight_mode(std::string_view name);
 
 /// Infers the format from the file extension; kAuto when unknown.
 [[nodiscard]] GraphFormat format_from_path(const std::string& file_path) noexcept;
@@ -48,41 +68,58 @@ enum class GraphFormat : std::uint8_t {
 /// numeric head defaults to kEdgeList.  Throws on unreadable files.
 [[nodiscard]] GraphFormat sniff_format(const std::string& file_path);
 
-/// Writes `# nodes N` then one `u v` line per undirected edge.
+/// Writes `# nodes N` (plus `# weighted` for weighted graphs) then one
+/// `u v [w]` line per undirected edge.  Weights render in shortest
+/// round-trip form, so re-parsing restores their exact bits.
 void write_edge_list(std::ostream& os, const Graph& g);
 
 /// Parses the format written by write_edge_list.  Without a `# nodes`
-/// header, n = max endpoint + 1.
-[[nodiscard]] Graph parse_edge_list(std::string_view text);
+/// header, n = max endpoint + 1.  `mode` governs the weight column (see
+/// WeightMode); a `# weighted` header must precede the first edge.
+[[nodiscard]] Graph parse_edge_list(std::string_view text,
+                                    WeightMode mode = WeightMode::kAuto);
 
 /// Reads the remainder of the stream, then parse_edge_list.
-[[nodiscard]] Graph read_edge_list(std::istream& is);
+[[nodiscard]] Graph read_edge_list(std::istream& is, WeightMode mode = WeightMode::kAuto);
 
-/// METIS .graph: first line `n m`, then line i (1-based) lists the
-/// neighbours of node i (1-based).
+/// METIS .graph: first line `n m [fmt]`, then line i (1-based) lists the
+/// neighbours of node i (1-based), with per-edge weights when fmt ends
+/// in 1.  Weights render in shortest round-trip form: integral weights
+/// (the METIS-native case) produce spec-conforming integer files;
+/// non-integral weights are written as decimals — a dgc extension the
+/// standard gpmetis toolchain will not read (our parser accepts both).
 void write_metis(std::ostream& os, const Graph& g);
 
-/// Parses METIS text; `%` comment lines are skipped, a third `fmt`
-/// header field must be 0 (unweighted), and the declared edge count is
-/// validated against the neighbour entries actually read (2m of them)
-/// as well as the deduplicated result.
+/// Parses METIS text; `%` comment lines are skipped, the header's fmt
+/// field may be 0/1/10/11 (vertex sizes, fmt 1xx, are rejected), and the
+/// declared edge count is validated against the neighbour entries
+/// actually read (2m of them) as well as the deduplicated result.  Edge
+/// weights must be positive, finite, and listed identically from both
+/// endpoints; vertex weights must be non-negative integers.  Errors name
+/// the offending line number.
 [[nodiscard]] Graph parse_metis(std::string_view text);
 
 /// Reads the remainder of the stream, then parse_metis.
 [[nodiscard]] Graph read_metis(std::istream& is);
 
-/// Binary .dgcg: header + raw CSR.  Written in native byte order with
-/// an endianness marker; read_binary rejects foreign-endian files and
-/// unknown versions, and re-validates every Graph invariant.
+/// Binary .dgcg: header + raw CSR (+ weights).  Written in native byte
+/// order with an endianness marker; read_binary rejects foreign-endian
+/// files and unknown versions, and re-validates every Graph invariant.
 void write_binary(std::ostream& os, const Graph& g);
 [[nodiscard]] Graph read_binary(std::istream& is);
 
 /// File-path conveniences (throw contract_error on IO failure).
 void save_edge_list(const std::string& file_path, const Graph& g);
-[[nodiscard]] Graph load_edge_list(const std::string& file_path);
+[[nodiscard]] Graph load_edge_list(const std::string& file_path,
+                                   WeightMode mode = WeightMode::kAuto);
 void save_metis(const std::string& file_path, const Graph& g);
 [[nodiscard]] Graph load_metis(const std::string& file_path);
 void save_binary(const std::string& file_path, const Graph& g);
+
+/// Loads a .dgcg file.  On POSIX systems the file is mmap'd and the
+/// Graph adopts zero-copy views of the mapping (validated in place, no
+/// array copies); when mmap is unavailable or fails the ifstream bulk
+/// read path is used instead.  Both paths reject the same corruptions.
 [[nodiscard]] Graph load_binary(const std::string& file_path);
 
 /// Format-dispatching save: kAuto infers from the extension and throws
@@ -91,8 +128,9 @@ void save_graph(const std::string& file_path, const Graph& g,
                 GraphFormat format = GraphFormat::kAuto);
 
 /// Format-dispatching load: kAuto infers from the extension, falling
-/// back to sniffing the file head.
+/// back to sniffing the file head.  `weights` only affects edge lists.
 [[nodiscard]] Graph load_graph(const std::string& file_path,
-                               GraphFormat format = GraphFormat::kAuto);
+                               GraphFormat format = GraphFormat::kAuto,
+                               WeightMode weights = WeightMode::kAuto);
 
 }  // namespace dgc::graph

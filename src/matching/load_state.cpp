@@ -71,18 +71,45 @@ void MultiLoadState::set(graph::NodeId v, std::size_t dim, double value) {
   row_ptr(v)[dim] = value;
 }
 
+void MultiLoadState::set_weighted_graph(const graph::Graph* g) noexcept {
+  if (g == nullptr || !g->is_weighted() || g->max_weight() <= 0.0) {
+    weighted_graph_ = nullptr;
+    two_max_weight_ = 0.0;
+    return;
+  }
+  weighted_graph_ = g;
+  two_max_weight_ = 2.0 * g->max_weight();
+}
+
 void MultiLoadState::average_pair(graph::NodeId u, graph::NodeId v) {
   DGC_REQUIRE(u != v, "cannot average a node with itself");
   DGC_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
   const char merged = static_cast<char>(active_[u] | active_[v]);
-  if (skip_zeros_ && !merged) return;  // both rows all +0.0: averaging is a no-op
+  if (skip_zeros_ && !merged) return;  // both rows all +0.0: a λ-average is a no-op
+  // λ = w/(2·w_max): exactly 0.5 whenever w == w_max (x/(2x) is exact in
+  // binary floating point), so all-equal weightings take the unweighted
+  // code path below, bit for bit.
+  double lambda = 0.5;
+  if (weighted_graph_ != nullptr) {
+    lambda = weighted_graph_->edge_weight(u, v) / two_max_weight_;
+  }
   // u != v, so the two rows are disjoint — restrict lets the loop vectorise.
   double* __restrict ru = row_ptr(u);
   double* __restrict rv = row_ptr(v);
-  for (std::size_t i = 0; i < dimensions_; ++i) {
-    const double avg = 0.5 * (ru[i] + rv[i]);
-    ru[i] = avg;
-    rv[i] = avg;
+  if (lambda == 0.5) {
+    for (std::size_t i = 0; i < dimensions_; ++i) {
+      const double avg = 0.5 * (ru[i] + rv[i]);
+      ru[i] = avg;
+      rv[i] = avg;
+    }
+  } else {
+    const double keep = 1.0 - lambda;
+    for (std::size_t i = 0; i < dimensions_; ++i) {
+      const double xu = ru[i];
+      const double xv = rv[i];
+      ru[i] = keep * xu + lambda * xv;
+      rv[i] = keep * xv + lambda * xu;
+    }
   }
   active_[u] = merged;
   active_[v] = merged;

@@ -9,6 +9,19 @@
 // O(s·2^t) rows.  Skipping a pair whose two rows are both all-zero is
 // exact: the average of two zero rows writes back the zeros already
 // there, bit for bit.
+//
+// Weighted averaging (our extension; the paper is unweighted): with
+// set_weighted_graph on a weighted graph, a matched pair along edge
+// {u, v} takes the partial-averaging step
+//     x_u' = (1-λ)x_u + λx_v,   x_v' = (1-λ)x_v + λx_u,
+//     λ = w(u,v) / (2·w_max),
+// so heavier edges mix faster and the maximum-weight edge averages
+// fully.  The per-round matrix stays symmetric and doubly stochastic
+// (λ ≤ 1/2), preserving every total() invariant.  On an all-equal
+// weighting λ = w/(2w) = 1/2 exactly, and the λ = 1/2 path evaluates
+// the same 0.5·(x_u + x_v) expression as the unweighted code — the
+// all-ones ⇒ bit-identical-to-unweighted contract the EngineEquivalence
+// grid asserts.  Zero-row skipping stays exact: (1-λ)·0 + λ·0 = +0.0.
 #pragma once
 
 #include <cstddef>
@@ -66,7 +79,15 @@ class MultiLoadState {
   /// Averages rows u and v in every dimension (one matched pair).  When
   /// skip_zeros() is on and both rows are flagged all-zero the pair is
   /// skipped — bit-identical to averaging, which would rewrite the zeros.
+  /// On a weighted graph (set_weighted_graph) this is the λ-partial
+  /// average along the edge {u, v}; u and v must then be adjacent.
   void average_pair(graph::NodeId u, graph::NodeId v);
+
+  /// Enables weighted averaging against `g`'s edge weights (see the
+  /// header comment).  Null or an unweighted graph restores the plain
+  /// 1/2 averaging.  The graph must outlive the state.
+  void set_weighted_graph(const graph::Graph* g) noexcept;
+  [[nodiscard]] bool weighted() const noexcept { return weighted_graph_ != nullptr; }
 
   /// Applies a whole matching.
   void apply(const Matching& m);
@@ -105,6 +126,9 @@ class MultiLoadState {
   /// active_[v] != 0 iff row v may hold a value whose bits are not +0.0.
   std::vector<char> active_;
   bool skip_zeros_ = true;
+  /// Weighted averaging context (null = unweighted 1/2 averaging).
+  const graph::Graph* weighted_graph_ = nullptr;
+  double two_max_weight_ = 0.0;
 };
 
 }  // namespace dgc::matching

@@ -10,22 +10,25 @@ namespace dgc::metrics {
 double modularity(const graph::Graph& g, std::span<const std::uint32_t> membership,
                   std::uint32_t num_clusters) {
   DGC_REQUIRE(membership.size() == g.num_nodes(), "membership size mismatch");
-  const double m = static_cast<double>(g.num_edges());
-  if (m == 0.0) return 0.0;
-  std::vector<std::uint64_t> internal(num_clusters, 0);
-  std::vector<std::uint64_t> degree_sum(num_clusters, 0);
-  g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+  const double w_total = g.total_weight();
+  if (w_total == 0.0) return 0.0;
+  // Doubles, not counters: on unweighted graphs every weight is exactly
+  // 1.0 and the sums are integers below 2^53, so this reproduces the
+  // counting formula bit for bit.
+  std::vector<double> internal(num_clusters, 0.0);
+  std::vector<double> strength_sum(num_clusters, 0.0);
+  g.for_each_weighted_edge([&](graph::NodeId u, graph::NodeId v, double w) {
     DGC_REQUIRE(membership[u] < num_clusters && membership[v] < num_clusters,
                 "label out of range");
-    if (membership[u] == membership[v]) ++internal[membership[u]];
+    if (membership[u] == membership[v]) internal[membership[u]] += w;
   });
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    degree_sum[membership[v]] += g.degree(v);
+    strength_sum[membership[v]] += g.strength(v);
   }
   double q = 0.0;
   for (std::uint32_t c = 0; c < num_clusters; ++c) {
-    const double ec = static_cast<double>(internal[c]) / m;
-    const double dc = static_cast<double>(degree_sum[c]) / (2.0 * m);
+    const double ec = internal[c] / w_total;
+    const double dc = strength_sum[c] / (2.0 * w_total);
     q += ec - dc * dc;
   }
   return q;
@@ -36,6 +39,15 @@ std::uint64_t edge_cut(const graph::Graph& g, std::span<const std::uint32_t> par
   std::uint64_t cut = 0;
   g.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
     if (part[u] != part[v]) ++cut;
+  });
+  return cut;
+}
+
+double edge_cut_weight(const graph::Graph& g, std::span<const std::uint32_t> part) {
+  DGC_REQUIRE(part.size() == g.num_nodes(), "partition size mismatch");
+  double cut = 0.0;
+  g.for_each_weighted_edge([&](graph::NodeId u, graph::NodeId v, double w) {
+    if (part[u] != part[v]) cut += w;
   });
   return cut;
 }
@@ -52,6 +64,25 @@ double partition_imbalance(std::span<const std::uint32_t> part, std::uint32_t nu
   for (const std::size_t s : sizes) largest = std::max(largest, s);
   return static_cast<double>(largest) * static_cast<double>(num_parts) /
          static_cast<double>(part.size());
+}
+
+double partition_imbalance_volume(const graph::Graph& g,
+                                  std::span<const std::uint32_t> part,
+                                  std::uint32_t num_parts) {
+  DGC_REQUIRE(num_parts > 0, "need at least one part");
+  DGC_REQUIRE(part.size() == g.num_nodes(), "partition size mismatch");
+  std::vector<double> volumes(num_parts, 0.0);
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    DGC_REQUIRE(part[v] < num_parts, "part id out of range");
+    const double s = g.strength(v);
+    volumes[part[v]] += s;
+    total += s;
+  }
+  if (total == 0.0) return 0.0;
+  double largest = 0.0;
+  for (const double v : volumes) largest = std::max(largest, v);
+  return largest * static_cast<double>(num_parts) / total;
 }
 
 }  // namespace dgc::metrics

@@ -1,4 +1,9 @@
 // Partition quality metrics that need the graph (not just the labels).
+//
+// Every metric here is weight-aware: on weighted graphs, edge counts
+// become edge-weight sums and degrees become strengths (weighted
+// degrees).  On unweighted graphs the weighted variants reduce exactly
+// to the counting versions (every weight reads as 1.0).
 #pragma once
 
 #include <cstdint>
@@ -8,7 +13,10 @@
 
 namespace dgc::metrics {
 
-/// Newman modularity Q = sum_c (e_c/m - (deg_c/(2m))^2) of a labelling.
+/// Newman modularity Q = sum_c (w_c/W - (S_c/(2W))^2) of a labelling,
+/// with w_c the intra-cluster edge weight, S_c the cluster strength sum,
+/// and W the total edge weight (the classic e_c/m - (deg_c/2m)^2 on
+/// unweighted graphs).
 [[nodiscard]] double modularity(const graph::Graph& g,
                                 std::span<const std::uint32_t> membership,
                                 std::uint32_t num_clusters);
@@ -19,9 +27,20 @@ namespace dgc::metrics {
 [[nodiscard]] std::uint64_t edge_cut(const graph::Graph& g,
                                      std::span<const std::uint32_t> part);
 
+/// Total weight of the cut edges (= edge_cut on unweighted graphs).
+[[nodiscard]] double edge_cut_weight(const graph::Graph& g,
+                                     std::span<const std::uint32_t> part);
+
 /// max_p |part p| / (n / num_parts): 1.0 is perfectly balanced; the
 /// sharded engine's parallel speedup degrades with this factor.
 [[nodiscard]] double partition_imbalance(std::span<const std::uint32_t> part,
                                          std::uint32_t num_parts);
+
+/// Weighted-volume imbalance: max_p strength(p) / (total_strength /
+/// num_parts).  Equals the degree-volume imbalance on unweighted
+/// graphs; 0.0 for edgeless graphs.
+[[nodiscard]] double partition_imbalance_volume(const graph::Graph& g,
+                                                std::span<const std::uint32_t> part,
+                                                std::uint32_t num_parts);
 
 }  // namespace dgc::metrics

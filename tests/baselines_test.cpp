@@ -83,6 +83,38 @@ TEST(LabelPropagation, ReachesFixpointOnDisconnectedCliques) {
   EXPECT_EQ(metrics::misclassified_nodes(planted.membership, 3, result.labels, 3), 0u);
 }
 
+TEST(LabelPropagation, AllOnesWeightsMatchUnweighted) {
+  const auto planted = graph::ring_of_cliques(5, 8);
+  std::vector<graph::WeightedEdge> edges;
+  planted.graph.for_each_edge(
+      [&](graph::NodeId u, graph::NodeId v) { edges.push_back({u, v, 1.0}); });
+  const auto ones =
+      graph::Graph::from_weighted_edges(planted.graph.num_nodes(), std::move(edges));
+  const auto plain = baselines::label_propagation(planted.graph, {});
+  const auto weighted = baselines::label_propagation(ones, {});
+  EXPECT_EQ(plain.labels, weighted.labels);
+  EXPECT_EQ(plain.rounds, weighted.rounds);
+}
+
+TEST(LabelPropagation, WeightedVotesSplitAClique) {
+  // One clique whose weights hide two heavy halves: unweighted LP sees a
+  // single community, weighted LP follows the heavy edges.
+  const graph::NodeId n = 16;
+  std::vector<graph::WeightedEdge> edges;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      const bool same = (u < n / 2) == (v < n / 2);
+      edges.push_back({u, v, same ? 20.0 : 0.05});
+    }
+  }
+  const auto g = graph::Graph::from_weighted_edges(n, std::move(edges));
+  const auto result = baselines::label_propagation(g, {});
+  EXPECT_EQ(result.num_labels, 2u);
+  std::vector<std::uint32_t> truth(n);
+  for (graph::NodeId v = 0; v < n; ++v) truth[v] = v < n / 2 ? 0 : 1;
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, result.labels, 2), 0u);
+}
+
 TEST(AveragingDynamics, TwoCommunities) {
   const auto planted = make_instance(2, 400, 14, 30, 9);
   baselines::AveragingOptions options;

@@ -136,6 +136,92 @@ TEST(GraphBuilder, ReusableAfterBuild) {
   EXPECT_TRUE(g.has_edge(2, 3));
 }
 
+std::vector<graph::WeightedEdge> random_weighted_edges_with_duplicates(
+    NodeId n, std::size_t count, util::Rng& rng) {
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(count);
+  const auto weight = [&] { return 0.0625 + rng.next_double() * 7.5; };
+  while (edges.size() < count) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    edges.push_back({u, v, weight()});
+    // Duplicates in both orientations, with fresh weights, so the
+    // weight-summing path sees both duplicate shapes.
+    if (edges.size() < count && rng.next_bool(0.3)) edges.push_back({u, v, weight()});
+    if (edges.size() < count && rng.next_bool(0.3)) edges.push_back({v, u, weight()});
+  }
+  return edges;
+}
+
+void expect_weights_bit_identical(const Graph& a, const Graph& b) {
+  expect_bit_identical(a, b);
+  const auto aw = a.weights();
+  const auto bw = b.weights();
+  ASSERT_EQ(aw.size(), bw.size());
+  for (std::size_t i = 0; i < aw.size(); ++i) ASSERT_EQ(aw[i], bw[i]) << "weight " << i;
+}
+
+TEST(GraphBuilder, WeightedDuplicatesSumInSerialOrder) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 0.25);
+  builder.add_edge(1, 0, 0.5);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(1, 2, 3.0);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(0, 1), ((0.25 + 0.5) + 1.0));
+  EXPECT_EQ(g.edge_weight(1, 2), 3.0);
+}
+
+TEST(GraphBuilder, WeightedParallelBuildIsBitIdentical) {
+  // The weight-summing bit-identity contract: duplicate weights sum in
+  // serial arrival order for every thread count, so the weight arrays —
+  // not just the adjacency — are identical doubles.
+  util::Rng rng(41);
+  const NodeId n = 2000;
+  const auto edges = random_weighted_edges_with_duplicates(n, 150000, rng);
+  const Graph reference = Graph::from_weighted_edges(n, edges);
+  EXPECT_TRUE(reference.is_weighted());
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    GraphBuilder builder(n);
+    for (const auto& e : edges) builder.add_edge(e.u, e.v, e.weight);
+    expect_weights_bit_identical(builder.build(&pool), reference);
+  }
+}
+
+TEST(GraphBuilder, WeightedAdjacencyMatchesUnweightedBuild) {
+  // Same multiset of edges, with and without weights: the structural CSR
+  // must be identical (weights ride along, never reorder).
+  util::Rng rng(43);
+  const NodeId n = 300;
+  const auto weighted = random_weighted_edges_with_duplicates(n, 5000, rng);
+  std::vector<std::pair<NodeId, NodeId>> plain;
+  plain.reserve(weighted.size());
+  for (const auto& e : weighted) plain.emplace_back(e.u, e.v);
+  expect_bit_identical(Graph::from_weighted_edges(n, weighted),
+                       Graph::from_edges(n, plain));
+}
+
+TEST(GraphBuilder, RejectsMixedWeightedAndUnweightedEdges) {
+  GraphBuilder weighted_first;
+  weighted_first.add_edge(0, 1, 2.0);
+  EXPECT_THROW(weighted_first.add_edge(1, 2), util::contract_error);
+  GraphBuilder unweighted_first;
+  unweighted_first.add_edge(0, 1);
+  EXPECT_THROW(unweighted_first.add_edge(1, 2, 2.0), util::contract_error);
+}
+
+TEST(GraphBuilder, WeightedBuilderResetsToUnweightedOnReuse) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 2.0);
+  EXPECT_TRUE(builder.weighted());
+  EXPECT_TRUE(builder.build().is_weighted());
+  builder.add_edge(2, 3);  // the next graph may be unweighted again
+  EXPECT_FALSE(builder.build().is_weighted());
+}
+
 TEST(GraphBuilder, AutoGrowingBuilderResetsOnReuse) {
   GraphBuilder builder;
   builder.add_edge(0, 999);

@@ -108,6 +108,117 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::make_tuple(true, false),
                                          std::make_tuple(true, true))));
 
+/// Re-weights a graph with a constant weight on every edge.
+graph::Graph with_uniform_weights(const graph::Graph& g, double w) {
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  g.for_each_edge(
+      [&](graph::NodeId u, graph::NodeId v) { edges.push_back({u, v, w}); });
+  return graph::Graph::from_weighted_edges(g.num_nodes(), std::move(edges));
+}
+
+// The weighted-protocol equivalence contract: (1) an all-ones (in fact,
+// any all-equal) weighting reproduces the unweighted run bit for bit on
+// every engine — λ = w/(2·w_max) = 1/2 routes through the unweighted
+// averaging expression; (2) on genuinely weighted graphs all three
+// engines still agree label for label across the hot-path grid.
+class WeightedEngineEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::tuple<std::uint32_t, std::uint64_t>, std::tuple<bool, bool>>> {};
+
+TEST_P(WeightedEngineEquivalence, AllOnesMatchesUnweightedAndEnginesAgree) {
+  const auto [k_seed, hot_path] = GetParam();
+  const auto [k, seed] = k_seed;
+  const auto [parallel_coins, skip_zeros] = hot_path;
+  const auto planted = make_instance(k, 256, 10, 10 * k, seed);
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k + 1);
+  config.rounds = 60;
+  config.seed = seed * 1000 + 1;
+  config.hot_path.parallel_coins = parallel_coins;
+  config.hot_path.coin_threads = parallel_coins ? 4 : 0;
+  config.hot_path.skip_zero_rows = skip_zeros;
+  core::ShardOptions options;
+  options.shards = 4;
+
+  const graph::Graph all_ones = with_uniform_weights(planted.graph, 1.0);
+  // A heavier intra / lighter inter weighting on the same structure.
+  std::vector<graph::WeightedEdge> edges;
+  planted.graph.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+    edges.push_back(
+        {u, v, planted.membership[u] == planted.membership[v] ? 3.0 : 0.5});
+  });
+  const graph::Graph weighted =
+      graph::Graph::from_weighted_edges(planted.graph.num_nodes(), std::move(edges));
+
+  for (const auto rule : {core::QueryRule::kPaperMinId, core::QueryRule::kArgmax}) {
+    config.query_rule = rule;
+    const auto unweighted_run = core::Clusterer(planted.graph, config).run();
+
+    // (1) all-ones == unweighted, bit for bit, on all three engines.
+    const auto dense_ones = core::Clusterer(all_ones, config).run();
+    EXPECT_EQ(unweighted_run.seeds, dense_ones.seeds);
+    EXPECT_EQ(unweighted_run.node_ids, dense_ones.node_ids);
+    EXPECT_EQ(unweighted_run.labels, dense_ones.labels);
+    const auto mp_ones = core::DistributedClusterer(all_ones, config).run();
+    EXPECT_EQ(unweighted_run.labels, mp_ones.result.labels);
+    const auto sharded_ones = core::ShardedClusterer(all_ones, config, options).run();
+    EXPECT_EQ(unweighted_run.labels, sharded_ones.result.labels);
+
+    // (2) genuinely weighted: the engines agree with each other.
+    const auto dense_w = core::Clusterer(weighted, config).run();
+    const auto mp_w = core::DistributedClusterer(weighted, config).run();
+    const auto sharded_w = core::ShardedClusterer(weighted, config, options).run();
+    EXPECT_EQ(dense_w.seeds, mp_w.result.seeds);
+    EXPECT_EQ(dense_w.labels, mp_w.result.labels);
+    EXPECT_EQ(dense_w.seeds, sharded_w.result.seeds);
+    EXPECT_EQ(dense_w.labels, sharded_w.result.labels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KSeedHotPathGrid, WeightedEngineEquivalence,
+    ::testing::Combine(::testing::Values(std::make_tuple(2u, 21u),
+                                         std::make_tuple(3u, 22u),
+                                         std::make_tuple(4u, 23u)),
+                       ::testing::Values(std::make_tuple(false, false),
+                                         std::make_tuple(true, true))));
+
+TEST(Weighted, UniformNonUnitWeightsAreBitIdenticalToUnweighted) {
+  // Scale invariance: every edge at weight 0.3 still gives λ = 1/2.
+  const auto planted = make_instance(3, 150, 8, 24, 41);
+  const graph::Graph scaled = with_uniform_weights(planted.graph, 0.3);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 50;
+  config.seed = 57;
+  const auto a = core::Clusterer(planted.graph, config).run();
+  const auto b = core::Clusterer(scaled, config).run();
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Weighted, HeavyIntraWeightsStillRecoverThePlanting) {
+  // Sanity for the weighted semantics: up-weighting intra-cluster edges
+  // must not hurt recovery on an instance the unweighted run solves.
+  const auto planted = make_instance(4, 200, 14, 40, 17);
+  std::vector<graph::WeightedEdge> edges;
+  planted.graph.for_each_edge([&](graph::NodeId u, graph::NodeId v) {
+    edges.push_back(
+        {u, v, planted.membership[u] == planted.membership[v] ? 4.0 : 1.0});
+  });
+  const graph::Graph weighted =
+      graph::Graph::from_weighted_edges(planted.graph.num_nodes(), std::move(edges));
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 220;  // λ ≤ 1/2 mixes no faster than full averaging
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 29;
+  const auto result = core::Clusterer(weighted, config).run();
+  const double rate =
+      metrics::misclassification_rate(planted.membership, 4, result.labels);
+  EXPECT_LT(rate, 0.05);
+}
+
 TEST(Distributed, ArgmaxRuleAlsoMatchesDense) {
   const auto planted = make_instance(3, 120, 8, 20, 77);
   core::ClusterConfig config;

@@ -191,6 +191,67 @@ TEST(Sbm, ExtremeProbabilities) {
   EXPECT_EQ(graph::num_components(planted.graph), 2u);
 }
 
+TEST(ClusteredRegular, WeightedVariantKeepsStructureAndMapsWeights) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes = {60, 60};
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 12;
+  util::Rng rng_plain(7);
+  const auto plain = graph::clustered_regular(spec, rng_plain);
+  spec.weighted = true;
+  spec.intra_weight = 5.0;
+  spec.inter_weight = 0.5;
+  util::Rng rng_weighted(7);
+  const auto weighted = graph::clustered_regular(spec, rng_weighted);
+  // Same Rng stream, same spec: identical adjacency, weights on top.
+  ASSERT_TRUE(weighted.graph.is_weighted());
+  ASSERT_EQ(weighted.graph.adjacency().size(), plain.graph.adjacency().size());
+  for (std::size_t i = 0; i < plain.graph.adjacency().size(); ++i) {
+    ASSERT_EQ(weighted.graph.adjacency()[i], plain.graph.adjacency()[i]);
+  }
+  weighted.graph.for_each_weighted_edge([&](NodeId u, NodeId v, double w) {
+    EXPECT_EQ(w, weighted.membership[u] == weighted.membership[v] ? 5.0 : 0.5);
+  });
+  EXPECT_EQ(weighted.graph.max_weight(), 5.0);
+}
+
+TEST(Sbm, WeightedVariantKeepsStructureAndMapsWeights) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 80;
+  spec.clusters = 3;
+  spec.p_in = 0.1;
+  spec.p_out = 0.01;
+  util::Rng rng_plain(31);
+  const auto plain = graph::stochastic_block_model(spec, rng_plain);
+  spec.weighted = true;
+  spec.intra_weight = 2.0;
+  spec.inter_weight = 0.25;
+  util::Rng rng_weighted(31);
+  const auto weighted = graph::stochastic_block_model(spec, rng_weighted);
+  ASSERT_TRUE(weighted.graph.is_weighted());
+  ASSERT_EQ(weighted.graph.num_edges(), plain.graph.num_edges());
+  weighted.graph.for_each_weighted_edge([&](NodeId u, NodeId v, double w) {
+    EXPECT_EQ(w, weighted.membership[u] == weighted.membership[v] ? 2.0 : 0.25);
+  });
+}
+
+TEST(Generators, WeightedSpecRejectsBadWeights) {
+  graph::SbmSpec spec;
+  spec.nodes_per_cluster = 10;
+  spec.clusters = 2;
+  spec.p_in = 0.5;
+  spec.weighted = true;
+  spec.intra_weight = 0.0;
+  util::Rng rng(5);
+  EXPECT_THROW(graph::stochastic_block_model(spec, rng), util::contract_error);
+  ClusteredRegularSpec cspec;
+  cspec.cluster_sizes = {20, 20};
+  cspec.degree = 4;
+  cspec.weighted = true;
+  cspec.inter_weight = -1.0;
+  EXPECT_THROW(graph::clustered_regular(cspec, rng), util::contract_error);
+}
+
 TEST(Sbm, RejectsBadProbabilities) {
   graph::SbmSpec spec;
   spec.nodes_per_cluster = 10;

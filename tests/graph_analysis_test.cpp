@@ -80,4 +80,62 @@ TEST(Analysis, SingletonSetConductanceIsOne) {
   EXPECT_NEAR(graph::conductance(g, single), 1.0, 1e-12);
 }
 
+TEST(WeightedAnalysis, CutWeightAndConductance) {
+  // Square 0-1-2-3-0, heavy {0,1} and {2,3}: S = {0,1} cuts the two
+  // light edges (weight 2 of 10 total); touching weight = 4 + 2.
+  const Graph g = Graph::from_weighted_edges(
+      4, {{0, 1, 4.0}, {1, 2, 1.0}, {2, 3, 4.0}, {3, 0, 1.0}});
+  const std::vector<NodeId> set{0, 1};
+  EXPECT_NEAR(graph::cut_weight(g, set), 2.0, 1e-12);
+  EXPECT_NEAR(graph::weighted_conductance(g, set), 2.0 / 6.0, 1e-12);
+  const std::vector<std::uint32_t> membership{0, 0, 1, 1};
+  const auto phis = graph::weighted_partition_conductances(g, membership, 2);
+  EXPECT_NEAR(phis[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phis[1], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(graph::weighted_rho(g, membership, 2), 2.0 / 6.0, 1e-12);
+}
+
+TEST(WeightedAnalysis, ReducesToCountsOnUnweightedGraphs) {
+  const auto planted = graph::ring_of_cliques(3, 5);
+  const auto cluster0 = planted.cluster(0);
+  EXPECT_EQ(graph::cut_weight(planted.graph, cluster0),
+            static_cast<double>(graph::cut_size(planted.graph, cluster0)));
+  EXPECT_NEAR(graph::weighted_conductance(planted.graph, cluster0),
+              graph::conductance(planted.graph, cluster0), 1e-12);
+  EXPECT_NEAR(graph::weighted_rho(planted.graph, planted.membership, 3),
+              graph::rho(planted.graph, planted.membership, 3), 1e-12);
+}
+
+TEST(DropIsolated, StripsAndRemapsPreservingWeights) {
+  // Nodes 0, 3 and 5 are isolated; 1-2 and 2-4 carry weights.
+  graph::GraphBuilder builder;
+  builder.add_edge(1, 2, 2.5);
+  builder.add_edge(2, 4, 0.5);
+  builder.ensure_nodes(6);
+  const Graph g = builder.build();
+  const auto compacted = graph::drop_isolated(g);
+  EXPECT_EQ(compacted.graph.num_nodes(), 3u);
+  EXPECT_EQ(compacted.graph.num_edges(), 2u);
+  EXPECT_EQ(compacted.original_of, (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_TRUE(compacted.graph.is_weighted());
+  EXPECT_EQ(compacted.graph.edge_weight(0, 1), 2.5);
+  EXPECT_EQ(compacted.graph.edge_weight(1, 2), 0.5);
+  EXPECT_EQ(compacted.graph.min_degree(), 1u);
+}
+
+TEST(DropIsolated, NoOpOnFullyConnectedGraphs) {
+  const Graph g = graph::cycle(6);
+  const auto compacted = graph::drop_isolated(g);
+  EXPECT_EQ(compacted.graph.num_nodes(), 6u);
+  EXPECT_EQ(compacted.original_of.size(), 6u);
+  EXPECT_EQ(compacted.graph.adjacency().size(), g.adjacency().size());
+}
+
+TEST(DropIsolated, AllIsolatedYieldsEmptyGraph) {
+  const Graph g = Graph::from_edges(4, {});
+  const auto compacted = graph::drop_isolated(g);
+  EXPECT_EQ(compacted.graph.num_nodes(), 0u);
+  EXPECT_TRUE(compacted.original_of.empty());
+}
+
 }  // namespace

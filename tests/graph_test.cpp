@@ -1,6 +1,8 @@
 // Unit tests for the CSR graph container and planted-graph helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -78,6 +80,84 @@ TEST(Graph, NodeOutOfRangeThrows) {
   const Graph g = graph::path(3);
   EXPECT_THROW((void)g.degree(3), util::contract_error);
   EXPECT_THROW((void)g.neighbors(7), util::contract_error);
+}
+
+TEST(WeightedGraph, UnweightedGraphActsAsAllOnes) {
+  const Graph g = graph::cycle(4);
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_TRUE(g.weights().empty());
+  EXPECT_TRUE(g.weights(0).empty());
+  EXPECT_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_EQ(g.max_weight(), 1.0);
+  EXPECT_EQ(g.total_weight(), 4.0);
+  EXPECT_EQ(g.strength(0), 2.0);
+  const std::vector<NodeId> set{0, 1};
+  EXPECT_EQ(g.weighted_volume(set), 4.0);
+}
+
+TEST(WeightedGraph, FromWeightedEdgesBasics) {
+  const Graph g =
+      Graph::from_weighted_edges(3, {{0, 1, 2.5}, {1, 2, 0.5}, {0, 2, 4.0}});
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.weights().size(), g.adjacency().size());
+  EXPECT_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_EQ(g.edge_weight(1, 0), 2.5);
+  EXPECT_EQ(g.edge_weight(2, 1), 0.5);
+  EXPECT_EQ(g.max_weight(), 4.0);
+  EXPECT_EQ(g.total_weight(), 7.0);
+  EXPECT_EQ(g.strength(0), 6.5);
+  double sum = 0.0;
+  g.for_each_weighted_edge([&](NodeId u, NodeId v, double w) {
+    EXPECT_LT(u, v);
+    EXPECT_EQ(g.edge_weight(u, v), w);
+    sum += w;
+  });
+  EXPECT_EQ(sum, 7.0);
+}
+
+TEST(WeightedGraph, DuplicateEdgesSumWeights) {
+  const Graph g = Graph::from_weighted_edges(2, {{0, 1, 1.5}, {1, 0, 2.0}, {0, 1, 0.5}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0, 1), 1.5 + 2.0 + 0.5);
+}
+
+TEST(WeightedGraph, RejectsNonPositiveOrNonFiniteWeights) {
+  EXPECT_THROW(Graph::from_weighted_edges(2, {{0, 1, 0.0}}), util::contract_error);
+  EXPECT_THROW(Graph::from_weighted_edges(2, {{0, 1, -2.0}}), util::contract_error);
+  EXPECT_THROW(Graph::from_weighted_edges(2, {{0, 1, std::nan("")}}),
+               util::contract_error);
+  EXPECT_THROW(Graph::from_weighted_edges(
+                   2, {{0, 1, std::numeric_limits<double>::infinity()}}),
+               util::contract_error);
+}
+
+TEST(WeightedGraph, EdgeWeightOfNonEdgeThrows) {
+  const Graph g = Graph::from_weighted_edges(3, {{0, 1, 1.0}});
+  EXPECT_THROW((void)g.edge_weight(0, 2), util::contract_error);
+}
+
+TEST(WeightedGraph, FromCsrValidatesWeights) {
+  // Path 0-1-2 with weights 2 and 3.
+  const std::vector<std::uint64_t> offsets{0, 1, 3, 4};
+  const std::vector<NodeId> adjacency{1, 0, 2, 1};
+  EXPECT_NO_THROW(Graph::from_csr(offsets, adjacency, {2.0, 2.0, 3.0, 3.0}));
+  // Wrong length.
+  EXPECT_THROW(Graph::from_csr(offsets, adjacency, {2.0, 2.0, 3.0}),
+               util::contract_error);
+  // Asymmetric weights.
+  EXPECT_THROW(Graph::from_csr(offsets, adjacency, {2.0, 2.5, 3.0, 3.0}),
+               util::contract_error);
+  // Non-positive weight.
+  EXPECT_THROW(Graph::from_csr(offsets, adjacency, {2.0, 2.0, 0.0, 0.0}),
+               util::contract_error);
+}
+
+TEST(WeightedGraph, CopiesShareImmutableStorage) {
+  const Graph g = Graph::from_weighted_edges(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const Graph copy = g;  // shallow: shares the immutable backing block
+  EXPECT_EQ(copy.adjacency().data(), g.adjacency().data());
+  EXPECT_EQ(copy.weights().data(), g.weights().data());
+  EXPECT_EQ(copy.edge_weight(1, 2), 3.0);
 }
 
 TEST(PlantedGraph, ClusterHelpers) {

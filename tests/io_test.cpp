@@ -24,7 +24,9 @@ using graph::NodeId;
 
 void expect_same_graph(const Graph& a, const Graph& b) {
   // Bit-identical CSR, not just isomorphic: the binary format round-trips
-  // the raw arrays and the builders promise identical layout.
+  // the raw arrays and the builders promise identical layout.  Weights
+  // must round-trip bit for bit too (the text writers render shortest
+  // round-trip doubles).
   const auto ao = a.offsets();
   const auto bo = b.offsets();
   ASSERT_EQ(ao.size(), bo.size());
@@ -33,6 +35,23 @@ void expect_same_graph(const Graph& a, const Graph& b) {
   const auto ba = b.adjacency();
   ASSERT_EQ(aa.size(), ba.size());
   for (std::size_t i = 0; i < aa.size(); ++i) ASSERT_EQ(aa[i], ba[i]) << "slot " << i;
+  const auto aw = a.weights();
+  const auto bw = b.weights();
+  ASSERT_EQ(aw.size(), bw.size());
+  for (std::size_t i = 0; i < aw.size(); ++i) ASSERT_EQ(aw[i], bw[i]) << "weight " << i;
+}
+
+/// A weighted fixture with awkward doubles (non-representable decimals,
+/// subnormal-adjacent magnitudes, wide ids) for the round-trip matrix.
+Graph weighted_fixture() {
+  graph::GraphBuilder builder;
+  builder.add_edge(0, 1, 0.1);
+  builder.add_edge(1, 2, 1.0 / 3.0);
+  builder.add_edge(2, 3, 1e-300);
+  builder.add_edge(3, 4, 12345678901234.5);
+  builder.add_edge(0, 70001, 2.5000000000000004);
+  builder.ensure_nodes(70003);  // isolated trailing node
+  return builder.build();
 }
 
 Graph round_trip(const Graph& g, GraphFormat format) {
@@ -67,6 +86,33 @@ TEST(IoRoundTrip, AllFormatsOnEdgeCases) {
          {GraphFormat::kEdgeList, GraphFormat::kMetis, GraphFormat::kBinary}) {
       SCOPED_TRACE(name + " via " + std::string(graph::to_string(format)));
       expect_same_graph(round_trip(g, format), g);
+    }
+  }
+}
+
+TEST(IoRoundTrip, WeightedAllFormatsBitExact) {
+  util::Rng rng(9);
+  std::vector<std::pair<std::string, Graph>> fixtures;
+  fixtures.emplace_back("awkward_doubles", weighted_fixture());
+  fixtures.emplace_back("single_edge",
+                        Graph::from_weighted_edges(2, {{0, 1, 3.75}}));
+  {
+    graph::ClusteredRegularSpec spec;
+    spec.cluster_sizes.assign(2, 40);
+    spec.degree = 6;
+    spec.inter_cluster_swaps = 4;
+    spec.weighted = true;
+    spec.intra_weight = 3.0;
+    spec.inter_weight = 0.5;
+    fixtures.emplace_back("clustered", graph::clustered_regular(spec, rng).graph);
+  }
+  for (const auto& [name, g] : fixtures) {
+    for (const GraphFormat format :
+         {GraphFormat::kEdgeList, GraphFormat::kMetis, GraphFormat::kBinary}) {
+      SCOPED_TRACE(name + " via " + std::string(graph::to_string(format)));
+      const Graph loaded = round_trip(g, format);
+      EXPECT_TRUE(loaded.is_weighted());
+      expect_same_graph(loaded, g);
     }
   }
 }
@@ -150,9 +196,92 @@ TEST(IoMetis, AcceptsUnweightedFmtField) {
   EXPECT_EQ(graph::read_metis(buffer2).num_edges(), 1u);
 }
 
-TEST(IoMetis, WeightedFmtFieldThrows) {
-  std::stringstream buffer("2 1 011\n2 5\n1 5\n");
-  EXPECT_THROW(graph::read_metis(buffer), util::contract_error);
+TEST(IoEdgeList, WeightedHeaderDrivesAutoMode) {
+  const Graph g = graph::parse_edge_list("# nodes 3\n# weighted\n0 1 2.5\n1 2 0.25\n");
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_EQ(g.edge_weight(1, 2), 0.25);
+}
+
+TEST(IoEdgeList, WeightModeForcesOrIgnoresTheColumn) {
+  // No header: kAuto ignores the column, kYes consumes it, kNo ignores
+  // it even when the header is present.
+  const std::string text = "0 1 2.5\n1 2 0.25\n";
+  EXPECT_FALSE(graph::parse_edge_list(text).is_weighted());
+  const Graph forced = graph::parse_edge_list(text, graph::WeightMode::kYes);
+  EXPECT_TRUE(forced.is_weighted());
+  EXPECT_EQ(forced.edge_weight(0, 1), 2.5);
+  EXPECT_FALSE(graph::parse_edge_list("# weighted\n0 1 2.5\n", graph::WeightMode::kNo)
+                   .is_weighted());
+}
+
+TEST(IoEdgeList, WeightedParseErrors) {
+  // Missing weight column.
+  EXPECT_THROW((void)graph::parse_edge_list("# weighted\n0 1\n"), util::contract_error);
+  EXPECT_THROW((void)graph::parse_edge_list("0 1\n", graph::WeightMode::kYes),
+               util::contract_error);
+  // Non-positive weights.
+  EXPECT_THROW((void)graph::parse_edge_list("# weighted\n0 1 0\n"), util::contract_error);
+  EXPECT_THROW((void)graph::parse_edge_list("# weighted\n0 1 -2\n"), util::contract_error);
+  EXPECT_THROW((void)graph::parse_edge_list("# weighted\n0 1 inf\n"), util::contract_error);
+  // The header must precede the first edge.
+  EXPECT_THROW((void)graph::parse_edge_list("0 1\n# weighted\n1 2 2\n"),
+               util::contract_error);
+}
+
+TEST(IoMetis, ReadsEdgeWeights) {
+  // fmt = 1: every neighbour entry is a (node, weight) pair.
+  std::stringstream buffer("3 2 1\n2 2.5\n1 2.5 3 0.25\n2 0.25\n");
+  const Graph g = graph::read_metis(buffer);
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_EQ(g.edge_weight(1, 2), 0.25);
+}
+
+TEST(IoMetis, ReadsAndDiscardsVertexWeights) {
+  // fmt = 10 (vertex weights, default ncon = 1): structure-only result.
+  std::stringstream fmt10("3 2 10\n7 2\n0 1 3\n9 2\n");
+  const Graph a = graph::read_metis(fmt10);
+  EXPECT_FALSE(a.is_weighted());
+  EXPECT_TRUE(a.has_edge(0, 1));
+  EXPECT_TRUE(a.has_edge(1, 2));
+  // fmt = 11 with ncon = 2: vertex weights then (node, weight) pairs.
+  std::stringstream fmt11("3 2 11 2\n7 1 2 4.5\n0 2 1 4.5 3 1.5\n9 9 2 1.5\n");
+  const Graph b = graph::read_metis(fmt11);
+  EXPECT_TRUE(b.is_weighted());
+  EXPECT_EQ(b.edge_weight(0, 1), 4.5);
+  EXPECT_EQ(b.edge_weight(1, 2), 1.5);
+}
+
+TEST(IoMetis, WeightedErrorsNameTheLine) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)graph::parse_metis(text);
+    } catch (const util::contract_error& e) {
+      return std::string(e.what());
+    }
+    return std::string("no error");
+  };
+  // Zero / negative edge weight (line 3 lists it).
+  EXPECT_NE(message_of("2 1 1\n2 5\n1 0\n").find("line 3"), std::string::npos);
+  EXPECT_NE(message_of("2 1 1\n2 -1\n1 -1\n").find("line 2"), std::string::npos);
+  // Missing weight.
+  EXPECT_NE(message_of("2 1 1\n2\n1 5\n").find("line 2"), std::string::npos);
+  // Negative vertex weight.
+  EXPECT_NE(message_of("2 1 10\n-3 2\n1 1\n").find("line 2"), std::string::npos);
+  // Weight listed differently from the two endpoints.
+  EXPECT_NE(message_of("2 1 1\n2 5\n1 6\n").find("line 3"), std::string::npos);
+}
+
+TEST(IoMetis, UnsupportedFmtFieldsThrow) {
+  // Vertex sizes (fmt 1xx) are not supported.
+  std::stringstream sizes("2 1 100\n1 2\n1 1\n");
+  EXPECT_THROW(graph::read_metis(sizes), util::contract_error);
+  // ncon without vertex weights is malformed.
+  std::stringstream ncon("2 1 1 2\n2 5\n1 5\n");
+  EXPECT_THROW(graph::read_metis(ncon), util::contract_error);
+  std::stringstream junk("2 1 7\n2\n1\n");
+  EXPECT_THROW(graph::read_metis(junk), util::contract_error);
 }
 
 TEST(IoMetis, DeclaredEdgeCountIsValidatedAgainstEntriesRead) {
@@ -208,6 +337,107 @@ TEST(IoBinary, CorruptedHeaderThrows) {
     std::stringstream in(mutated);
     EXPECT_THROW(graph::read_binary(in), util::contract_error);
   }
+}
+
+TEST(IoBinary, Version1FilesStillLoad) {
+  // Hand-assemble a v1 file (the pre-weights format: version 1, zeroed
+  // reserved field, no weight section) for the path 0-1-2.
+  const std::vector<std::uint64_t> offsets{0, 1, 3, 4};
+  const std::vector<std::uint32_t> adjacency{1, 0, 2, 1};
+  std::string bytes;
+  const auto append = [&](const void* p, std::size_t size) {
+    bytes.append(static_cast<const char*>(p), size);
+  };
+  append("DGCG", 4);
+  const std::uint32_t endian = 0x01020304u;
+  const std::uint32_t version = 1;
+  const std::uint32_t reserved = 0;
+  const std::uint64_t n = 3;
+  const std::uint64_t adjacency_len = 4;
+  append(&endian, 4);
+  append(&version, 4);
+  append(&reserved, 4);
+  append(&n, 8);
+  append(&adjacency_len, 8);
+  append(offsets.data(), offsets.size() * 8);
+  append(adjacency.data(), adjacency.size() * 4);
+
+  std::stringstream in(bytes);
+  const Graph g = graph::read_binary(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_TRUE(g.has_edge(0, 1));
+
+  // The mmap'd load_binary path accepts the same v1 bytes.
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_v1.dgcg";
+  std::ofstream os(file_path, std::ios::binary);
+  os << bytes;
+  os.close();
+  expect_same_graph(graph::load_binary(file_path), g);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoBinary, UnweightedFilesStampVersion1) {
+  // Unweighted payloads are the v1 layout, so they are written as v1 —
+  // pre-weights readers keep working on them.
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  std::stringstream buffer;
+  graph::write_binary(buffer, g);
+  EXPECT_EQ(buffer.str()[8], 1);  // version field
+  std::stringstream weighted_buffer;
+  graph::write_binary(weighted_buffer, Graph::from_weighted_edges(2, {{0, 1, 2.0}}));
+  EXPECT_EQ(weighted_buffer.str()[8], 2);
+}
+
+TEST(IoBinary, UnknownFlagBitsThrow) {
+  // Only version-2 files interpret the flags field (it is reserved in
+  // v1), so mutate a weighted file's flags.
+  const Graph g = Graph::from_weighted_edges(2, {{0, 1, 2.0}});
+  std::stringstream buffer;
+  graph::write_binary(buffer, g);
+  std::string bytes = buffer.str();
+  bytes[12] = 0x7e;  // flags field: unknown bits
+  std::stringstream in(bytes);
+  EXPECT_THROW(graph::read_binary(in), util::contract_error);
+}
+
+TEST(IoBinary, WeightedRoundTripThroughFileIsBitExact) {
+  const Graph g = weighted_fixture();
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_weighted.dgcg";
+  graph::save_binary(file_path, g);
+  // load_binary takes the mmap path; read_binary the stream path.  Both
+  // must agree with the source bit for bit.
+  expect_same_graph(graph::load_binary(file_path), g);
+  std::ifstream is(file_path, std::ios::binary);
+  expect_same_graph(graph::read_binary(is), g);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoBinary, MmapLoadRejectsTruncatedWeightSection) {
+  const Graph g = Graph::from_weighted_edges(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  std::stringstream buffer;
+  graph::write_binary(buffer, g);
+  const std::string bytes = buffer.str();
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_trunc.dgcg";
+  std::ofstream os(file_path, std::ios::binary);
+  os << bytes.substr(0, bytes.size() - 12);  // clip into the weight array
+  os.close();
+  EXPECT_THROW((void)graph::load_binary(file_path), util::contract_error);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoBinary, MmapLoadRejectsPayloadCorruption) {
+  const Graph g = weighted_fixture();
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_corrupt.dgcg";
+  graph::save_binary(file_path, g);
+  {
+    std::fstream f(file_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);  // flip the last weight byte
+    f.put('\x7f');
+  }
+  EXPECT_THROW((void)graph::load_binary(file_path), util::contract_error);
+  std::remove(file_path.c_str());
 }
 
 TEST(IoFormat, NamesRoundTrip) {

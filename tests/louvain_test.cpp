@@ -98,4 +98,37 @@ TEST(Louvain, BeatsRandomLabelsOnModularity) {
             metrics::modularity(planted.graph, random_labels, 4) + 0.3);
 }
 
+TEST(Louvain, AllOnesWeightsMatchUnweighted) {
+  const auto planted = graph::ring_of_cliques(5, 7);
+  std::vector<graph::WeightedEdge> edges;
+  planted.graph.for_each_edge(
+      [&](graph::NodeId u, graph::NodeId v) { edges.push_back({u, v, 1.0}); });
+  const auto ones =
+      graph::Graph::from_weighted_edges(planted.graph.num_nodes(), std::move(edges));
+  const auto plain = baselines::louvain(planted.graph, {});
+  const auto weighted = baselines::louvain(ones, {});
+  EXPECT_EQ(plain.labels, weighted.labels);
+  EXPECT_EQ(plain.modularity, weighted.modularity);
+}
+
+TEST(Louvain, EdgeWeightsDecideTheCommunities) {
+  // A 2k-clique where the weights hide two heavy sub-cliques: the
+  // unweighted structure is a single community, the weighted one splits.
+  const graph::NodeId n = 12;
+  std::vector<graph::WeightedEdge> edges;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      const bool same = (u < n / 2) == (v < n / 2);
+      edges.push_back({u, v, same ? 10.0 : 0.1});
+    }
+  }
+  const auto g = graph::Graph::from_weighted_edges(n, std::move(edges));
+  const auto result = baselines::louvain(g, {});
+  EXPECT_EQ(result.num_communities, 2u);
+  std::vector<std::uint32_t> truth(n);
+  for (graph::NodeId v = 0; v < n; ++v) truth[v] = v < n / 2 ? 0 : 1;
+  EXPECT_EQ(metrics::misclassified_nodes(truth, 2, result.labels, 2), 0u);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
 }  // namespace

@@ -150,6 +150,54 @@ TEST(LoadState, RejectsSelfAverage) {
   EXPECT_THROW(state.average_pair(1, 1), util::contract_error);
 }
 
+TEST(LoadState, WeightedAveragePairMovesLambdaFraction) {
+  // Path 0-1-2: w(0,1)=1, w(1,2)=4 (the max).  λ = w/(2·w_max): the
+  // light edge mixes an eighth, the heavy edge averages fully.
+  const auto g = graph::Graph::from_weighted_edges(3, {{0, 1, 1.0}, {1, 2, 4.0}});
+  matching::MultiLoadState state(3, 1);
+  state.set_weighted_graph(&g);
+  EXPECT_TRUE(state.weighted());
+  state.set(0, 0, 8.0);
+  state.average_pair(0, 1);  // λ = 1/8
+  EXPECT_EQ(state.at(0, 0), 7.0);
+  EXPECT_EQ(state.at(1, 0), 1.0);
+  state.average_pair(1, 2);  // λ = 1/2: full averaging
+  EXPECT_EQ(state.at(1, 0), 0.5);
+  EXPECT_EQ(state.at(2, 0), 0.5);
+  // The λ-step is doubly stochastic: totals are conserved.
+  EXPECT_NEAR(state.total(0), 8.0, 1e-12);
+}
+
+TEST(LoadState, AllEqualWeightsAreBitIdenticalToUnweighted) {
+  // λ = w/(2w) is exactly 0.5 for every equal weighting, which routes
+  // through the unweighted averaging expression — bits must match.
+  util::Rng rng(77);
+  const NodeId n = 60;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const auto plain = graph::random_regular(n, 4, rng);
+  plain.for_each_edge([&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  std::vector<graph::WeightedEdge> weighted_edges;
+  for (const auto& [u, v] : edges) weighted_edges.push_back({u, v, 0.3});
+  const auto weighted = graph::Graph::from_weighted_edges(n, std::move(weighted_edges));
+
+  matching::MatchingGenerator gen_a(plain, 5);
+  matching::MatchingGenerator gen_b(weighted, 5);
+  matching::MultiLoadState state_a(n, 2);
+  matching::MultiLoadState state_b(n, 2);
+  state_b.set_weighted_graph(&weighted);
+  for (const NodeId v : {NodeId{0}, NodeId{13}}) {
+    state_a.set(v, v % 2, 1.0);
+    state_b.set(v, v % 2, 1.0);
+  }
+  matching::run_process(gen_a, state_a, 40);
+  matching::run_process(gen_b, state_b, 40);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      ASSERT_EQ(state_a.at(v, d), state_b.at(v, d)) << "node " << v << " dim " << d;
+    }
+  }
+}
+
 TEST(LoadProcess, ConservesEveryDimension) {
   util::Rng rng(6);
   const auto g = graph::random_regular(100, 6, rng);

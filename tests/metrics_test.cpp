@@ -141,4 +141,57 @@ TEST(Modularity, SingleClusterIsZero) {
   EXPECT_NEAR(metrics::modularity(g, one, 1), 0.0, 1e-12);
 }
 
+// Square 0-1-2-3-0 with heavy edges {0,1} and {2,3}: weighted metrics
+// by hand.  Partition {0,1} vs {2,3} cuts the two light edges.
+graph::Graph weighted_square() {
+  return graph::Graph::from_weighted_edges(
+      4, {{0, 1, 4.0}, {1, 2, 1.0}, {2, 3, 4.0}, {3, 0, 1.0}});
+}
+
+TEST(WeightedMetrics, EdgeCutWeightSumsCutEdges) {
+  const auto g = weighted_square();
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  EXPECT_EQ(metrics::edge_cut(g, part), 2u);
+  EXPECT_EQ(metrics::edge_cut_weight(g, part), 2.0);
+  const std::vector<std::uint32_t> bad_part{0, 1, 0, 1};
+  EXPECT_EQ(metrics::edge_cut_weight(g, bad_part), 10.0);
+}
+
+TEST(WeightedMetrics, EdgeCutWeightEqualsCountWhenUnweighted) {
+  const auto g = graph::ring_of_cliques(3, 5);
+  std::vector<std::uint32_t> part(g.graph.num_nodes());
+  util::Rng rng(3);
+  for (auto& p : part) p = static_cast<std::uint32_t>(rng.next_below(2));
+  EXPECT_EQ(metrics::edge_cut_weight(g.graph, part),
+            static_cast<double>(metrics::edge_cut(g.graph, part)));
+}
+
+TEST(WeightedMetrics, ModularityUsesWeights) {
+  const auto g = weighted_square();
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  // W = 10; w_in per cluster = 4, strengths: every node 5 -> S_c = 10.
+  // Q = 2 * (4/10 - (10/20)^2) = 0.3.
+  EXPECT_NEAR(metrics::modularity(g, part, 2), 0.3, 1e-12);
+}
+
+TEST(WeightedMetrics, ModularityAllOnesMatchesUnweighted) {
+  const auto planted = graph::ring_of_cliques(4, 6);
+  std::vector<graph::WeightedEdge> edges;
+  planted.graph.for_each_edge(
+      [&](graph::NodeId u, graph::NodeId v) { edges.push_back({u, v, 1.0}); });
+  const auto ones =
+      graph::Graph::from_weighted_edges(planted.graph.num_nodes(), std::move(edges));
+  EXPECT_EQ(metrics::modularity(ones, planted.membership, 4),
+            metrics::modularity(planted.graph, planted.membership, 4));
+}
+
+TEST(WeightedMetrics, PartitionImbalanceVolume) {
+  const auto g = weighted_square();
+  const std::vector<std::uint32_t> balanced{0, 0, 1, 1};
+  // Strengths are 5 everywhere: both parts carry 10 of 20.
+  EXPECT_NEAR(metrics::partition_imbalance_volume(g, balanced, 2), 1.0, 1e-12);
+  const std::vector<std::uint32_t> skewed{0, 0, 0, 1};
+  EXPECT_NEAR(metrics::partition_imbalance_volume(g, skewed, 2), 1.5, 1e-12);
+}
+
 }  // namespace

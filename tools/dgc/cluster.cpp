@@ -9,11 +9,13 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "commands.hpp"
 #include "core/engine.hpp"
 #include "core/seeding.hpp"
 #include "core/summary.hpp"
+#include "graph/analysis.hpp"
 #include "graph/io.hpp"
 #include "metrics/clustering_metrics.hpp"
 #include "util/require.hpp"
@@ -67,6 +69,11 @@ void append_json_double(std::string& out, double v) {
 int run_cluster(util::Cli& cli) {
   cli.describe("in", "", "input graph file (required)");
   cli.describe("format", "auto", "input format: auto|edges|metis|binary");
+  cli.describe("weights", "auto",
+               "edge-list weight column: auto (header-driven)|yes|no");
+  cli.describe("drop-isolated", "0",
+               "strip degree-0 nodes before clustering; their output labels "
+               "are the unclustered sentinel");
   cli.describe("engine", "dense", "execution engine: dense|message-passing|sharded");
   cli.describe("beta", "0.25", "lower bound on min cluster balance (the paper's beta)");
   cli.describe("rounds", "0", "averaging rounds T (0 = spectral estimate via k_hint)");
@@ -92,6 +99,11 @@ int run_cluster(util::Cli& cli) {
 
   const std::string in = cli.get("in", "");
   const auto format = graph::parse_format(cli.get("format", "auto"));
+  const auto weights = graph::parse_weight_mode(cli.get("weights", "auto"));
+  // Both spellings are accepted; the underscore form matches the other
+  // flags, the dash form the documented name.
+  const bool drop_isolated =
+      cli.get_bool("drop-isolated", false) || cli.get_bool("drop_isolated", false);
   const std::string engine_name = cli.get("engine", "dense");
 
   core::ClusterConfig config;
@@ -127,11 +139,24 @@ int run_cluster(util::Cli& cli) {
   const core::EngineKind kind = parse_engine(engine_name);
 
   util::Timer timer;
-  const graph::Graph g = graph::load_graph(in, format);
+  const graph::Graph loaded = graph::load_graph(in, format, weights);
   const double load_seconds = timer.seconds();
-  DGC_REQUIRE(g.num_nodes() > 0, "refusing to cluster an empty graph: " + in);
+  DGC_REQUIRE(loaded.num_nodes() > 0, "refusing to cluster an empty graph: " + in);
+
+  // --drop-isolated: cluster the compacted graph, then map the labels
+  // back to the original ids (isolated nodes report unclustered).
+  graph::CompactedGraph compacted;
+  std::size_t isolated_dropped = 0;
+  if (drop_isolated && loaded.min_degree() == 0) {
+    compacted = graph::drop_isolated(loaded);
+    isolated_dropped = loaded.num_nodes() - compacted.graph.num_nodes();
+  }
+  const graph::Graph& g = isolated_dropped > 0 ? compacted.graph : loaded;
+  DGC_REQUIRE(g.num_nodes() > 0,
+              "every node is isolated; nothing to cluster: " + in);
   DGC_REQUIRE(g.min_degree() > 0,
-              "graph has isolated nodes; the matching protocol needs degree >= 1");
+              "graph has isolated nodes; the matching protocol needs degree >= 1 "
+              "(pass --drop-isolated to strip them)");
 
   const auto engine = core::make_engine(kind, g, config);
   timer.reset();
@@ -139,12 +164,27 @@ int run_cluster(util::Cli& cli) {
   const double cluster_seconds = timer.seconds();
 
   const auto summary = core::summarize_partition(g, result.labels);
-  if (!labels_out.empty()) core::save_labels(labels_out, result.labels);
+  if (!labels_out.empty()) {
+    if (isolated_dropped > 0) {
+      // Map labels back to the original id space; dropped nodes report
+      // the unclustered sentinel.
+      std::vector<std::uint64_t> output_labels(loaded.num_nodes(),
+                                               metrics::kUnclustered);
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        output_labels[compacted.original_of[v]] = result.labels[v];
+      }
+      core::save_labels(labels_out, output_labels);
+    } else {
+      core::save_labels(labels_out, result.labels);
+    }
+  }
 
   std::printf("file              %s\n", in.c_str());
   std::printf("engine            %s\n", std::string(engine->name()).c_str());
-  std::printf("nodes             %u\n", g.num_nodes());
-  std::printf("edges             %zu\n", g.num_edges());
+  std::printf("nodes             %u\n", loaded.num_nodes());
+  std::printf("edges             %zu\n", loaded.num_edges());
+  std::printf("weighted          %s\n", loaded.is_weighted() ? "yes" : "no");
+  if (drop_isolated) std::printf("dropped isolated  %zu\n", isolated_dropped);
   std::printf("seeds drawn       %zu\n", result.seeds.size());
   std::printf("rounds T          %zu\n", result.rounds);
   std::printf("recovered k       %u\n", summary.num_clusters);
@@ -161,8 +201,13 @@ int run_cluster(util::Cli& cli) {
     append_json_string(out, in);
     out += ",\n  \"engine\": ";
     append_json_string(out, std::string(engine->name()));
-    out += ",\n  \"nodes\": " + std::to_string(g.num_nodes());
-    out += ",\n  \"edges\": " + std::to_string(g.num_edges());
+    out += ",\n  \"nodes\": " + std::to_string(loaded.num_nodes());
+    out += ",\n  \"edges\": " + std::to_string(loaded.num_edges());
+    out += ",\n  \"weighted\": ";
+    out += loaded.is_weighted() ? "true" : "false";
+    out += ",\n  \"total_weight\": ";
+    append_json_double(out, loaded.total_weight());
+    out += ",\n  \"dropped_isolated\": " + std::to_string(isolated_dropped);
     out += ",\n  \"config\": {\n    \"beta\": ";
     append_json_double(out, config.beta);
     out += ",\n    \"rounds\": " + std::to_string(config.rounds);

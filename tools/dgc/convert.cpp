@@ -17,6 +17,8 @@ int run_convert(util::Cli& cli) {
   cli.describe("out", "", "output graph file (required)");
   cli.describe("in_format", "auto", "input format: auto|edges|metis|binary");
   cli.describe("out_format", "auto", "output format: auto|edges|metis|binary");
+  cli.describe("weights", "auto",
+               "edge-list weight column: auto (header-driven)|yes|no");
   if (cli.help_requested()) {
     std::cout << "usage: dgc convert --in=A --out=B [--flags]\n\n";
     cli.print_help(std::cout);
@@ -27,18 +29,20 @@ int run_convert(util::Cli& cli) {
   const std::string out = cli.get("out", "");
   const auto in_format = graph::parse_format(cli.get("in_format", "auto"));
   const auto out_format = graph::parse_format(cli.get("out_format", "auto"));
+  const auto weights = graph::parse_weight_mode(cli.get("weights", "auto"));
   cli.reject_unknown();
   DGC_REQUIRE(!in.empty(), "--in is required");
   DGC_REQUIRE(!out.empty(), "--out is required");
 
   util::Timer timer;
-  const graph::Graph g = graph::load_graph(in, in_format);
+  const graph::Graph g = graph::load_graph(in, in_format, weights);
   const double load_seconds = timer.seconds();
   timer.reset();
   graph::save_graph(out, g, out_format);
 
-  std::printf("converted n=%u m=%zu  (%.3fs load, %.3fs write)\n", g.num_nodes(),
-              g.num_edges(), load_seconds, timer.seconds());
+  std::printf("converted n=%u m=%zu%s  (%.3fs load, %.3fs write)\n", g.num_nodes(),
+              g.num_edges(), g.is_weighted() ? "  weighted" : "", load_seconds,
+              timer.seconds());
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }

@@ -28,6 +28,9 @@ int run_generate(util::Cli& cli) {
   cli.describe("phi", "0.02", "target per-cluster conductance (clustered)");
   cli.describe("p_in", "0.02", "intra-block edge probability (sbm)");
   cli.describe("p_out", "0.002", "inter-block edge probability (sbm)");
+  cli.describe("weighted", "0", "emit edge weights (clustered/sbm)");
+  cli.describe("w_in", "1.0", "intra-cluster edge weight (with --weighted)");
+  cli.describe("w_out", "1.0", "inter-cluster edge weight (with --weighted)");
   cli.describe("seed", "1", "generator seed");
   cli.describe("out", "", "output graph file (required)");
   cli.describe("format", "auto", "output format: auto|edges|metis|binary");
@@ -45,6 +48,9 @@ int run_generate(util::Cli& cli) {
   const double phi = cli.get_double("phi", 0.02);
   const double p_in = cli.get_double("p_in", 0.02);
   const double p_out = cli.get_double("p_out", 0.002);
+  const bool weighted = cli.get_bool("weighted", false);
+  const double w_in = cli.get_double("w_in", 1.0);
+  const double w_out = cli.get_double("w_out", 1.0);
   const std::uint64_t seed = cli.get_uint64("seed", 1);
   const std::string out = cli.get("out", "");
   const auto format = graph::parse_format(cli.get("format", "auto"));
@@ -52,6 +58,8 @@ int run_generate(util::Cli& cli) {
   cli.reject_unknown();
   DGC_REQUIRE(!out.empty(), "--out is required");
   DGC_REQUIRE(k >= 1, "--k must be at least 1");
+  DGC_REQUIRE(!weighted || type == "clustered" || type == "sbm",
+              "--weighted is only supported for clustered|sbm");
 
   util::Rng rng(seed);
   util::Timer timer;
@@ -62,6 +70,9 @@ int run_generate(util::Cli& cli) {
     spec.cluster_sizes.assign(k, n / k);
     spec.degree = degree;
     spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, phi);
+    spec.weighted = weighted;
+    spec.intra_weight = w_in;
+    spec.inter_weight = w_out;
     auto planted = graph::clustered_regular(spec, rng);
     g = std::move(planted.graph);
     membership = std::move(planted.membership);
@@ -71,6 +82,9 @@ int run_generate(util::Cli& cli) {
     spec.clusters = k;
     spec.p_in = p_in;
     spec.p_out = p_out;
+    spec.weighted = weighted;
+    spec.intra_weight = w_in;
+    spec.inter_weight = w_out;
     auto planted = graph::stochastic_block_model(spec, rng);
     g = std::move(planted.graph);
     membership = std::move(planted.membership);
@@ -93,8 +107,9 @@ int run_generate(util::Cli& cli) {
     core::save_labels(labels_out, wide);
   }
 
-  std::printf("generated %s  n=%u  m=%zu  (%.3fs generate, %.3fs write)\n", type.c_str(),
-              g.num_nodes(), g.num_edges(), generate_seconds, timer.seconds());
+  std::printf("generated %s  n=%u  m=%zu%s  (%.3fs generate, %.3fs write)\n", type.c_str(),
+              g.num_nodes(), g.num_edges(), g.is_weighted() ? "  weighted" : "",
+              generate_seconds, timer.seconds());
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }

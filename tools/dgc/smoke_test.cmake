@@ -89,4 +89,74 @@ if(QUICKSTART)
   endif()
 endif()
 
+# ---------------------------------------------------------------------------
+# Weighted chain: generate --weighted, byte-identical format round trip,
+# stats reporting weights, cluster consuming the weighted file.
+
+run_checked(${DGC_CLI} generate --type=clustered --n=400 --k=4 --seed=1 --weighted
+            --w_in=2.5 --w_out=0.5 --out=${WORK_DIR}/w.dgcg)
+
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/w.dgcg --out=${WORK_DIR}/w.edges)
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/w.edges --out=${WORK_DIR}/w.metis)
+run_checked(${DGC_CLI} convert --in=${WORK_DIR}/w.metis --out=${WORK_DIR}/w2.dgcg)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/w.dgcg ${WORK_DIR}/w2.dgcg RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "weighted binary -> edges -> metis -> binary round trip changed the file")
+endif()
+
+run_checked(${DGC_CLI} stats --in=${WORK_DIR}/w.metis)
+if(NOT LAST_OUTPUT MATCHES "weighted +yes" OR NOT LAST_OUTPUT MATCHES "max_weight +2.5")
+  message(FATAL_ERROR "unexpected weighted stats output:\n${LAST_OUTPUT}")
+endif()
+
+run_checked(${DGC_CLI} cluster --in=${WORK_DIR}/w.dgcg --engine=dense --beta=0.25
+            --rounds=80 --trials_scale=2 --seed=1
+            --labels_out=${WORK_DIR}/labels_weighted.txt --json=${WORK_DIR}/wsummary.json)
+file(READ ${WORK_DIR}/wsummary.json wsummary)
+string(JSON w_weighted GET "${wsummary}" weighted)
+if(NOT w_weighted STREQUAL "ON")  # string(JSON) renders JSON true as ON
+  message(FATAL_ERROR "weighted cluster summary did not report weighted=true: ${w_weighted}")
+endif()
+
+# The weighted labels must load identically from the edge-list rendering
+# (its '# weighted' header re-arms the weight column without flags).
+run_checked(${DGC_CLI} cluster --in=${WORK_DIR}/w.edges --engine=dense --beta=0.25
+            --rounds=80 --trials_scale=2 --seed=1
+            --labels_out=${WORK_DIR}/labels_weighted_edges.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/labels_weighted.txt ${WORK_DIR}/labels_weighted_edges.txt
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "weighted labels differ between binary and edge-list inputs")
+endif()
+
+# ---------------------------------------------------------------------------
+# --drop-isolated: a raw edge list with an isolated trailing node runs
+# unedited and reports the isolated node as unclustered.
+
+# Node 9 exists only through the header: it is isolated.
+file(WRITE ${WORK_DIR}/iso.edges
+     "# nodes 10\n0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n6 7\n7 8\n8 6\n")
+execute_process(COMMAND ${DGC_CLI} cluster --in=${WORK_DIR}/iso.edges --rounds=10
+                RESULT_VARIABLE iso_code OUTPUT_QUIET ERROR_QUIET)
+if(iso_code EQUAL 0)
+  message(FATAL_ERROR "dgc cluster accepted an isolated node without --drop-isolated")
+endif()
+run_checked(${DGC_CLI} cluster --in=${WORK_DIR}/iso.edges --drop-isolated --rounds=20
+            --beta=0.3 --trials=4 --rule=argmax --seed=3
+            --labels_out=${WORK_DIR}/iso_labels.txt --json=${WORK_DIR}/iso.json)
+file(READ ${WORK_DIR}/iso.json iso_json)
+string(JSON iso_nodes GET "${iso_json}" nodes)
+string(JSON iso_dropped GET "${iso_json}" dropped_isolated)
+if(NOT iso_nodes EQUAL 10 OR NOT iso_dropped EQUAL 1)
+  message(FATAL_ERROR "drop-isolated summary wrong: nodes=${iso_nodes} dropped=${iso_dropped}")
+endif()
+file(STRINGS ${WORK_DIR}/iso_labels.txt iso_labels)
+list(LENGTH iso_labels iso_label_count)
+list(GET iso_labels 9 last_label)
+if(NOT iso_label_count EQUAL 10 OR NOT last_label STREQUAL "18446744073709551615")
+  message(FATAL_ERROR "drop-isolated labels wrong: count=${iso_label_count} last=${last_label}")
+endif()
+
 message(STATUS "dgc CLI smoke test passed")

@@ -2,6 +2,7 @@
 // about: size, degree profile (the paper's protocol is pitched at
 // regular and almost-regular graphs; §4.5 needs max/min degree
 // bounded), and isolated nodes (never matched, never clustered).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -15,6 +16,8 @@ namespace dgc::tools {
 int run_stats(util::Cli& cli) {
   cli.describe("in", "", "input graph file (required)");
   cli.describe("format", "auto", "input format: auto|edges|metis|binary");
+  cli.describe("weights", "auto",
+               "edge-list weight column: auto (header-driven)|yes|no");
   if (cli.help_requested()) {
     std::cout << "usage: dgc stats --in=FILE [--flags]\n\n";
     cli.print_help(std::cout);
@@ -23,11 +26,12 @@ int run_stats(util::Cli& cli) {
 
   const std::string in = cli.get("in", "");
   const auto format = graph::parse_format(cli.get("format", "auto"));
+  const auto weights = graph::parse_weight_mode(cli.get("weights", "auto"));
   cli.reject_unknown();
   DGC_REQUIRE(!in.empty(), "--in is required");
 
   util::Timer timer;
-  const graph::Graph g = graph::load_graph(in, format);
+  const graph::Graph g = graph::load_graph(in, format, weights);
   const double load_seconds = timer.seconds();
 
   std::size_t isolated = 0;
@@ -45,6 +49,14 @@ int run_stats(util::Cli& cli) {
   std::printf("avg_degree   %.3f\n", avg_degree);
   std::printf("regular      %s\n", g.is_regular() ? "yes" : "no");
   std::printf("isolated     %zu\n", isolated);
+  std::printf("weighted     %s\n", g.is_weighted() ? "yes" : "no");
+  if (g.is_weighted()) {
+    double min_weight = g.max_weight();
+    for (const double w : g.weights()) min_weight = std::min(min_weight, w);
+    std::printf("total_weight %.6g\n", g.total_weight());
+    std::printf("min_weight   %.6g\n", min_weight);
+    std::printf("max_weight   %.6g\n", g.max_weight());
+  }
   std::printf("load_seconds %.3f\n", load_seconds);
   return 0;
 }
