@@ -1,0 +1,444 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "core/seeding.hpp"
+#include "matching/load_state.hpp"
+#include "matching/process.hpp"
+#include "matching/protocol.hpp"
+#include "util/binary_file.hpp"
+#include "util/require.hpp"
+
+namespace dgc::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected): the integrity trailer.
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+std::uint32_t crc32_of(std::span<const util::ConstBytes> parts) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const util::ConstBytes& part : parts) crc = crc32_update(crc, part.data, part.size);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// .dgcc layout.
+
+constexpr char kMagic[4] = {'D', 'G', 'C', 'C'};
+constexpr std::uint32_t kEndianMarker = 0x01020304u;
+constexpr std::uint32_t kVersion = 1;
+/// Payload storage: the dense n×s matrix, or only the active rows
+/// (node-id array then packed row values) when that is smaller.
+constexpr std::uint32_t kModeDense = 0;
+constexpr std::uint32_t kModeSparse = 1;
+
+struct CheckpointHeader {
+  char magic[4];
+  std::uint32_t endian;
+  std::uint32_t version;
+  std::uint32_t mode;
+  std::uint64_t fingerprint;
+  std::uint64_t round;
+  std::uint64_t total_rounds;
+  std::uint64_t num_nodes;
+  std::uint64_t dimensions;
+  std::uint64_t payload_rows;  ///< dense: n; sparse: active row count
+};
+static_assert(sizeof(CheckpointHeader) == 64, "checkpoint header layout must be stable");
+
+/// True iff the value's bits differ from +0.0 — the same predicate the
+/// load state uses for its activity flags, so sparse storage never
+/// drops a row whose bits matter (−0.0, NaN payloads included).
+bool row_entry_set(double value) { return value != 0.0 || std::signbit(value); }
+
+/// The serialised image of one checkpoint: header + payload parts + CRC
+/// trailer, with sparse payloads packed into owned buffers.  Both the
+/// stream writer and the atomic file writer emit exactly these parts.
+struct Image {
+  CheckpointHeader header{};
+  std::vector<std::uint64_t> ids;    // sparse mode only
+  std::vector<double> packed;        // sparse mode only
+  std::span<const double> values;    // dense: cp.matrix; sparse: packed
+  std::uint64_t crc = 0;
+
+  [[nodiscard]] std::vector<util::ConstBytes> parts() const {
+    std::vector<util::ConstBytes> out;
+    out.push_back({&header, sizeof header});
+    if (!ids.empty()) out.push_back({ids.data(), ids.size() * sizeof(std::uint64_t)});
+    out.push_back({values.data(), values.size_bytes()});
+    out.push_back({&crc, sizeof crc});
+    return out;
+  }
+};
+
+Image build_image(const Checkpoint& cp) {
+  const std::size_t n = cp.num_nodes;
+  const std::size_t s = cp.dimensions;
+  DGC_REQUIRE(cp.matrix.size() == n * s, "checkpoint matrix has the wrong shape");
+  DGC_REQUIRE(cp.round <= cp.total_rounds, "checkpoint round exceeds total rounds");
+
+  Image image;
+  std::memcpy(image.header.magic, kMagic, sizeof kMagic);
+  image.header.endian = kEndianMarker;
+  image.header.version = kVersion;
+  image.header.fingerprint = cp.fingerprint;
+  image.header.round = cp.round;
+  image.header.total_rounds = cp.total_rounds;
+  image.header.num_nodes = n;
+  image.header.dimensions = s;
+
+  std::size_t active = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double* row = cp.matrix.data() + v * s;
+    for (std::size_t i = 0; i < s; ++i) {
+      if (row_entry_set(row[i])) {
+        ++active;
+        break;
+      }
+    }
+  }
+  // Sparse pays one id word per row on top of the row itself; dense
+  // pays every row.  Early-round checkpoints (support O(s·2^t) ≪ n)
+  // take the sparse branch, late ones the dense branch.
+  if (active * (s + 1) < n * s) {
+    image.header.mode = kModeSparse;
+    image.header.payload_rows = active;
+    image.ids.reserve(active);
+    image.packed.reserve(active * s);
+    for (std::size_t v = 0; v < n; ++v) {
+      const double* row = cp.matrix.data() + v * s;
+      bool any = false;
+      for (std::size_t i = 0; i < s && !any; ++i) any = row_entry_set(row[i]);
+      if (!any) continue;
+      image.ids.push_back(v);
+      image.packed.insert(image.packed.end(), row, row + s);
+    }
+    image.values = image.packed;
+  } else {
+    image.header.mode = kModeDense;
+    image.header.payload_rows = n;
+    image.values = cp.matrix;
+  }
+
+  auto parts = image.parts();
+  parts.pop_back();  // the CRC trailer is not part of its own input
+  image.crc = crc32_of(parts);
+  return image;
+}
+
+/// Bounded chunked reads (io.cpp's pattern): a corrupt header cannot
+/// demand a giant up-front allocation; truncation fails after at most
+/// one chunk of over-allocation.
+template <typename T>
+std::vector<T> read_array(std::istream& is, std::uint64_t count, const char* what) {
+  constexpr std::uint64_t kChunkElems = (std::uint64_t{1} << 22) / sizeof(T);  // 4 MB
+  std::vector<T> out;
+  while (out.size() < count) {
+    const auto take = std::min<std::uint64_t>(kChunkElems, count - out.size());
+    const std::size_t old = out.size();
+    if (out.capacity() < old + take) {
+      out.reserve(std::max<std::size_t>(old * 2, old + static_cast<std::size_t>(take)));
+    }
+    out.resize(old + static_cast<std::size_t>(take));
+    const auto bytes = static_cast<std::streamsize>(take * sizeof(T));
+    is.read(reinterpret_cast<char*>(out.data() + old), bytes);
+    DGC_REQUIRE(is.gcount() == bytes, std::string("truncated checkpoint ") + what);
+  }
+  return out;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Hasher {
+  std::uint64_t h = 0x6A09E667F3BCC908ULL;  // arbitrary fixed start
+  void mix(std::uint64_t v) { h = mix64(h + 0x9E3779B97F4A7C15ULL + v); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  template <typename T>
+  void mix_span(std::span<const T> values) {
+    mix(values.size());
+    for (const T v : values) mix(static_cast<std::uint64_t>(v));
+  }
+};
+
+}  // namespace
+
+std::uint64_t checkpoint_fingerprint(const graph::Graph& g, const ClusterConfig& config) {
+  Hasher h;
+  // Graph: the full CSR (and weights), so a checkpoint can never be
+  // resumed against a different graph that happens to share n and m.
+  h.mix(std::uint64_t{0xD6CC});  // format tag
+  h.mix_span(g.offsets());
+  h.mix_span(g.adjacency());
+  h.mix(std::uint64_t{g.is_weighted()});
+  for (const double w : g.weights()) h.mix(w);
+  // Config: every field that changes computed values.  hot_path and
+  // checkpoint are deliberately excluded — pure scheduling.
+  h.mix(config.seed);
+  h.mix(config.beta);
+  h.mix(config.rounds);
+  h.mix(std::uint64_t{config.k_hint});
+  h.mix(config.rounds_multiplier);
+  h.mix(config.threshold_scale);
+  h.mix(static_cast<std::uint64_t>(config.query_rule));
+  h.mix(config.seeding_trials);
+  h.mix(config.protocol.virtual_degree);
+  h.mix(std::uint64_t{config.protocol.degree_biased_activation});
+  return h.h;
+}
+
+void write_checkpoint(std::ostream& os, const Checkpoint& cp) {
+  const Image image = build_image(cp);
+  for (const util::ConstBytes& part : image.parts()) {
+    os.write(static_cast<const char*>(part.data),
+             static_cast<std::streamsize>(part.size));
+  }
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  CheckpointHeader header{};
+  is.read(reinterpret_cast<char*>(&header), sizeof header);
+  DGC_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof header),
+              "truncated checkpoint header");
+  DGC_REQUIRE(std::memcmp(header.magic, kMagic, sizeof kMagic) == 0,
+              "not a checkpoint file (bad magic)");
+  DGC_REQUIRE(header.endian == kEndianMarker, "checkpoint file has foreign byte order");
+  DGC_REQUIRE(header.version == kVersion,
+              "unsupported checkpoint version " + std::to_string(header.version) +
+                  " (this build reads version " + std::to_string(kVersion) + ")");
+  DGC_REQUIRE(header.mode == kModeDense || header.mode == kModeSparse,
+              "unknown checkpoint storage mode");
+  DGC_REQUIRE(header.num_nodes > 0 && header.dimensions > 0,
+              "checkpoint header claims an empty matrix");
+  DGC_REQUIRE(header.round <= header.total_rounds,
+              "checkpoint round exceeds its total rounds");
+  if (header.mode == kModeDense) {
+    DGC_REQUIRE(header.payload_rows == header.num_nodes,
+                "dense checkpoint row count mismatch");
+  } else {
+    DGC_REQUIRE(header.payload_rows <= header.num_nodes,
+                "sparse checkpoint claims more rows than nodes");
+  }
+
+  std::vector<std::uint64_t> ids;
+  if (header.mode == kModeSparse) {
+    ids = read_array<std::uint64_t>(is, header.payload_rows, "row ids");
+  }
+  const std::uint64_t value_count = header.payload_rows * header.dimensions;
+  const std::vector<double> values = read_array<double>(is, value_count, "matrix");
+
+  std::uint64_t stored_crc = 0;
+  is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+  DGC_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof stored_crc),
+              "truncated checkpoint trailer");
+  const util::ConstBytes parts[] = {
+      {&header, sizeof header},
+      {ids.data(), ids.size() * sizeof(std::uint64_t)},
+      {values.data(), values.size() * sizeof(double)},
+  };
+  DGC_REQUIRE(crc32_of(parts) == stored_crc,
+              "checkpoint CRC mismatch (corrupt or torn file)");
+
+  Checkpoint cp;
+  cp.fingerprint = header.fingerprint;
+  cp.round = header.round;
+  cp.total_rounds = header.total_rounds;
+  cp.num_nodes = header.num_nodes;
+  cp.dimensions = header.dimensions;
+  const std::size_t s = header.dimensions;
+  if (header.mode == kModeDense) {
+    cp.matrix = values;
+  } else {
+    cp.matrix.assign(static_cast<std::size_t>(header.num_nodes) * s, 0.0);
+    std::uint64_t previous = 0;
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      const std::uint64_t v = ids[r];
+      DGC_REQUIRE(v < header.num_nodes, "sparse checkpoint row id out of range");
+      DGC_REQUIRE(r == 0 || v > previous, "sparse checkpoint rows must be increasing");
+      previous = v;
+      std::memcpy(cp.matrix.data() + v * s, values.data() + r * s, s * sizeof(double));
+    }
+  }
+  return cp;
+}
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& cp) {
+  const Image image = build_image(cp);
+  const auto parts = image.parts();
+  util::write_binary_file_atomic(path, parts);
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DGC_REQUIRE(is.good(), "cannot open checkpoint: " + path);
+  return read_checkpoint(is);
+}
+
+// ---------------------------------------------------------------------------
+// Verification by coin replay.
+
+CheckpointVerification verify_checkpoint(const graph::Graph& g,
+                                         const ClusterConfig& config,
+                                         const Checkpoint& cp) {
+  CheckpointVerification out;
+  if (cp.fingerprint != checkpoint_fingerprint(g, config)) {
+    out.error = "fingerprint mismatch: checkpoint was written by a different graph/config";
+    return out;
+  }
+  ClusterResult derived;
+  (void)prepare_run(g, config, derived);
+  if (derived.rounds != cp.total_rounds) {
+    out.error = "total-round mismatch: config derives T=" + std::to_string(derived.rounds) +
+                " but the checkpoint was cut for T=" + std::to_string(cp.total_rounds);
+    return out;
+  }
+  const std::size_t s = derived.seeds.size();
+  if (cp.num_nodes != g.num_nodes() || cp.dimensions != s) {
+    out.error = "shape mismatch: checkpoint is " + std::to_string(cp.num_nodes) + "x" +
+                std::to_string(cp.dimensions) + ", the run derives " +
+                std::to_string(g.num_nodes()) + "x" + std::to_string(s);
+    return out;
+  }
+
+  // Replay rounds 1..r from coins alone — the dense engine's exact
+  // averaging path, which every engine is bit-identical to.
+  matching::MultiLoadState state(g.num_nodes(), s);
+  state.set_weighted_graph(&g);
+  for (std::size_t i = 0; i < s; ++i) state.set(derived.seeds[i], i, 1.0);
+  matching::MatchingGenerator generator(g, derive_seed(config.seed, Stream::kMatching),
+                                        config.protocol);
+  (void)matching::run_process(generator, state, cp.round);
+
+  const std::span<const double> replay = state.values();
+  for (std::size_t idx = 0; idx < replay.size(); ++idx) {
+    if (std::bit_cast<std::uint64_t>(replay[idx]) ==
+        std::bit_cast<std::uint64_t>(cp.matrix[idx])) {
+      continue;
+    }
+    if (out.mismatches == 0) {
+      out.node = static_cast<graph::NodeId>(idx / s);
+      out.dimension = idx % s;
+      out.expected = replay[idx];
+      out.found = cp.matrix[idx];
+    }
+    ++out.mismatches;
+  }
+  out.ok = out.mismatches == 0;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RoundCheckpointer.
+
+RoundCheckpointer::RoundCheckpointer(const graph::Graph& g, const ClusterConfig& config)
+    : graph_(&g), config_(&config) {}
+
+std::size_t RoundCheckpointer::prepare_resume(std::size_t total_rounds,
+                                              std::size_t dimensions) {
+  total_rounds_ = total_rounds;
+  dimensions_ = dimensions;
+  const CheckpointOptions& opt = config_->checkpoint;
+  if (!opt.resume || opt.path.empty()) return 0;
+  {
+    // A missing file is a fresh start (--resume is idempotent: the first
+    // run of a chain has nothing to resume from).  Anything unreadable
+    // or invalid beyond that is an error — load_checkpoint_file throws.
+    std::ifstream probe(opt.path, std::ios::binary);
+    if (!probe.good()) return 0;
+  }
+  loaded_ = load_checkpoint_file(opt.path);
+  if (fingerprint_ == 0) fingerprint_ = checkpoint_fingerprint(*graph_, *config_);
+  DGC_REQUIRE(loaded_.fingerprint == fingerprint_,
+              "checkpoint fingerprint mismatch: " + opt.path +
+                  " was written by a different graph/config");
+  DGC_REQUIRE(loaded_.num_nodes == graph_->num_nodes() &&
+                  loaded_.dimensions == dimensions_,
+              "checkpoint shape mismatch: " + opt.path);
+  DGC_REQUIRE(loaded_.total_rounds == total_rounds_,
+              "checkpoint total-round mismatch: " + opt.path);
+  resumed_ = true;
+  checkpoint_round_ = loaded_.round;
+  return loaded_.round;
+}
+
+bool RoundCheckpointer::should_act(std::size_t t) {
+  const CheckpointOptions& opt = config_->checkpoint;
+  if (opt.round_sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.round_sleep_ms));
+  }
+  stop_pending_ = (opt.stop != nullptr && opt.stop->load(std::memory_order_relaxed)) ||
+                  (opt.stop_after_round > 0 && t >= opt.stop_after_round);
+  if (stop_pending_) return true;
+  return !opt.path.empty() && opt.every > 0 && t % opt.every == 0 && t < total_rounds_;
+}
+
+Checkpoint RoundCheckpointer::make_frame(std::size_t t) const {
+  Checkpoint cp;
+  cp.fingerprint = fingerprint_;
+  cp.round = t;
+  cp.total_rounds = total_rounds_;
+  cp.num_nodes = graph_->num_nodes();
+  cp.dimensions = dimensions_;
+  cp.matrix.assign(static_cast<std::size_t>(cp.num_nodes) * dimensions_, 0.0);
+  return cp;
+}
+
+bool RoundCheckpointer::commit(std::size_t t, Checkpoint cp) {
+  if (!config_->checkpoint.path.empty()) {
+    if (cp.fingerprint == 0) {
+      // Lazily computed so runs without checkpointing never hash the graph.
+      fingerprint_ = checkpoint_fingerprint(*graph_, *config_);
+      cp.fingerprint = fingerprint_;
+    }
+    save_checkpoint_file(config_->checkpoint.path, cp);
+    checkpoint_round_ = t;
+  }
+  if (stop_pending_) {
+    interrupted_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool RoundCheckpointer::after_round(std::size_t t, const matching::MultiLoadState& state) {
+  return after_round_with(t, [&](std::vector<double>& matrix) {
+    const std::span<const double> values = state.values();
+    matrix.assign(values.begin(), values.end());
+  });
+}
+
+void RoundCheckpointer::finish(ClusterResult& result) const {
+  result.resumed = resumed_;
+  result.resume_round = resumed_ ? static_cast<std::size_t>(loaded_.round) : 0;
+  result.interrupted = interrupted_;
+  result.checkpoint_round = checkpoint_round_;
+}
+
+}  // namespace dgc::core

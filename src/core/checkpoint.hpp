@@ -1,0 +1,189 @@
+// Checkpoint/restart for the averaging procedure (our extension; the
+// paper assumes failure-free synchronous rounds).
+//
+// Why this is cheap and exact: the protocol is deterministic given
+// (seed, round).  Every coin of round t derives from the per-node RNG
+// streams, which are a pure function of the master seed and of how many
+// rounds have been flipped before t — so the entire run state at a
+// round boundary is the n×s load matrix plus the round counter.  A
+// checkpoint stores exactly that; resume re-derives seeds, node IDs,
+// T and the query threshold from the config (Engine::prepare is
+// deterministic) and fast-forwards the matching generator by re-flipping
+// the first r rounds' coins (MatchingGenerator::skip_rounds).  No RNG
+// state is ever serialised.  The same replayability gives fault
+// *detection* for free: verify_checkpoint re-runs rounds 0..r from the
+// coins alone and compares matrices bit for bit.
+//
+// On-disk format (.dgcc, version 1, native byte order):
+//   header   magic "DGCC", endian marker, version, storage mode,
+//            config/graph fingerprint, round counter r, total rounds T,
+//            n, s, payload row count
+//   payload  dense:  n·s doubles (row-major, node-major)
+//            sparse: per active row, u64 node id + s doubles (rows in
+//            increasing node order) — chosen automatically when the
+//            active-row bound makes it smaller (early rounds touch
+//            O(s·2^t) of the n rows)
+//   trailer  CRC-32 of header + payload
+//
+// Writes are crash-safe: the image goes to `path + ".tmp"`, is fsynced,
+// and is renamed over `path` (util/binary_file.hpp) — a SIGKILL at any
+// instant leaves either the previous complete checkpoint or the new
+// one, never a torn file.  The kill-and-resume CI harness proves both
+// properties end to end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+
+namespace dgc::matching {
+class MultiLoadState;
+}
+
+namespace dgc::core {
+
+struct ClusterResult;
+
+/// Exit code a driver should use when a run was interrupted by the stop
+/// flag and a checkpoint was written: the job is not failed, it is
+/// resumable (EX_TEMPFAIL, the sysexits convention for "try again").
+inline constexpr int kResumableExitCode = 75;
+
+/// One snapshot of the averaging procedure at a round boundary.
+struct Checkpoint {
+  /// checkpoint_fingerprint(graph, config) of the run that wrote it.
+  std::uint64_t fingerprint = 0;
+  /// Completed rounds r: the matrix is x^(r,·).
+  std::uint64_t round = 0;
+  /// Total rounds T of the run (sanity-checked on resume).
+  std::uint64_t total_rounds = 0;
+  std::uint64_t num_nodes = 0;
+  /// Load dimensions s (the seed count).
+  std::uint64_t dimensions = 0;
+  /// Dense row-major n×s load matrix.
+  std::vector<double> matrix;
+};
+
+/// Fingerprint binding a checkpoint to its run: hashes the graph's CSR
+/// arrays (and weights) and every config field that influences the
+/// computed values — seed, beta, rounds/k_hint/rounds_multiplier,
+/// threshold_scale, query_rule, seeding_trials, protocol options.
+/// HotPathOptions and CheckpointOptions are pure scheduling, so a run
+/// may legally resume with different thread counts, skip-zeros setting,
+/// or checkpoint cadence and still be bit-identical.
+[[nodiscard]] std::uint64_t checkpoint_fingerprint(const graph::Graph& g,
+                                                   const ClusterConfig& config);
+
+/// Serialises `cp` in the .dgcc layout (dense or sparse payload,
+/// whichever is smaller).
+void write_checkpoint(std::ostream& os, const Checkpoint& cp);
+
+/// Parses and validates a .dgcc stream: magic, endianness, version,
+/// header sanity, truncation, and the CRC over everything it read.
+/// Throws contract_error naming the failure.
+[[nodiscard]] Checkpoint read_checkpoint(std::istream& is);
+
+/// Atomic file save: temp file + fsync + rename (see header comment).
+void save_checkpoint_file(const std::string& path, const Checkpoint& cp);
+
+/// Loads a .dgcc file (same validation as read_checkpoint).
+[[nodiscard]] Checkpoint load_checkpoint_file(const std::string& path);
+
+/// verify_checkpoint outcome.  When `ok` is false and `error` is empty,
+/// the replay itself succeeded but diverged from the stored matrix at
+/// (node, dimension) — the stored value is `found`, the replayed truth
+/// is `expected`, and `mismatches` counts every differing entry.  A
+/// non-empty `error` reports a structural failure (fingerprint, shape,
+/// or round-count mismatch) before any replay ran.
+struct CheckpointVerification {
+  bool ok = false;
+  std::string error;
+  graph::NodeId node = 0;
+  std::uint64_t dimension = 0;
+  double expected = 0.0;
+  double found = 0.0;
+  std::uint64_t mismatches = 0;
+};
+
+/// Replays rounds 1..cp.round from (config.seed) coins alone on a fresh
+/// load matrix and compares against cp.matrix bit for bit.  Because all
+/// engines are bit-identical, a checkpoint written by any engine
+/// verifies against the (dense) replay; a single corrupted entry is
+/// pinpointed by (node, dimension).  Doubles as a fault-detection tool
+/// for long jobs.
+[[nodiscard]] CheckpointVerification verify_checkpoint(const graph::Graph& g,
+                                                       const ClusterConfig& config,
+                                                       const Checkpoint& cp);
+
+/// Per-round checkpoint driver shared by the three engines.  Inert
+/// (zero overhead beyond a branch) when the config enables nothing.
+///
+/// Usage inside an engine's round loop:
+///   RoundCheckpointer ckpt(graph, config);
+///   const std::size_t start = ckpt.prepare_resume(T, s);
+///   if (ckpt.loaded()) { restore state from ckpt.loaded()->matrix; }
+///   generator.skip_rounds(start);
+///   ... after each completed global round t:
+///   if (!ckpt.after_round(t, state)) break;   // stop requested: saved
+///   ... after the loop:
+///   ckpt.finish(result);
+class RoundCheckpointer {
+ public:
+  RoundCheckpointer(const graph::Graph& g, const ClusterConfig& config);
+
+  /// When resume is requested and the file exists, loads + validates it
+  /// (fingerprint, n, s, T) and returns its completed-round count; 0
+  /// otherwise (fresh start).  Must be called before the round loop.
+  [[nodiscard]] std::size_t prepare_resume(std::size_t total_rounds,
+                                           std::size_t dimensions);
+
+  /// The loaded checkpoint to restore the matrix from (null = fresh).
+  [[nodiscard]] const Checkpoint* loaded() const noexcept {
+    return resumed_ ? &loaded_ : nullptr;
+  }
+
+  /// Called after completed global round t with the current state.
+  /// Saves on the cadence and on a stop request; returns false when the
+  /// engine must stop now (checkpoint already written).
+  [[nodiscard]] bool after_round(std::size_t t, const matching::MultiLoadState& state);
+
+  /// Overload for engines without a MultiLoadState (message-passing):
+  /// `dump` fills the dense n×s matrix only when a save actually fires.
+  template <typename DumpFn>
+  [[nodiscard]] bool after_round_with(std::size_t t, DumpFn&& dump) {
+    if (!should_act(t)) return true;
+    Checkpoint cp = make_frame(t);
+    dump(cp.matrix);
+    return commit(t, std::move(cp));
+  }
+
+  /// Stamps the checkpoint/restart fields of the result (resumed,
+  /// resume_round, interrupted, checkpoint_round).
+  void finish(ClusterResult& result) const;
+
+  [[nodiscard]] bool interrupted() const noexcept { return interrupted_; }
+
+ private:
+  /// Sleeps the test window, then decides whether round t saves/stops.
+  bool should_act(std::size_t t);
+  [[nodiscard]] Checkpoint make_frame(std::size_t t) const;
+  /// Saves `cp` if due and records the stop decision; false = stop.
+  bool commit(std::size_t t, Checkpoint cp);
+
+  const graph::Graph* graph_;
+  const ClusterConfig* config_;
+  std::uint64_t fingerprint_ = 0;  ///< computed once, lazily
+  std::size_t total_rounds_ = 0;
+  std::size_t dimensions_ = 0;
+  Checkpoint loaded_;
+  bool resumed_ = false;
+  bool interrupted_ = false;
+  bool stop_pending_ = false;
+  std::size_t checkpoint_round_ = 0;  ///< last round saved (0 = none)
+};
+
+}  // namespace dgc::core

@@ -42,7 +42,17 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
                                         config().protocol);
   const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(hot, n);
   generator.use_thread_pool(coin_pool.get());
-  result.process = matching::run_process(generator, state, result.rounds);
+
+  RoundCheckpointer ckpt(g, config());
+  const std::size_t start = ckpt.prepare_resume(result.rounds, s);
+  if (const Checkpoint* loaded = ckpt.loaded()) {
+    state.load_matrix(loaded->matrix);
+  }
+  generator.skip_rounds(start);
+  result.process = matching::run_process_range(
+      generator, state, start, result.rounds,
+      [&](std::size_t t, const matching::Matching&) { return ckpt.after_round(t, state); });
+  ckpt.finish(result);
 
   // --- Query procedure ------------------------------------------------
   result.labels.resize(n);

@@ -1,7 +1,9 @@
 // Configuration for the distributed clustering algorithm (§3).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "matching/protocol.hpp"
 
@@ -34,6 +36,36 @@ struct HotPathOptions {
   bool skip_zero_rows = true;
 };
 
+/// Checkpoint/restart knobs (core/checkpoint.hpp).  The run state at a
+/// round boundary is just (round counter, load matrix): coins re-derive
+/// from (seed, round), so a saved checkpoint resumes bit-identically on
+/// any engine.  Like HotPathOptions these never change what is computed
+/// — an interrupted-and-resumed run produces the same labels as an
+/// uninterrupted one (asserted by checkpoint_test and the kill-and-
+/// resume CI harness).
+struct CheckpointOptions {
+  /// Checkpoint file (.dgcc).  Empty disables checkpointing entirely.
+  std::string path;
+  /// Save every `every` completed rounds (0 = only when stopping).
+  std::size_t every = 0;
+  /// Resume from `path` if it exists (a missing file starts fresh; a
+  /// corrupt or mismatching file is an error, never silently ignored).
+  bool resume = false;
+  /// Cooperative stop flag, typically set by a SIGTERM handler.  When it
+  /// reads true at a round boundary the engine writes a checkpoint to
+  /// `path`, marks the result interrupted, and returns early.
+  const std::atomic<bool>* stop = nullptr;
+  /// Stop (checkpoint + early return, as if `stop` fired) after this
+  /// completed round; 0 = run to the end.  Bounded work chunks for job
+  /// schedulers, and the deterministic save-at-round-r hook the
+  /// checkpoint tests are built on.
+  std::size_t stop_after_round = 0;
+  /// Testing aid: sleep this long after every completed round, giving
+  /// the kill-and-resume harness a deterministic window to land signals
+  /// in.  Leave 0 in production.
+  std::size_t round_sleep_ms = 0;
+};
+
 struct ClusterConfig {
   /// Known lower bound on min_i |S_i| / n (the paper's β).  Drives the
   /// number of seeding trials and the query threshold.
@@ -63,6 +95,9 @@ struct ClusterConfig {
 
   /// Round-loop scheduling knobs (perf only; labels are invariant).
   HotPathOptions hot_path{};
+
+  /// Checkpoint/restart knobs (labels invariant under interrupt+resume).
+  CheckpointOptions checkpoint{};
 };
 
 }  // namespace dgc::core

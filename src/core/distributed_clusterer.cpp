@@ -1,6 +1,7 @@
 #include "core/distributed_clusterer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "core/seeding.hpp"
@@ -63,9 +64,11 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
   DistributedReport report;
   ClusterResult& result = report.result;
 
-  // Rounds, IDs, seeding, threshold (shared plumbing); the sparse states
-  // carry the IDs themselves, so the returned seed-ID list is unused.
-  (void)prepare(result);
+  // Rounds, IDs, seeding, threshold (shared plumbing).  The sparse
+  // states carry the IDs themselves; the seed-ID list is only needed to
+  // translate between them and a checkpoint's dense frame.
+  const std::vector<std::uint64_t> seed_ids = prepare(result);
+  const std::size_t s = result.seeds.size();
 
   // Local node states: seed nodes start with {(own id, 1)}.
   std::vector<SparseState> state(n);
@@ -92,9 +95,50 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
     return weighted ? g.edge_weight(u, v) / two_max_weight : 0.5;
   };
 
+  // Checkpoint frames are the engines' shared dense n×s layout
+  // (dimension i = seed i in node order); the sparse rows translate
+  // through the id ↔ dimension map.  Entries are strictly positive once
+  // created (λ ∈ (0, 0.5], keep ≥ 0.5), so "row has an entry for id" ⇔
+  // "dense cell is nonzero" and the translation is lossless.
+  std::vector<std::pair<std::uint64_t, std::size_t>> dim_of_id(s);
+  for (std::size_t i = 0; i < s; ++i) dim_of_id[i] = {seed_ids[i], i};
+  std::sort(dim_of_id.begin(), dim_of_id.end());
+  const auto dim_index = [&](std::uint64_t id) {
+    const auto it = std::lower_bound(
+        dim_of_id.begin(), dim_of_id.end(), id,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    DGC_REQUIRE(it != dim_of_id.end() && it->first == id, "unknown seed id in state");
+    return it->second;
+  };
+
+  const CheckpointOptions& ck = cfg.checkpoint;
+  const bool checkpointing =
+      !ck.path.empty() || ck.resume || ck.stop != nullptr || ck.stop_after_round > 0;
+  // Dropped-message randomness is drawn from the network as rounds
+  // execute and is not replayed on resume, so a lossy run can never be
+  // checkpointed bit-identically.
+  DGC_REQUIRE(!checkpointing || drop_probability == 0.0,
+              "checkpoint/restart requires a lossless network (drop_probability 0)");
+  RoundCheckpointer ckpt(g, cfg);
+  const std::size_t start = ckpt.prepare_resume(result.rounds, s);
+  if (const Checkpoint* loaded = ckpt.loaded()) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      SparseState& row = state[v];
+      row.clear();
+      const double* src = loaded->matrix.data() + static_cast<std::size_t>(v) * s;
+      // dim_of_id is sorted by id, so the rebuilt row is too.
+      for (const auto& [id, dim] : dim_of_id) {
+        const double value = src[dim];
+        if (value != 0.0 || std::signbit(value)) row.emplace_back(id, value);
+      }
+    }
+  }
+  generator.skip_rounds(start);
+
+  std::size_t executed = 0;
   std::vector<graph::NodeId> pending_partner(n, graph::kInvalidNode);
   matching::MatchingGenerator::Coins coins;  // hoisted: refilled in place per round
-  for (std::size_t t = 1; t <= result.rounds; ++t) {
+  for (std::size_t t = start + 1; t <= result.rounds; ++t) {
     const std::uint64_t words_before = network.stats().words;
     generator.flip_round_coins(coins);
 
@@ -160,10 +204,23 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
     result.process.total_matched_edges += matched_pairs;
     result.process.mean_matched_fraction +=
         static_cast<double>(matched_pairs) / (static_cast<double>(n) / 2.0);
+    ++executed;
+
+    if (!ckpt.after_round_with(t, [&](std::vector<double>& matrix) {
+          for (graph::NodeId v = 0; v < n; ++v) {
+            double* dst = matrix.data() + static_cast<std::size_t>(v) * s;
+            for (const auto& [id, value] : state[v]) dst[dim_index(id)] = value;
+          }
+        })) {
+      break;
+    }
   }
-  result.process.rounds = result.rounds;
-  if (result.rounds > 0) {
-    result.process.mean_matched_fraction /= static_cast<double>(result.rounds);
+  ckpt.finish(result);
+  // Like the other engines' range driver, stats cover the rounds this
+  // invocation actually executed (a resumed run reports its own window).
+  result.process.rounds = executed;
+  if (executed > 0) {
+    result.process.mean_matched_fraction /= static_cast<double>(executed);
   }
 
   // Query procedure, evaluated locally on the sparse state.

@@ -57,32 +57,61 @@ Engine::Engine(const graph::Graph& g, ClusterConfig config)
               "either fix rounds or provide k_hint for the T estimate");
 }
 
-std::vector<std::uint64_t> Engine::prepare(ClusterResult& result) const {
-  const graph::Graph& g = *graph_;
+std::vector<std::uint64_t> prepare_run(const graph::Graph& g,
+                                       const ClusterConfig& config,
+                                       ClusterResult& result) {
   const graph::NodeId n = g.num_nodes();
 
-  if (config_.rounds > 0) {
-    result.rounds = config_.rounds;
+  if (config.rounds > 0) {
+    result.rounds = config.rounds;
   } else {
     const RoundEstimate est =
-        recommended_rounds(g, config_.k_hint, config_.rounds_multiplier, config_.seed);
+        recommended_rounds(g, config.k_hint, config.rounds_multiplier, config.seed);
     result.rounds = est.rounds;
     result.lambda_k1 = est.lambda_k1;
   }
 
-  result.node_ids = assign_node_ids(n, config_.seed);
+  result.node_ids = assign_node_ids(n, config.seed);
 
-  const std::size_t trials = config_.seeding_trials > 0
-                                 ? config_.seeding_trials
-                                 : default_seeding_trials(config_.beta);
-  result.seeds = run_seeding(n, trials, config_.seed);
-  result.threshold = query_threshold(config_.threshold_scale, config_.beta, n);
+  const std::size_t trials = config.seeding_trials > 0
+                                 ? config.seeding_trials
+                                 : default_seeding_trials(config.beta);
+  result.seeds = run_seeding(n, trials, config.seed);
+  result.threshold = query_threshold(config.threshold_scale, config.beta, n);
 
   std::vector<std::uint64_t> seed_ids(result.seeds.size());
   for (std::size_t i = 0; i < seed_ids.size(); ++i) {
     seed_ids[i] = result.node_ids[result.seeds[i]];
   }
   return seed_ids;
+}
+
+std::vector<std::uint64_t> Engine::prepare(ClusterResult& result) const {
+  return prepare_run(*graph_, config_, result);
+}
+
+void Engine::save_checkpoint(const std::string& path,
+                             const matching::MultiLoadState& state, std::size_t round,
+                             std::size_t total_rounds) const {
+  Checkpoint cp;
+  cp.fingerprint = checkpoint_fingerprint(*graph_, config_);
+  cp.round = round;
+  cp.total_rounds = total_rounds;
+  cp.num_nodes = state.num_nodes();
+  cp.dimensions = state.dimensions();
+  const std::span<const double> values = state.values();
+  cp.matrix.assign(values.begin(), values.end());
+  save_checkpoint_file(path, cp);
+}
+
+Checkpoint Engine::load_checkpoint(const std::string& path) const {
+  Checkpoint cp = load_checkpoint_file(path);
+  DGC_REQUIRE(cp.fingerprint == checkpoint_fingerprint(*graph_, config_),
+              "checkpoint fingerprint mismatch: " + path +
+                  " was written by a different graph/config");
+  DGC_REQUIRE(cp.num_nodes == graph_->num_nodes(),
+              "checkpoint node count mismatch: " + path);
+  return cp;
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, const graph::Graph& g,

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "graph/graph.hpp"
 #include "matching/process.hpp"
@@ -50,6 +51,12 @@ struct ClusterResult {
   matching::ProcessStats process;
   /// λ_{k+1} estimate when rounds were auto-derived (0 otherwise).
   double lambda_k1 = 0.0;
+  /// Checkpoint/restart provenance (core/checkpoint.hpp).
+  bool resumed = false;               ///< run started from a checkpoint
+  std::size_t resume_round = 0;       ///< rounds already complete at start
+  bool interrupted = false;           ///< stop flag fired: labels are NOT
+                                      ///< final, a checkpoint was written
+  std::size_t checkpoint_round = 0;   ///< last round checkpointed (0 = none)
 };
 
 /// τ = threshold_scale / (sqrt(2β)·n).
@@ -68,6 +75,15 @@ struct ClusterResult {
                                         std::span<const std::uint64_t> seed_ids,
                                         double threshold, QueryRule rule);
 
+/// The deterministic pre-averaging pipeline as a free function (what
+/// Engine::prepare runs): fills rounds/lambda_k1, node_ids, seeds and
+/// threshold of `result` and returns ID(v_i) per seed.  Exposed so
+/// checkpoint verification can re-derive a run's setup without
+/// constructing an engine.
+[[nodiscard]] std::vector<std::uint64_t> prepare_run(const graph::Graph& g,
+                                                     const ClusterConfig& config,
+                                                     ClusterResult& result);
+
 class Engine {
  public:
   /// Validates the invariants shared by every engine.  The graph must
@@ -85,6 +101,17 @@ class Engine {
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Writes a .dgcc snapshot of `state` after `round` completed rounds
+  /// (atomic temp-file + rename), stamped with this engine's
+  /// graph/config fingerprint so only a matching run can resume it.
+  void save_checkpoint(const std::string& path, const matching::MultiLoadState& state,
+                       std::size_t round, std::size_t total_rounds) const;
+
+  /// Loads a .dgcc file and validates it against this engine's graph and
+  /// config (format, CRC, fingerprint, node count).  Throws
+  /// contract_error naming the failure.
+  [[nodiscard]] Checkpoint load_checkpoint(const std::string& path) const;
 
  protected:
   /// The pipeline steps every engine runs identically before averaging:

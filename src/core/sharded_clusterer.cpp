@@ -96,10 +96,18 @@ ShardedReport ShardedClusterer::run() const {
   if (config().hot_path.parallel_coins) generator.use_thread_pool(&pool);
   const std::vector<std::vector<graph::NodeId>> members = report.partition.members();
 
+  RoundCheckpointer ckpt(g, config());
+  const std::size_t start = ckpt.prepare_resume(result.rounds, s);
+  if (const Checkpoint* loaded = ckpt.loaded()) {
+    state.load_matrix(loaded->matrix);
+  }
+  generator.skip_rounds(start);
+
   report.words_per_round.reserve(result.rounds);
   matching::ShardSplit split;  // hoisted: rounds reuse its capacity
-  result.process = matching::run_process(
-      generator, result.rounds, [&](std::size_t, const matching::Matching& m) {
+  result.process = matching::run_process_range(
+      generator, start, result.rounds,
+      [&](std::size_t, const matching::Matching& m) {
         matching::split_by_shard(m, report.partition.shard_of, P, split);
 
         // Phase 1 — every shard applies its own pairs in parallel.  Rows
@@ -127,7 +135,9 @@ ShardedReport ShardedClusterer::run() const {
 
         report.intra_pairs += split.intra_pairs();
         report.cross_pairs += split.cross.size();
-      });
+      },
+      [&](std::size_t t, const matching::Matching&) { return ckpt.after_round(t, state); });
+  ckpt.finish(result);
   report.traffic = mailbox.traffic();
 
   // --- Query procedure, each shard labelling its own nodes -----------

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "graph/builder.hpp"
+#include "util/binary_file.hpp"
 #include "util/require.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -599,8 +600,18 @@ Graph read_metis(std::istream& is) { return parse_metis(slurp_stream(is)); }
 // ---------------------------------------------------------------------------
 // Binary.
 
-void write_binary(std::ostream& os, const Graph& g) {
+namespace {
+
+/// The .dgcg file image: a header plus views into the graph's own CSR
+/// arrays — both the stream writer and the mmap'd save emit these parts.
+struct BinaryImage {
   BinaryHeader header{};
+  std::vector<util::ConstBytes> parts;
+};
+
+BinaryImage build_binary_image(const Graph& g) {
+  BinaryImage image;
+  BinaryHeader& header = image.header;
   std::memcpy(header.magic, kMagic, sizeof kMagic);
   header.endian = kEndianMarker;
   // Unweighted payloads are byte-identical to the version-1 layout, so
@@ -609,14 +620,22 @@ void write_binary(std::ostream& os, const Graph& g) {
   header.flags = g.is_weighted() ? kFlagWeighted : 0;
   header.num_nodes = g.num_nodes();
   header.adjacency_len = g.adjacency().size();
-  os.write(reinterpret_cast<const char*>(&header), sizeof header);
-  os.write(reinterpret_cast<const char*>(g.offsets().data()),
-           static_cast<std::streamsize>(g.offsets().size_bytes()));
-  os.write(reinterpret_cast<const char*>(g.adjacency().data()),
-           static_cast<std::streamsize>(g.adjacency().size_bytes()));
+  image.parts.push_back({&image.header, sizeof image.header});
+  image.parts.push_back({g.offsets().data(), g.offsets().size_bytes()});
+  image.parts.push_back({g.adjacency().data(), g.adjacency().size_bytes()});
   if (g.is_weighted()) {
-    os.write(reinterpret_cast<const char*>(g.weights().data()),
-             static_cast<std::streamsize>(g.weights().size_bytes()));
+    image.parts.push_back({g.weights().data(), g.weights().size_bytes()});
+  }
+  return image;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os, const Graph& g) {
+  const BinaryImage image = build_binary_image(g);
+  for (const util::ConstBytes& part : image.parts) {
+    os.write(static_cast<const char*>(part.data),
+             static_cast<std::streamsize>(part.size));
   }
 }
 
@@ -654,10 +673,12 @@ Graph load_metis(const std::string& file_path) {
 }
 
 void save_binary(const std::string& file_path, const Graph& g) {
-  std::ofstream os(file_path, std::ios::binary | std::ios::trunc);
-  DGC_REQUIRE(os.good(), "cannot open for writing: " + file_path);
-  write_binary(os, g);
-  DGC_REQUIRE(os.good(), "failed to write: " + file_path);
+  // Shared zero-copy write path (util/binary_file.hpp): the CSR arrays
+  // are memcpy'd straight into a mapping of the destination — the write
+  // mirror of the mmap'd load below — with an ofstream fallback that
+  // produces byte-identical files.  .dgcc checkpoints use the same path.
+  const BinaryImage image = build_binary_image(g);
+  util::write_binary_file(file_path, image.parts);
 }
 
 Graph load_binary(const std::string& file_path) {

@@ -140,6 +140,22 @@ void MultiLoadState::apply_pairs(
   }
 }
 
+void MultiLoadState::load_matrix(std::span<const double> matrix) {
+  DGC_REQUIRE(matrix.size() == data_.size(), "matrix snapshot has the wrong shape");
+  data_.assign(matrix.begin(), matrix.end());
+  const double* p = data_.data();
+  for (std::size_t v = 0; v < num_nodes_; ++v, p += dimensions_) {
+    char active = 0;
+    for (std::size_t i = 0; i < dimensions_; ++i) {
+      if (p[i] != 0.0 || std::signbit(p[i])) {
+        active = 1;
+        break;
+      }
+    }
+    active_[v] = active;
+  }
+}
+
 std::size_t MultiLoadState::active_rows() const {
   std::size_t count = 0;
   for (const char a : active_) count += a != 0;

@@ -109,6 +109,16 @@ class MultiLoadState {
   [[nodiscard]] std::size_t active_rows() const;
   [[nodiscard]] bool row_active(graph::NodeId v) const;
 
+  /// Read-only view of the whole row-major n×s matrix — the exact bytes
+  /// a checkpoint stores.
+  [[nodiscard]] std::span<const double> values() const noexcept { return data_; }
+
+  /// Restores the whole matrix from a row-major n×s snapshot (a loaded
+  /// checkpoint) and recomputes the activity flags by scanning — the
+  /// same not-+0.0 predicate set() uses, so a restored state skips
+  /// exactly the rows a live run would.
+  void load_matrix(std::span<const double> matrix);
+
   /// Copy of dimension `dim` as an n-vector (for analysis).
   [[nodiscard]] std::vector<double> column(std::size_t dim) const;
 

@@ -32,6 +32,37 @@ ProcessStats run_process(MatchingGenerator& generator, std::size_t rounds,
   return stats;
 }
 
+ProcessStats run_process_range(
+    MatchingGenerator& generator, MultiLoadState& state, std::size_t first_round,
+    std::size_t last_round,
+    const std::function<bool(std::size_t, const Matching&)>& on_round) {
+  DGC_REQUIRE(generator.graph().num_nodes() == state.num_nodes(),
+              "generator/state node count mismatch");
+  return run_process_range(
+      generator, first_round, last_round,
+      [&](std::size_t, const Matching& m) { state.apply(m); }, on_round);
+}
+
+ProcessStats run_process_range(
+    MatchingGenerator& generator, std::size_t first_round, std::size_t last_round,
+    const std::function<void(std::size_t, const Matching&)>& apply,
+    const std::function<bool(std::size_t, const Matching&)>& on_round) {
+  DGC_REQUIRE(first_round <= last_round, "round window is inverted");
+  ProcessStats stats;
+  const double half_n = static_cast<double>(generator.graph().num_nodes()) / 2.0;
+  Matching m;
+  for (std::size_t t = first_round + 1; t <= last_round; ++t) {
+    generator.next(m);
+    apply(t, m);
+    stats.rounds += 1;
+    stats.total_matched_edges += m.edges.size();
+    stats.mean_matched_fraction += static_cast<double>(m.edges.size()) / half_n;
+    if (on_round && !on_round(t, m)) break;
+  }
+  if (stats.rounds > 0) stats.mean_matched_fraction /= static_cast<double>(stats.rounds);
+  return stats;
+}
+
 std::vector<double> run_lazy_walk(const graph::Graph& g, std::vector<double> x,
                                   std::size_t rounds) {
   const linalg::WalkOperator op(g);

@@ -35,6 +35,26 @@ ProcessStats run_process(
 ProcessStats run_process(MatchingGenerator& generator, std::size_t rounds,
                          const std::function<void(std::size_t, const Matching&)>& apply);
 
+/// Resumable window of the matching process: runs global rounds
+/// first_round+1 .. last_round (the generator must already be advanced
+/// past first_round, e.g. via MatchingGenerator::skip_rounds).
+/// `on_round(t, matching)` is invoked after each application with the
+/// *global* round number; returning false stops after that round (the
+/// matching was already applied — round t is complete).  Stats count
+/// only the rounds actually executed here, so a resumed run's stats
+/// cover its own window.
+ProcessStats run_process_range(
+    MatchingGenerator& generator, MultiLoadState& state, std::size_t first_round,
+    std::size_t last_round,
+    const std::function<bool(std::size_t, const Matching&)>& on_round = {});
+
+/// Generalised range driver: delegates application to `apply` like the
+/// run_process overload above, with the same stop-capable callback.
+ProcessStats run_process_range(
+    MatchingGenerator& generator, std::size_t first_round, std::size_t last_round,
+    const std::function<void(std::size_t, const Matching&)>& apply,
+    const std::function<bool(std::size_t, const Matching&)>& on_round = {});
+
 /// Applies the *expected* matching matrix E[M] = (1−d̄/4)I + (d̄/4)P for
 /// `rounds` rounds to an n-vector (regular graphs only).
 [[nodiscard]] std::vector<double> run_lazy_walk(const graph::Graph& g,

@@ -117,6 +117,10 @@ void MatchingGenerator::flip_block(Coins& out, NodeId begin, NodeId end) {
   }
 }
 
+void MatchingGenerator::skip_rounds(std::size_t rounds) {
+  for (std::size_t t = 0; t < rounds; ++t) flip_round_coins(round_coins_);
+}
+
 void MatchingGenerator::flip_round_coins(Coins& out) {
   const NodeId n = graph_->num_nodes();
   // Every slot is overwritten below, so a resize (no clearing pass)

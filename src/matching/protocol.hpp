@@ -101,6 +101,14 @@ class MatchingGenerator {
   /// coins come solely from its own stream.
   void flip_round_coins(Coins& out);
 
+  /// Fast-forwards the generator past `rounds` rounds by flipping (and
+  /// discarding) their coins.  Exact: flip_node consumes the same two
+  /// draws per node whatever the outcome and resolution consumes none,
+  /// so after skip_rounds(r) the generator is in precisely the state a
+  /// live run reaches after r next() calls — the basis of checkpoint
+  /// resume (core/checkpoint.hpp), which stores no RNG state.
+  void skip_rounds(std::size_t rounds);
+
   /// Deterministically resolves a matching from a set of coins (static:
   /// pure function; the distributed engine resolves via messages and must
   /// agree with this).

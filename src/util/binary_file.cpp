@@ -1,0 +1,103 @@
+#include "util/binary_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/require.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DGC_HAS_MMAP_WRITE 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace dgc::util {
+
+namespace {
+
+std::size_t total_size(std::span<const ConstBytes> parts) {
+  std::size_t total = 0;
+  for (const ConstBytes& part : parts) total += part.size;
+  return total;
+}
+
+/// Buffered fallback shared by both entry points.
+void write_stream(const std::string& path, std::span<const ConstBytes> parts) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DGC_REQUIRE(os.good(), "cannot open for writing: " + path);
+  for (const ConstBytes& part : parts) {
+    os.write(static_cast<const char*>(part.data),
+             static_cast<std::streamsize>(part.size));
+  }
+  os.flush();
+  DGC_REQUIRE(os.good(), "failed to write: " + path);
+}
+
+#ifdef DGC_HAS_MMAP_WRITE
+
+/// mmap fast path; returns false when the file should be (re)written via
+/// the stream fallback instead.  `sync` additionally flushes file data
+/// to stable storage before returning (the atomic rename protocol needs
+/// the temp file durable *before* it replaces the destination).
+bool write_mapped(const std::string& path, std::span<const ConstBytes> parts,
+                  bool sync) {
+  const std::size_t size = total_size(parts);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = size == 0 || ::ftruncate(fd, static_cast<off_t>(size)) == 0;
+  if (ok && size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_WRITE, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ok = false;
+    } else {
+      unsigned char* cursor = static_cast<unsigned char*>(base);
+      for (const ConstBytes& part : parts) {
+        std::memcpy(cursor, part.data, part.size);
+        cursor += part.size;
+      }
+      ok = ::munmap(base, size) == 0;
+    }
+  }
+  if (ok && sync) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) ::unlink(path.c_str());  // never leave a half-written file behind
+  return ok;
+}
+
+#endif  // DGC_HAS_MMAP_WRITE
+
+}  // namespace
+
+void write_binary_file(const std::string& path, std::span<const ConstBytes> parts) {
+#ifdef DGC_HAS_MMAP_WRITE
+  if (write_mapped(path, parts, /*sync=*/false)) return;
+#endif
+  write_stream(path, parts);
+}
+
+void write_binary_file_atomic(const std::string& path,
+                              std::span<const ConstBytes> parts) {
+  const std::string tmp = path + ".tmp";
+#ifdef DGC_HAS_MMAP_WRITE
+  if (!write_mapped(tmp, parts, /*sync=*/true)) {
+    write_stream(tmp, parts);
+    // Stream fallback: re-open to fsync so the rename still only ever
+    // publishes durable bytes.
+    const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+    DGC_REQUIRE(fd >= 0, "cannot reopen for sync: " + tmp);
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    DGC_REQUIRE(synced, "failed to sync: " + tmp);
+  }
+  DGC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "failed to atomically rename " + tmp + " -> " + path);
+#else
+  write_stream(tmp, parts);
+  DGC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "failed to atomically rename " + tmp + " -> " + path);
+#endif
+}
+
+}  // namespace dgc::util

@@ -1,0 +1,42 @@
+// Shared binary file writing for the repo's on-disk formats (.dgcg
+// graphs, .dgcc checkpoints).
+//
+// A binary file here is the concatenation of a few already-materialised
+// arrays (a header struct, raw CSR arrays, a load matrix).  On POSIX the
+// writer sizes the file up front with ftruncate and copies each part
+// straight into a shared mapping of the destination — one pass, no
+// stream buffering — mirroring the zero-copy mmap *load* path in
+// graph/io.cpp.  When mmap is unavailable (or fails, e.g. on a
+// filesystem without mmap-write support) it falls back to plain
+// buffered ofstream writes; both paths produce byte-identical files.
+//
+// The atomic variant is the crash-safety primitive the checkpoint
+// subsystem builds on: it writes `path + ".tmp"`, fsyncs, and renames
+// over `path`.  rename(2) is atomic on POSIX, so a reader (or a process
+// killed mid-write and later resumed) only ever observes either the old
+// complete file or the new complete file — never a torn one.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace dgc::util {
+
+/// One contiguous piece of the file image, in write order.
+struct ConstBytes {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Writes the concatenation of `parts` to `path`, truncating any
+/// existing file.  mmap fast path with ofstream fallback (see above).
+/// Throws contract_error on any IO failure.
+void write_binary_file(const std::string& path, std::span<const ConstBytes> parts);
+
+/// Crash-safe variant: writes `path + ".tmp"`, flushes it to stable
+/// storage, and atomically renames it over `path`.
+void write_binary_file_atomic(const std::string& path,
+                              std::span<const ConstBytes> parts);
+
+}  // namespace dgc::util

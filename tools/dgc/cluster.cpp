@@ -4,7 +4,10 @@
 // HotPathOptions knob exposed as a flag.  Emits a machine-readable JSON
 // run summary next to the human-readable report; the CLI smoke test
 // asserts the labels match the in-memory quickstart path bit for bit.
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "commands.hpp"
+#include "core/checkpoint.hpp"
 #include "core/engine.hpp"
 #include "core/seeding.hpp"
 #include "core/summary.hpp"
@@ -64,17 +68,16 @@ void append_json_double(std::string& out, double v) {
   out += buf;
 }
 
+/// SIGTERM/SIGINT land here when --checkpoint is active: the engine
+/// finishes the in-flight round, writes a checkpoint, and returns with
+/// the result marked interrupted (exit code 75, resumable).
+std::atomic<bool> g_stop_requested{false};
+
+void request_stop(int) { g_stop_requested.store(true, std::memory_order_relaxed); }
+
 }  // namespace
 
-int run_cluster(util::Cli& cli) {
-  cli.describe("in", "", "input graph file (required)");
-  cli.describe("format", "auto", "input format: auto|edges|metis|binary");
-  cli.describe("weights", "auto",
-               "edge-list weight column: auto (header-driven)|yes|no");
-  cli.describe("drop-isolated", "0",
-               "strip degree-0 nodes before clustering; their output labels "
-               "are the unclustered sentinel");
-  cli.describe("engine", "dense", "execution engine: dense|message-passing|sharded");
+void describe_cluster_config(util::Cli& cli) {
   cli.describe("beta", "0.25", "lower bound on min cluster balance (the paper's beta)");
   cli.describe("rounds", "0", "averaging rounds T (0 = spectral estimate via k_hint)");
   cli.describe("k_hint", "0", "cluster count hint for the T estimate");
@@ -89,6 +92,57 @@ int run_cluster(util::Cli& cli) {
   cli.describe("parallel_coins", "1", "flip/resolve coins block-parallel");
   cli.describe("coin_threads", "0", "coin pool threads (0 = hardware)");
   cli.describe("skip_zero_rows", "1", "skip averaging all-zero row pairs");
+}
+
+core::ClusterConfig parse_cluster_config(util::Cli& cli, std::string* rule_name) {
+  core::ClusterConfig config;
+  config.beta = cli.get_double("beta", config.beta);
+  config.rounds = cli.get_uint64("rounds", 0);
+  config.k_hint = static_cast<std::uint32_t>(cli.get_uint64("k_hint", 0));
+  config.rounds_multiplier = cli.get_double("rounds_multiplier", config.rounds_multiplier);
+  config.threshold_scale = cli.get_double("threshold_scale", config.threshold_scale);
+  const std::string rule = cli.get("rule", "paper");
+  if (rule == "paper") {
+    config.query_rule = core::QueryRule::kPaperMinId;
+  } else if (rule == "argmax") {
+    config.query_rule = core::QueryRule::kArgmax;
+  } else {
+    DGC_REQUIRE(false, "unknown --rule: " + rule + " (expected paper|argmax)");
+  }
+  if (rule_name != nullptr) *rule_name = rule;
+  config.seeding_trials = cli.get_uint64("trials", 0);
+  const std::uint64_t trials_scale = cli.get_uint64("trials_scale", 0);
+  if (trials_scale > 0) {
+    DGC_REQUIRE(config.seeding_trials == 0, "--trials and --trials_scale are exclusive");
+    config.seeding_trials = trials_scale * core::default_seeding_trials(config.beta);
+  }
+  config.seed = cli.get_uint64("seed", config.seed);
+  config.protocol.virtual_degree = cli.get_uint64("virtual_degree", 0);
+  config.protocol.degree_biased_activation = cli.get_bool("degree_biased_activation", false);
+  config.hot_path.parallel_coins = cli.get_bool("parallel_coins", true);
+  config.hot_path.coin_threads = cli.get_uint64("coin_threads", 0);
+  config.hot_path.skip_zero_rows = cli.get_bool("skip_zero_rows", true);
+  return config;
+}
+
+int run_cluster(util::Cli& cli) {
+  cli.describe("in", "", "input graph file (required)");
+  cli.describe("format", "auto", "input format: auto|edges|metis|binary");
+  cli.describe("weights", "auto",
+               "edge-list weight column: auto (header-driven)|yes|no");
+  cli.describe("drop-isolated", "0",
+               "strip degree-0 nodes before clustering; their output labels "
+               "are the unclustered sentinel");
+  cli.describe("engine", "dense", "execution engine: dense|message-passing|sharded");
+  describe_cluster_config(cli);
+  cli.describe("checkpoint", "", "checkpoint file (.dgcc); enables SIGTERM-to-"
+               "checkpoint (exit 75 = resumable)");
+  cli.describe("checkpoint-every", "0", "also checkpoint every R completed rounds");
+  cli.describe("resume", "0", "resume from --checkpoint if it exists");
+  cli.describe("stop_after_round", "0",
+               "checkpoint and exit (code 75) after this completed round");
+  cli.describe("round_sleep_ms", "0",
+               "test aid: sleep after every round (widens the signal window)");
   cli.describe("labels_out", "", "write one label per node line");
   cli.describe("json", "", "write a machine-readable run summary");
   if (cli.help_requested()) {
@@ -106,32 +160,19 @@ int run_cluster(util::Cli& cli) {
       cli.get_bool("drop-isolated", false) || cli.get_bool("drop_isolated", false);
   const std::string engine_name = cli.get("engine", "dense");
 
-  core::ClusterConfig config;
-  config.beta = cli.get_double("beta", config.beta);
-  config.rounds = cli.get_uint64("rounds", 0);
-  config.k_hint = static_cast<std::uint32_t>(cli.get_uint64("k_hint", 0));
-  config.rounds_multiplier = cli.get_double("rounds_multiplier", config.rounds_multiplier);
-  config.threshold_scale = cli.get_double("threshold_scale", config.threshold_scale);
-  const std::string rule = cli.get("rule", "paper");
-  if (rule == "paper") {
-    config.query_rule = core::QueryRule::kPaperMinId;
-  } else if (rule == "argmax") {
-    config.query_rule = core::QueryRule::kArgmax;
-  } else {
-    DGC_REQUIRE(false, "unknown --rule: " + rule + " (expected paper|argmax)");
+  std::string rule;
+  core::ClusterConfig config = parse_cluster_config(cli, &rule);
+  config.checkpoint.path = cli.get("checkpoint", "");
+  config.checkpoint.every =
+      std::max(cli.get_uint64("checkpoint-every", 0), cli.get_uint64("checkpoint_every", 0));
+  config.checkpoint.resume = cli.get_bool("resume", false);
+  config.checkpoint.stop_after_round = cli.get_uint64("stop_after_round", 0);
+  config.checkpoint.round_sleep_ms = cli.get_uint64("round_sleep_ms", 0);
+  if (!config.checkpoint.path.empty()) {
+    config.checkpoint.stop = &g_stop_requested;
+    std::signal(SIGTERM, request_stop);
+    std::signal(SIGINT, request_stop);
   }
-  config.seeding_trials = cli.get_uint64("trials", 0);
-  const std::uint64_t trials_scale = cli.get_uint64("trials_scale", 0);
-  if (trials_scale > 0) {
-    DGC_REQUIRE(config.seeding_trials == 0, "--trials and --trials_scale are exclusive");
-    config.seeding_trials = trials_scale * core::default_seeding_trials(config.beta);
-  }
-  config.seed = cli.get_uint64("seed", config.seed);
-  config.protocol.virtual_degree = cli.get_uint64("virtual_degree", 0);
-  config.protocol.degree_biased_activation = cli.get_bool("degree_biased_activation", false);
-  config.hot_path.parallel_coins = cli.get_bool("parallel_coins", true);
-  config.hot_path.coin_threads = cli.get_uint64("coin_threads", 0);
-  config.hot_path.skip_zero_rows = cli.get_bool("skip_zero_rows", true);
   const std::string labels_out = cli.get("labels_out", "");
   const std::string json_out = cli.get("json", "");
   cli.reject_unknown();
@@ -164,7 +205,10 @@ int run_cluster(util::Cli& cli) {
   const double cluster_seconds = timer.seconds();
 
   const auto summary = core::summarize_partition(g, result.labels);
-  if (!labels_out.empty()) {
+  // Interrupted runs never publish labels: their run state lives in the
+  // checkpoint, and partial labels on disk would be indistinguishable
+  // from final ones.
+  if (!labels_out.empty() && !result.interrupted) {
     if (isolated_dropped > 0) {
       // Map labels back to the original id space; dropped nodes report
       // the unclustered sentinel.
@@ -187,13 +231,23 @@ int run_cluster(util::Cli& cli) {
   if (drop_isolated) std::printf("dropped isolated  %zu\n", isolated_dropped);
   std::printf("seeds drawn       %zu\n", result.seeds.size());
   std::printf("rounds T          %zu\n", result.rounds);
+  if (result.resumed) std::printf("resumed at round  %zu\n", result.resume_round);
+  if (result.checkpoint_round > 0) {
+    std::printf("checkpoint round  %zu (%s)\n", result.checkpoint_round,
+                config.checkpoint.path.c_str());
+  }
+  if (result.interrupted) {
+    std::printf("interrupted       yes (resume with --resume to finish)\n");
+  }
   std::printf("recovered k       %u\n", summary.num_clusters);
   std::printf("unclustered       %zu\n", summary.unclustered);
   std::printf("beta_hat          %.4f\n", summary.beta_hat);
   std::printf("rho_hat           %.4f\n", summary.rho_hat);
   std::printf("load_seconds      %.3f\n", load_seconds);
   std::printf("cluster_seconds   %.3f\n", cluster_seconds);
-  if (!labels_out.empty()) std::printf("wrote %s\n", labels_out.c_str());
+  if (!labels_out.empty() && !result.interrupted) {
+    std::printf("wrote %s\n", labels_out.c_str());
+  }
 
   if (!json_out.empty()) {
     std::string out;
@@ -232,6 +286,12 @@ int run_cluster(util::Cli& cli) {
     append_json_double(out, summary.beta_hat);
     out += ",\n    \"rho_hat\": ";
     append_json_double(out, summary.rho_hat);
+    out += ",\n    \"resumed\": ";
+    out += result.resumed ? "true" : "false";
+    out += ",\n    \"resume_round\": " + std::to_string(result.resume_round);
+    out += ",\n    \"interrupted\": ";
+    out += result.interrupted ? "true" : "false";
+    out += ",\n    \"checkpoint_round\": " + std::to_string(result.checkpoint_round);
     out += "\n  },\n  \"timing\": {\n    \"load_seconds\": ";
     append_json_double(out, load_seconds);
     out += ",\n    \"cluster_seconds\": ";
@@ -243,7 +303,9 @@ int run_cluster(util::Cli& cli) {
     DGC_REQUIRE(os.good(), "failed to write: " + json_out);
     std::printf("wrote %s\n", json_out.c_str());
   }
-  return 0;
+  // An interrupted run wrote a checkpoint, not final labels: signal
+  // "resumable" (EX_TEMPFAIL) so wrappers re-invoke with --resume.
+  return result.interrupted ? core::kResumableExitCode : 0;
 }
 
 }  // namespace dgc::tools

@@ -4,9 +4,22 @@
 // verb and converts contract_error into a clean stderr message.
 #pragma once
 
+#include <string>
+
+#include "core/config.hpp"
 #include "util/cli.hpp"
 
 namespace dgc::tools {
+
+/// Registers the ClusterConfig flag table shared by `cluster` and
+/// `verify-checkpoint` (beta, rounds, seed, protocol, hot-path knobs).
+void describe_cluster_config(util::Cli& cli);
+
+/// Parses the flags registered by describe_cluster_config.  When
+/// `rule_name` is non-null it receives the --rule spelling (for JSON
+/// echo-back).
+[[nodiscard]] core::ClusterConfig parse_cluster_config(util::Cli& cli,
+                                                       std::string* rule_name = nullptr);
 
 /// `dgc generate` — synthesize a planted instance to a graph file.
 int run_generate(util::Cli& cli);
@@ -19,5 +32,9 @@ int run_stats(util::Cli& cli);
 
 /// `dgc cluster` — run an engine on a graph file; labels + JSON out.
 int run_cluster(util::Cli& cli);
+
+/// `dgc verify-checkpoint` — replay a .dgcc checkpoint from its coins
+/// and report the first divergence (fault detection).
+int run_verify_checkpoint(util::Cli& cli);
 
 }  // namespace dgc::tools

@@ -1,0 +1,122 @@
+# Kill-and-resume integration test for the checkpoint/restart subsystem,
+# run by ctest (see tools/CMakeLists.txt).  For every engine:
+#
+#   * SIGTERM leg — start `dgc cluster --checkpoint=...` with a widened
+#     round window (--round_sleep_ms), SIGTERM it mid-run, assert the
+#     resumable exit code (75), then `--resume` and assert the labels are
+#     byte-identical to an uninterrupted run of the same config.
+#
+#   * SIGKILL leg (dense engine) — same chase with `kill -9` and
+#     --checkpoint-every=1, so the process dies with checkpoint writes
+#     in flight.  Whatever .dgcc file survives must still pass
+#     `dgc verify-checkpoint` (CRC + full coin replay): the atomic
+#     temp-file + rename protocol never publishes a torn file.  Resuming
+#     it must again reproduce the uninterrupted labels byte for byte.
+#
+# The resumed run's JSON summary is validated too (resumed=true,
+# checkpoint_round carried through).  Signal delivery needs a shell, so
+# the chase legs run through `bash -c`; tools/CMakeLists.txt only
+# registers this test on UNIX.
+#
+# Expects -DDGC_CLI=<dgc binary> -DWORK_DIR=<scratch dir>.
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Starts CMD_LINE in the background, sends SIGNAL after one second, and
+# asserts the process exits with EXPECT_CODE.
+function(chase_with_signal signal expect_code cmd_line)
+  execute_process(
+    COMMAND bash -c "${cmd_line} & pid=$!; sleep 1; kill -${signal} $pid; wait $pid"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expect_code})
+    message(FATAL_ERROR "SIG${signal} leg: expected exit ${expect_code}, got ${code}\n"
+                        "command: ${cmd_line}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+run_checked(${DGC_CLI} generate --type=clustered --n=400 --k=4 --seed=5
+            --out=${WORK_DIR}/g.dgcg)
+
+# Shared run config: enough rounds that --round_sleep_ms=5 keeps the run
+# alive well past the 1 s signal (>= 1.5 s of sleeps alone), cheap enough
+# that the uninterrupted baseline and the resumed tail are instant.
+set(CFG --in=${WORK_DIR}/g.dgcg --beta=0.25 --rounds=300 --trials=8 --seed=5)
+
+foreach(engine dense message-passing sharded)
+  set(ckpt ${WORK_DIR}/${engine}.dgcc)
+
+  # Uninterrupted baseline for this engine.
+  run_checked(${DGC_CLI} cluster ${CFG} --engine=${engine}
+              --labels_out=${WORK_DIR}/${engine}_baseline.txt)
+
+  # SIGTERM mid-run: finish the in-flight round, checkpoint, exit 75.
+  string(JOIN " " cmd ${DGC_CLI} cluster ${CFG} --engine=${engine}
+         --checkpoint=${ckpt} --round_sleep_ms=5
+         --labels_out=${WORK_DIR}/${engine}_resumed.txt)
+  chase_with_signal(TERM 75 "${cmd}")
+  if(NOT EXISTS ${ckpt})
+    message(FATAL_ERROR "${engine}: SIGTERM exit left no checkpoint at ${ckpt}")
+  endif()
+  if(EXISTS ${WORK_DIR}/${engine}_resumed.txt)
+    message(FATAL_ERROR "${engine}: interrupted run must not publish labels")
+  endif()
+
+  # The interrupted state must verify green (CRC + coin replay).
+  run_checked(${DGC_CLI} verify-checkpoint --in=${WORK_DIR}/g.dgcg
+              --checkpoint=${ckpt} --beta=0.25 --rounds=300 --trials=8 --seed=5)
+
+  # Resume to completion: byte-identical labels, honest JSON provenance.
+  run_checked(${DGC_CLI} cluster ${CFG} --engine=${engine}
+              --checkpoint=${ckpt} --resume=1
+              --labels_out=${WORK_DIR}/${engine}_resumed.txt
+              --json=${WORK_DIR}/${engine}_resumed.json)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/${engine}_baseline.txt
+                  ${WORK_DIR}/${engine}_resumed.txt RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${engine}: resumed labels differ from the uninterrupted run")
+  endif()
+  file(READ ${WORK_DIR}/${engine}_resumed.json summary)
+  string(JSON was_resumed GET "${summary}" result resumed)
+  string(JSON resume_round GET "${summary}" result resume_round)
+  string(JSON was_interrupted GET "${summary}" result interrupted)
+  if(NOT was_resumed STREQUAL "ON" OR was_interrupted STREQUAL "ON"
+     OR resume_round LESS 1)
+    message(FATAL_ERROR "${engine}: JSON provenance wrong: resumed=${was_resumed} "
+                        "resume_round=${resume_round} interrupted=${was_interrupted}")
+  endif()
+endforeach()
+
+# ---------------------------------------------------------------------------
+# SIGKILL leg: no handler runs, checkpoint writes are mid-flight every
+# round — the rename protocol must still never publish a torn file.
+
+set(ckpt ${WORK_DIR}/kill9.dgcc)
+string(JOIN " " cmd ${DGC_CLI} cluster ${CFG} --engine=dense
+       --checkpoint=${ckpt} --checkpoint-every=1 --round_sleep_ms=5)
+chase_with_signal(KILL 137 "${cmd}")
+if(NOT EXISTS ${ckpt})
+  message(FATAL_ERROR "SIGKILL leg: no checkpoint survived at ${ckpt}")
+endif()
+run_checked(${DGC_CLI} verify-checkpoint --in=${WORK_DIR}/g.dgcg
+            --checkpoint=${ckpt} --beta=0.25 --rounds=300 --trials=8 --seed=5)
+run_checked(${DGC_CLI} cluster ${CFG} --engine=dense --checkpoint=${ckpt} --resume=1
+            --labels_out=${WORK_DIR}/kill9_resumed.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/dense_baseline.txt ${WORK_DIR}/kill9_resumed.txt
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "SIGKILL leg: resumed labels differ from the uninterrupted run")
+endif()
+
+message(STATUS "dgc kill-and-resume test passed")
