@@ -9,8 +9,12 @@
 // next(Matching&) + apply() loop performs no heap allocation at all.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <new>
 
 #include "baselines/spectral.hpp"
@@ -141,6 +145,73 @@ void BM_AveragePair(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(s));
 }
 BENCHMARK(BM_AveragePair)->Arg(8)->Arg(19)->Arg(64);
+
+void BM_AveragePairSimd(benchmark::State& state) {
+  // The runtime-dispatched averaging kernel: range(1) == 1 uses the AVX2
+  // path (when the CPU has it), 0 forces the scalar fallback.  The two
+  // are bit-identical (simd_kernels_test asserts it); this measures the
+  // speed gap per dimension count, including the s=19 remainder tail.
+  const auto s = static_cast<std::size_t>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  matching::MultiLoadState loads(2, s);
+  loads.set_simd(simd);
+  loads.set(0, 0, 1.0);
+  for (auto _ : state) {
+    loads.average_pair(0, 1);
+    benchmark::DoNotOptimize(loads.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(s));
+}
+BENCHMARK(BM_AveragePairSimd)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({19, 0})
+    ->Args({19, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+matching::MultiLoadState make_seeded_state(graph::NodeId n, std::size_t s,
+                                           std::size_t active, matching::SparseMode mode) {
+  matching::MultiLoadState loads(n, s, mode);
+  const std::size_t stride = active ? static_cast<std::size_t>(n) / active : 1;
+  for (std::size_t i = 0; i < active; ++i) {
+    loads.set(static_cast<graph::NodeId>(i * stride), i % s, 1.0);
+  }
+  return loads;
+}
+
+void BM_ColumnSparse(benchmark::State& state) {
+  // column() on low support: sparse storage walks only the packed slots
+  // (then sorts nothing — output order is node-id), dense strides the
+  // whole n×s matrix.  range(1): 0 = dense, 1 = sparse packed.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const std::size_t s = 16;
+  const auto mode = state.range(1) != 0 ? matching::SparseMode::kOn
+                                        : matching::SparseMode::kOff;
+  const auto loads = make_seeded_state(n, s, 16, mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loads.column(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColumnSparse)->Args({1 << 14, 0})->Args({1 << 14, 1})
+    ->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_TotalSparse(benchmark::State& state) {
+  // total() accumulates in node-id order in both modes (bit-identical
+  // float sum); sparse mode still wins by touching only active slots.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const std::size_t s = 16;
+  const auto mode = state.range(1) != 0 ? matching::SparseMode::kOn
+                                        : matching::SparseMode::kOff;
+  const auto loads = make_seeded_state(n, s, 16, mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loads.total(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TotalSparse)->Args({1 << 14, 0})->Args({1 << 14, 1})
+    ->Args({1 << 16, 0})->Args({1 << 16, 1});
 
 void BM_ApplyPairsSparse(benchmark::State& state) {
   // Sparse initial support (16 seed rows in n): with skip-zeros on
@@ -280,6 +351,69 @@ void BM_Hungarian(benchmark::State& state) {
 }
 BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// Dense-vs-sparse crossover sweep.  Not a google-benchmark case: it
+// prints one self-describing table after the registered benchmarks run,
+// timing a full apply() of one fixed matching (n = 2^16, s = 16) from a
+// freshly seeded state at each active fraction, in both storage modes.
+// The fraction where dense first wins is the empirical basis for the
+// SparseMode::kAuto switch rule, active_rows·2 > n (fraction 0.5).
+
+void run_crossover_sweep() {
+  using clock = std::chrono::steady_clock;
+  const graph::NodeId n = 1 << 16;
+  const std::size_t s = 16;
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 9);
+  const auto m = generator.next();
+
+  std::printf("\n# dense-vs-sparse apply() crossover (n=%u, s=%zu, one matching)\n",
+              static_cast<unsigned>(n), s);
+  std::printf("%-10s %-12s %-14s %-14s %s\n", "fraction", "active_rows", "dense_ms",
+              "sparse_ms", "faster");
+  double crossover = 1.0;
+  bool found = false;
+  for (const double frac : {1.0 / 256, 1.0 / 64, 1.0 / 16, 1.0 / 8, 1.0 / 4,
+                            3.0 / 8, 1.0 / 2, 3.0 / 4, 1.0}) {
+    const auto active = static_cast<std::size_t>(frac * static_cast<double>(n));
+    double best_ms[2] = {0.0, 0.0};
+    for (const int sparse : {0, 1}) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 5; ++rep) {
+        auto loads = make_seeded_state(
+            n, s, active, sparse ? matching::SparseMode::kOn : matching::SparseMode::kOff);
+        const auto t0 = clock::now();
+        loads.apply(m);
+        const auto t1 = clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      best_ms[sparse] = best;
+    }
+    const bool dense_wins = best_ms[0] <= best_ms[1];
+    std::printf("%-10.4f %-12zu %-14.4f %-14.4f %s\n", frac, active, best_ms[0],
+                best_ms[1], dense_wins ? "dense" : "sparse");
+    if (!found && dense_wins) {
+      crossover = frac;
+      found = true;
+    }
+  }
+  if (found) {
+    std::printf("# dense first wins at fraction %.4f; kAuto switches at active_rows*2 > n "
+                "(fraction 0.5000)\n", crossover);
+  } else {
+    std::printf("# sparse won at every swept fraction; kAuto's 0.5 switch is conservative "
+                "on this machine\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_crossover_sweep();
+  return 0;
+}

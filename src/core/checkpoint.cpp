@@ -428,10 +428,11 @@ bool RoundCheckpointer::commit(std::size_t t, Checkpoint cp) {
 }
 
 bool RoundCheckpointer::after_round(std::size_t t, const matching::MultiLoadState& state) {
-  return after_round_with(t, [&](std::vector<double>& matrix) {
-    const std::span<const double> values = state.values();
-    matrix.assign(values.begin(), values.end());
-  });
+  // snapshot_dense works in either storage mode, so a sparse-mode run
+  // writes the same dense frame a dense run would — which is what lets a
+  // checkpoint written sparse resume dense (and vice versa) bit-exactly.
+  return after_round_with(
+      t, [&](std::vector<double>& matrix) { state.snapshot_dense(matrix); });
 }
 
 void RoundCheckpointer::finish(ClusterResult& result) const {

@@ -32,14 +32,16 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
   }
 
   // --- Averaging procedure ------------------------------------------
-  matching::MultiLoadState state(n, s);
+  matching::MultiLoadState state(n, s, hot.sparse_mode);
   state.set_skip_zeros(hot.skip_zero_rows);
+  state.set_simd(hot.simd);
   state.set_weighted_graph(&g);  // no-op on unweighted graphs
   for (std::size_t i = 0; i < s; ++i) {
     state.set(result.seeds[i], i, 1.0);  // x^(0,i) = χ_{v_i}
   }
   matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),
                                         config().protocol);
+  generator.use_simd(hot.simd);
   const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(hot, n);
   generator.use_thread_pool(coin_pool.get());
 

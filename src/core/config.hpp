@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "matching/load_state.hpp"
 #include "matching/protocol.hpp"
 
 namespace dgc::core {
@@ -34,6 +35,15 @@ struct HotPathOptions {
   /// Skip averaging matched pairs whose two load rows are both all-zero
   /// (exact: the average of two zero rows is the zeros already stored).
   bool skip_zero_rows = true;
+  /// Load-matrix storage: kAuto starts the run on the packed sparse
+  /// active-row representation and densifies once active_rows·2 > n (a
+  /// pure function of the support, so every engine/thread count switches
+  /// on the same round); kOn stays sparse, kOff stays dense.
+  matching::SparseMode sparse_mode = matching::SparseMode::kAuto;
+  /// AVX2 kernels for λ-averaging and the batched coin advance (runtime
+  /// CPU dispatch; the scalar fallback is bit-identical, see
+  /// matching/simd_kernels.hpp).
+  bool simd = true;
 };
 
 /// Checkpoint/restart knobs (core/checkpoint.hpp).  The run state at a

@@ -99,8 +99,7 @@ void Engine::save_checkpoint(const std::string& path,
   cp.total_rounds = total_rounds;
   cp.num_nodes = state.num_nodes();
   cp.dimensions = state.dimensions();
-  const std::span<const double> values = state.values();
-  cp.matrix.assign(values.begin(), values.end());
+  state.snapshot_dense(cp.matrix);
   save_checkpoint_file(path, cp);
 }
 

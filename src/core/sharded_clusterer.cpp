@@ -82,13 +82,15 @@ ShardedReport ShardedClusterer::run() const {
   }
 
   // --- Averaging procedure, sharded ---------------------------------
-  matching::MultiLoadState state(n, s);
+  matching::MultiLoadState state(n, s, config().hot_path.sparse_mode);
   state.set_skip_zeros(config().hot_path.skip_zero_rows);
+  state.set_simd(config().hot_path.simd);
   state.set_weighted_graph(&g);  // no-op on unweighted graphs
   for (std::size_t i = 0; i < s; ++i) state.set(result.seeds[i], i, 1.0);
 
   matching::MatchingGenerator generator(g, derive_seed(config().seed, Stream::kMatching),
                                         config().protocol);
+  generator.use_simd(config().hot_path.simd);
   ShardMailbox mailbox(s);
   util::ThreadPool pool(options_.threads == 0 ? P : options_.threads);
   // The generator is the serial bottleneck of the engine's Amdahl curve:
@@ -108,6 +110,10 @@ ShardedReport ShardedClusterer::run() const {
   result.process = matching::run_process_range(
       generator, start, result.rounds,
       [&](std::size_t, const matching::Matching& m) {
+        // Round boundary: take the (deterministic) sparse→dense switch
+        // and pre-reserve this round's slot capacity before fanning out,
+        // so the parallel phases below never reallocate row storage.
+        state.update_mode();
         matching::split_by_shard(m, report.partition.shard_of, P, split);
 
         // Phase 1 — every shard applies its own pairs in parallel.  Rows

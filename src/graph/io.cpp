@@ -23,6 +23,10 @@
 #include <unistd.h>
 #endif
 
+#if defined(DGC_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
 namespace dgc::graph {
 
 namespace {
@@ -82,6 +86,41 @@ std::string slurp_file(const std::string& file_path) {
   is.read(data.data(), size);
   DGC_REQUIRE(is.gcount() == size, "short read: " + file_path);
   return data;
+}
+
+bool has_gz_suffix(const std::string& file_path) {
+  return file_path.size() > 3 && file_path.compare(file_path.size() - 3, 3, ".gz") == 0;
+}
+
+/// Slurps and decompresses a gzip file.  Streams through gzread (which
+/// also accepts uncompressed data, per zlib's gzopen contract) so the
+/// compressed file is never fully buffered twice.
+std::string gunzip_file(const std::string& file_path) {
+#if defined(DGC_HAVE_ZLIB)
+  gzFile gz = gzopen(file_path.c_str(), "rb");
+  DGC_REQUIRE(gz != nullptr, "cannot open for reading: " + file_path);
+  std::string out;
+  char buf[1 << 16];
+  int got = 0;
+  while ((got = gzread(gz, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<std::size_t>(got));
+  }
+  if (got < 0) {
+    int errnum = 0;
+    const char* msg = gzerror(gz, &errnum);
+    const std::string detail = msg != nullptr ? msg : "unknown zlib error";
+    gzclose(gz);
+    DGC_REQUIRE(false, "gzip decompression failed: " + file_path + " (" + detail + ")");
+  }
+  gzclose(gz);
+  return out;
+#else
+  DGC_REQUIRE(false,
+              "cannot read " + file_path +
+                  ": this build has no zlib — configure with zlib available to "
+                  "enable transparent .gz ingestion, or decompress the file first");
+  return {};  // unreachable
+#endif
 }
 
 void write_file(const std::string& file_path, const std::string& data) {
@@ -328,10 +367,21 @@ WeightMode parse_weight_mode(std::string_view name) {
   return WeightMode::kAuto;  // unreachable
 }
 
+bool gzip_supported() noexcept {
+#if defined(DGC_HAVE_ZLIB)
+  return true;
+#else
+  return false;
+#endif
+}
+
 GraphFormat format_from_path(const std::string& file_path) noexcept {
   const auto slash = file_path.find_last_of("/\\");
-  const std::string base =
+  std::string base =
       slash == std::string::npos ? file_path : file_path.substr(slash + 1);
+  // A trailing .gz names the compression, not the format: strip it and
+  // classify what is underneath ("web.edges.gz" -> kEdgeList).
+  if (has_gz_suffix(base)) base.resize(base.size() - 3);
   const auto dot = base.find_last_of('.');
   if (dot == std::string::npos || dot + 1 == base.size()) return GraphFormat::kAuto;
   std::string ext = base.substr(dot + 1);
@@ -345,14 +395,19 @@ GraphFormat format_from_path(const std::string& file_path) noexcept {
   return GraphFormat::kAuto;
 }
 
-GraphFormat sniff_format(const std::string& file_path) {
-  std::ifstream is(file_path, std::ios::binary);
-  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
-  char head[256];
-  is.read(head, sizeof head);
-  const auto got = static_cast<std::size_t>(is.gcount());
+namespace {
+
+/// Shared head classifier for sniff_format (file head) and the .gz path
+/// (decompressed head).  `source` names the input in error messages.
+GraphFormat classify_head(const char* head, std::size_t got, const std::string& source) {
   if (got >= sizeof kMagic && std::memcmp(head, kMagic, sizeof kMagic) == 0) {
     return GraphFormat::kBinary;
+  }
+  if (got >= 2 && static_cast<unsigned char>(head[0]) == 0x1f &&
+      static_cast<unsigned char>(head[1]) == 0x8b) {
+    DGC_REQUIRE(false, "gzip-compressed graph without a .gz extension: " + source +
+                           " — rename it with .gz (e.g. .edges.gz) to enable "
+                           "transparent decompression");
   }
   for (std::size_t i = 0; i < got; ++i) {
     const char c = head[i];
@@ -364,6 +419,16 @@ GraphFormat sniff_format(const std::string& file_path) {
     return GraphFormat::kEdgeList;
   }
   return GraphFormat::kEdgeList;  // empty file: empty edge list
+}
+
+}  // namespace
+
+GraphFormat sniff_format(const std::string& file_path) {
+  std::ifstream is(file_path, std::ios::binary);
+  DGC_REQUIRE(is.good(), "cannot open for reading: " + file_path);
+  char head[256];
+  is.read(head, sizeof head);
+  return classify_head(head, static_cast<std::size_t>(is.gcount()), file_path);
 }
 
 // ---------------------------------------------------------------------------
@@ -656,12 +721,28 @@ Graph read_binary(std::istream& is) {
 // ---------------------------------------------------------------------------
 // File-path conveniences and format dispatch.
 
+namespace {
+
+/// A text loader handed gzip bytes (misnamed file, or a forced format)
+/// should say so instead of failing on the first "malformed" line.
+void require_not_gzip(const std::string& text, const std::string& source) {
+  DGC_REQUIRE(text.size() < 2 || static_cast<unsigned char>(text[0]) != 0x1f ||
+                  static_cast<unsigned char>(text[1]) != 0x8b,
+              "gzip-compressed graph without a .gz extension: " + source +
+                  " — rename it with .gz (e.g. .edges.gz) to enable transparent "
+                  "decompression");
+}
+
+}  // namespace
+
 void save_edge_list(const std::string& file_path, const Graph& g) {
   write_file(file_path, render_edge_list(g));
 }
 
 Graph load_edge_list(const std::string& file_path, WeightMode mode) {
-  return parse_edge_list(slurp_file(file_path), mode);
+  const std::string text = slurp_file(file_path);
+  require_not_gzip(text, file_path);
+  return parse_edge_list(text, mode);
 }
 
 void save_metis(const std::string& file_path, const Graph& g) {
@@ -669,7 +750,9 @@ void save_metis(const std::string& file_path, const Graph& g) {
 }
 
 Graph load_metis(const std::string& file_path) {
-  return parse_metis(slurp_file(file_path));
+  const std::string text = slurp_file(file_path);
+  require_not_gzip(text, file_path);
+  return parse_metis(text);
 }
 
 void save_binary(const std::string& file_path, const Graph& g) {
@@ -707,6 +790,24 @@ void save_graph(const std::string& file_path, const Graph& g, GraphFormat format
 
 Graph load_graph(const std::string& file_path, GraphFormat format, WeightMode weights) {
   if (format == GraphFormat::kAuto) format = format_from_path(file_path);
+  if (has_gz_suffix(file_path)) {
+    // Decompress once, then parse the text in memory.  Binary graphs are
+    // excluded on purpose: .dgcg loads are zero-copy mmaps of the file,
+    // which a decompression buffer cannot honour.
+    DGC_REQUIRE(format != GraphFormat::kBinary,
+                "cannot load a gzip-compressed binary graph: " + file_path +
+                    " — decompress it first (.dgcg loads via mmap)");
+    const std::string text = gunzip_file(file_path);
+    if (format == GraphFormat::kAuto) {
+      format = classify_head(text.data(), std::min<std::size_t>(text.size(), 256),
+                             file_path);
+      DGC_REQUIRE(format != GraphFormat::kBinary,
+                  "cannot load a gzip-compressed binary graph: " + file_path +
+                      " — decompress it first (.dgcg loads via mmap)");
+    }
+    if (format == GraphFormat::kMetis) return parse_metis(text);
+    return parse_edge_list(text, weights);
+  }
   if (format == GraphFormat::kAuto) format = sniff_format(file_path);
   switch (format) {
     case GraphFormat::kMetis: return load_metis(file_path);

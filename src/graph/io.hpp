@@ -25,6 +25,12 @@
 // `save_graph` / `load_graph` dispatch on GraphFormat, inferring it from
 // the file extension and, for loads, sniffing the file head when the
 // extension is unknown.
+//
+// Gzip: a .gz suffix on a text input (.edges.gz, .metis.gz, …) makes
+// load_graph decompress transparently before parsing when the build has
+// zlib (gzip_supported()); without zlib the load raises a clear error.
+// Binary .dgcg files load via mmap and are not wrapped — decompress
+// them externally.
 #pragma once
 
 #include <cstdint>
@@ -60,7 +66,13 @@ enum class WeightMode : std::uint8_t {
 /// Parses "auto" | "yes" | "no"; throws contract_error otherwise.
 [[nodiscard]] WeightMode parse_weight_mode(std::string_view name);
 
-/// Infers the format from the file extension; kAuto when unknown.
+/// True when this build carries zlib: .gz inputs decompress
+/// transparently in load_graph.  Compiled in at configure time
+/// (find_package(ZLIB)), not probed at runtime.
+[[nodiscard]] bool gzip_supported() noexcept;
+
+/// Infers the format from the file extension; kAuto when unknown.  A
+/// trailing .gz is stripped first, so "web.edges.gz" infers kEdgeList.
 [[nodiscard]] GraphFormat format_from_path(const std::string& file_path) noexcept;
 
 /// Infers the format from the first bytes of the file: the binary magic,
@@ -129,6 +141,8 @@ void save_graph(const std::string& file_path, const Graph& g,
 
 /// Format-dispatching load: kAuto infers from the extension, falling
 /// back to sniffing the file head.  `weights` only affects edge lists.
+/// A .gz suffix decompresses transparently first (text formats only;
+/// requires a zlib build — see gzip_supported).
 [[nodiscard]] Graph load_graph(const std::string& file_path,
                                GraphFormat format = GraphFormat::kAuto,
                                WeightMode weights = WeightMode::kAuto);

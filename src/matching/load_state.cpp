@@ -1,10 +1,23 @@
 #include "matching/load_state.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/require.hpp"
 
 namespace dgc::matching {
+
+namespace {
+
+/// The activity predicate: anything whose bits differ from +0.0
+/// (including -0.0 and NaN) must be flagged, so skipping never
+/// suppresses a write that would change stored bits.
+inline bool nonzero_bits(double value) noexcept {
+  return value != 0.0 || std::signbit(value);
+}
+
+}  // namespace
 
 std::size_t ShardSplit::intra_pairs() const {
   std::size_t total = 0;
@@ -38,23 +51,117 @@ void split_by_shard(const Matching& m, std::span<const std::uint32_t> shard_of,
   }
 }
 
-MultiLoadState::MultiLoadState(std::size_t num_nodes, std::size_t dimensions)
-    : num_nodes_(num_nodes), dimensions_(dimensions) {
+MultiLoadState::MultiLoadState(std::size_t num_nodes, std::size_t dimensions,
+                               SparseMode mode)
+    : num_nodes_(num_nodes), dimensions_(dimensions), mode_(mode) {
   DGC_REQUIRE(num_nodes > 0, "need at least one node");
   DGC_REQUIRE(dimensions > 0, "need at least one dimension");
-  data_.assign(num_nodes * dimensions, 0.0);
-  active_.assign(num_nodes, 0);
+  if (mode_ == SparseMode::kOff) {
+    data_.assign(num_nodes * dimensions, 0.0);
+    active_.assign(num_nodes, 0);
+  } else {
+    dense_storage_ = false;
+    slot_of_.assign(num_nodes, kNoSlot);
+    zero_row_.assign(dimensions, 0.0);
+  }
+  refresh_kernels();
+}
+
+void MultiLoadState::refresh_kernels() noexcept {
+  avg_half_ = simd::avg_half_kernel(simd_);
+  avg_lambda_ = simd::avg_lambda_kernel(simd_);
+}
+
+void MultiLoadState::set_simd(bool enabled) noexcept {
+  simd_ = enabled;
+  refresh_kernels();
+}
+
+std::uint32_t MultiLoadState::allocate_slot(graph::NodeId v) {
+  const std::uint32_t slot =
+      std::atomic_ref<std::uint32_t>(slots_).fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<std::size_t>(slot) >= slot_node_.size()) {
+    // Growth fallback for direct single-threaded use; engine rounds never
+    // reach it because update_mode() pre-reserves the support-doubling
+    // bound before any parallel fan-out.
+    slot_node_.resize(slot + 1);
+    packed_.resize(static_cast<std::size_t>(slot + 1) * dimensions_, 0.0);
+  }
+  slot_node_[slot] = v;
+  slot_of_[v] = slot;
+  return slot;
+}
+
+void MultiLoadState::densify() {
+  data_.assign(num_nodes_ * dimensions_, 0.0);
+  active_.assign(num_nodes_, 0);
+  for (std::uint32_t slot = 0; slot < slots_; ++slot) {
+    const graph::NodeId v = slot_node_[slot];
+    std::copy_n(slot_ptr(slot), dimensions_, row_ptr(v));
+    active_[v] = 1;
+  }
+  dense_storage_ = true;
+  slot_of_ = {};
+  slot_node_ = {};
+  packed_ = {};
+  zero_row_ = {};
+  slots_ = 0;
+}
+
+void MultiLoadState::update_mode() {
+  if (dense_storage_) return;
+  const std::size_t active = slots_;
+  if (mode_ == SparseMode::kAuto && active * 2 > num_nodes_) {
+    densify();
+    return;
+  }
+  // Support at most doubles per round (a slotless row gains a slot only
+  // by pairing with a slotted one, and pairs are row-disjoint), so
+  // 2·active slots cover the round's worst case — reserved here so the
+  // parallel apply never reallocates mid-round.
+  const std::size_t cap =
+      std::min<std::size_t>(num_nodes_, std::max<std::size_t>(2 * active, 64));
+  if (slot_node_.size() < cap) {
+    slot_node_.resize(cap);
+    packed_.resize(cap * dimensions_, 0.0);
+  }
+}
+
+void MultiLoadState::set_sparse_mode(SparseMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  if (mode == SparseMode::kOff) {
+    if (!dense_storage_) densify();
+    return;
+  }
+  if (dense_storage_) {
+    // Convert through a snapshot; load_matrix re-picks the representation
+    // from the new mode and the current density.
+    std::vector<double> snapshot;
+    snapshot_dense(snapshot);
+    load_matrix(snapshot);
+  }
 }
 
 std::span<double> MultiLoadState::row(graph::NodeId v) {
   DGC_REQUIRE(v < num_nodes_, "node out of range");
-  active_[v] = 1;  // the caller may write through the span
-  return {row_ptr(v), dimensions_};
+  if (dense_storage_) {
+    active_[v] = 1;  // the caller may write through the span
+    return {row_ptr(v), dimensions_};
+  }
+  std::uint32_t slot = slot_of_[v];
+  if (slot == kNoSlot) slot = allocate_slot(v);
+  return {slot_ptr(slot), dimensions_};
 }
 
 std::span<const double> MultiLoadState::row(graph::NodeId v) const {
   DGC_REQUIRE(v < num_nodes_, "node out of range");
-  return {data_.data() + static_cast<std::size_t>(v) * dimensions_, dimensions_};
+  if (dense_storage_) {
+    return {data_.data() + static_cast<std::size_t>(v) * dimensions_, dimensions_};
+  }
+  const std::uint32_t slot = slot_of_[v];
+  if (slot == kNoSlot) return {zero_row_.data(), dimensions_};
+  return {slot_ptr(slot), dimensions_};
 }
 
 double MultiLoadState::at(graph::NodeId v, std::size_t dim) const {
@@ -65,10 +172,20 @@ double MultiLoadState::at(graph::NodeId v, std::size_t dim) const {
 void MultiLoadState::set(graph::NodeId v, std::size_t dim, double value) {
   DGC_REQUIRE(v < num_nodes_, "node out of range");
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
-  // Flag anything whose bits differ from +0.0 (including -0.0 and NaN) so
-  // skipping never suppresses a write that would change stored bits.
-  if (value != 0.0 || std::signbit(value)) active_[v] = 1;
-  row_ptr(v)[dim] = value;
+  if (dense_storage_) {
+    if (nonzero_bits(value)) active_[v] = 1;
+    row_ptr(v)[dim] = value;
+    return;
+  }
+  std::uint32_t slot = slot_of_[v];
+  if (slot == kNoSlot) {
+    // Writing +0.0 into a slotless (all-+0.0) row changes nothing; do
+    // not materialise it — mirrors dense, where set(+0.0) leaves the
+    // activity flag untouched.
+    if (!nonzero_bits(value)) return;
+    slot = allocate_slot(v);
+  }
+  slot_ptr(slot)[dim] = value;
 }
 
 void MultiLoadState::set_weighted_graph(const graph::Graph* g) noexcept {
@@ -84,39 +201,45 @@ void MultiLoadState::set_weighted_graph(const graph::Graph* g) noexcept {
 void MultiLoadState::average_pair(graph::NodeId u, graph::NodeId v) {
   DGC_REQUIRE(u != v, "cannot average a node with itself");
   DGC_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
-  const char merged = static_cast<char>(active_[u] | active_[v]);
-  if (skip_zeros_ && !merged) return;  // both rows all +0.0: a λ-average is a no-op
+  double* ru;
+  double* rv;
+  if (dense_storage_) {
+    const char merged = static_cast<char>(active_[u] | active_[v]);
+    if (skip_zeros_ && !merged) return;  // both rows all +0.0: a no-op
+    ru = row_ptr(u);
+    rv = row_ptr(v);
+    active_[u] = merged;
+    active_[v] = merged;
+  } else {
+    std::uint32_t su = slot_of_[u];
+    std::uint32_t sv = slot_of_[v];
+    // Two slotless rows are both all-+0.0: structurally nothing to do
+    // (exact whatever skip_zeros says — dense would rewrite the zeros).
+    if (su == kNoSlot && sv == kNoSlot) return;
+    if (su == kNoSlot) su = allocate_slot(u);
+    if (sv == kNoSlot) sv = allocate_slot(v);
+    ru = slot_ptr(su);
+    rv = slot_ptr(sv);
+  }
   // λ = w/(2·w_max): exactly 0.5 whenever w == w_max (x/(2x) is exact in
   // binary floating point), so all-equal weightings take the unweighted
-  // code path below, bit for bit.
+  // kernel below, bit for bit.
   double lambda = 0.5;
   if (weighted_graph_ != nullptr) {
     lambda = weighted_graph_->edge_weight(u, v) / two_max_weight_;
   }
-  // u != v, so the two rows are disjoint — restrict lets the loop vectorise.
-  double* __restrict ru = row_ptr(u);
-  double* __restrict rv = row_ptr(v);
+  // u != v, so the two rows are disjoint (sparse slots are unique per
+  // node); the kernels carry the restrict promise internally.
   if (lambda == 0.5) {
-    for (std::size_t i = 0; i < dimensions_; ++i) {
-      const double avg = 0.5 * (ru[i] + rv[i]);
-      ru[i] = avg;
-      rv[i] = avg;
-    }
+    avg_half_(ru, rv, dimensions_);
   } else {
-    const double keep = 1.0 - lambda;
-    for (std::size_t i = 0; i < dimensions_; ++i) {
-      const double xu = ru[i];
-      const double xv = rv[i];
-      ru[i] = keep * xu + lambda * xv;
-      rv[i] = keep * xv + lambda * xu;
-    }
+    avg_lambda_(ru, rv, dimensions_, lambda);
   }
-  active_[u] = merged;
-  active_[v] = merged;
 }
 
 void MultiLoadState::apply(const Matching& m) {
   DGC_REQUIRE(m.partner.size() == num_nodes_, "matching size mismatch");
+  update_mode();
   apply_pairs(m.edges);
 }
 
@@ -126,37 +249,105 @@ void MultiLoadState::apply_pairs(
   // cache-miss latency; prefetching a few pairs ahead overlaps the
   // misses.  Pairs that skip-zeros will skip never touch their rows, so
   // don't drag their dead lines through the cache either (the flag
-  // check reads the small hot active_ array, not row data).
+  // check reads the small hot active_/slot_of_ array, not row data).
   constexpr std::size_t kAhead = 4;
+  if (dense_storage_) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (i + kAhead < pairs.size()) {
+        const auto& [pu, pv] = pairs[i + kAhead];
+        if (!skip_zeros_ || (active_[pu] | active_[pv]) != 0) {
+          __builtin_prefetch(row_ptr(pu));
+          __builtin_prefetch(row_ptr(pv));
+        }
+      }
+      average_pair(pairs[i].first, pairs[i].second);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (i + kAhead < pairs.size()) {
       const auto& [pu, pv] = pairs[i + kAhead];
-      if (!skip_zeros_ || (active_[pu] | active_[pv]) != 0) {
-        __builtin_prefetch(row_ptr(pu));
-        __builtin_prefetch(row_ptr(pv));
-      }
+      const std::uint32_t su = slot_of_[pu];
+      const std::uint32_t sv = slot_of_[pv];
+      if (su != kNoSlot) __builtin_prefetch(slot_ptr(su));
+      if (sv != kNoSlot) __builtin_prefetch(slot_ptr(sv));
     }
     average_pair(pairs[i].first, pairs[i].second);
   }
 }
 
+std::span<const double> MultiLoadState::values() const {
+  DGC_REQUIRE(dense_storage_,
+              "values() views dense storage only; use snapshot_dense() for a "
+              "mode-agnostic copy");
+  return data_;
+}
+
+void MultiLoadState::snapshot_dense(std::vector<double>& out) const {
+  if (dense_storage_) {
+    out.assign(data_.begin(), data_.end());
+    return;
+  }
+  out.assign(num_nodes_ * dimensions_, 0.0);
+  for (std::uint32_t slot = 0; slot < slots_; ++slot) {
+    const graph::NodeId v = slot_node_[slot];
+    std::copy_n(slot_ptr(slot), dimensions_,
+                out.data() + static_cast<std::size_t>(v) * dimensions_);
+  }
+}
+
 void MultiLoadState::load_matrix(std::span<const double> matrix) {
-  DGC_REQUIRE(matrix.size() == data_.size(), "matrix snapshot has the wrong shape");
-  data_.assign(matrix.begin(), matrix.end());
-  const double* p = data_.data();
+  DGC_REQUIRE(matrix.size() == num_nodes_ * dimensions_,
+              "matrix snapshot has the wrong shape");
+  // One scan for the activity flags — the same not-+0.0 predicate set()
+  // uses — which also decides the representation below.
+  std::vector<char> flags(num_nodes_, 0);
+  std::size_t active = 0;
+  const double* p = matrix.data();
   for (std::size_t v = 0; v < num_nodes_; ++v, p += dimensions_) {
-    char active = 0;
     for (std::size_t i = 0; i < dimensions_; ++i) {
-      if (p[i] != 0.0 || std::signbit(p[i])) {
-        active = 1;
+      if (nonzero_bits(p[i])) {
+        flags[v] = 1;
+        ++active;
         break;
       }
     }
-    active_[v] = active;
+  }
+  const bool want_dense = mode_ == SparseMode::kOff ||
+                          (mode_ == SparseMode::kAuto && active * 2 > num_nodes_);
+  if (want_dense) {
+    data_.assign(matrix.begin(), matrix.end());
+    active_ = std::move(flags);
+    dense_storage_ = true;
+    slot_of_ = {};
+    slot_node_ = {};
+    packed_ = {};
+    zero_row_ = {};
+    slots_ = 0;
+    return;
+  }
+  dense_storage_ = false;
+  data_ = {};
+  active_ = {};
+  slot_of_.assign(num_nodes_, kNoSlot);
+  slot_node_.clear();
+  slot_node_.reserve(active);
+  packed_.clear();
+  packed_.reserve(active * dimensions_);
+  slots_ = 0;
+  zero_row_.assign(dimensions_, 0.0);
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    if (!flags[v]) continue;
+    slot_of_[v] = slots_;
+    slot_node_.push_back(static_cast<graph::NodeId>(v));
+    const double* src = matrix.data() + v * dimensions_;
+    packed_.insert(packed_.end(), src, src + dimensions_);
+    ++slots_;
   }
 }
 
 std::size_t MultiLoadState::active_rows() const {
+  if (!dense_storage_) return slots_;
   std::size_t count = 0;
   for (const char a : active_) count += a != 0;
   return count;
@@ -164,12 +355,21 @@ std::size_t MultiLoadState::active_rows() const {
 
 bool MultiLoadState::row_active(graph::NodeId v) const {
   DGC_REQUIRE(v < num_nodes_, "node out of range");
+  if (!dense_storage_) return slot_of_[v] != kNoSlot;
   return active_[v] != 0;
 }
 
 std::vector<double> MultiLoadState::column(std::size_t dim) const {
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
   std::vector<double> out(num_nodes_, 0.0);
+  if (!dense_storage_) {
+    // Gather through the slot map in node order; slotless rows stay +0.0.
+    for (std::size_t v = 0; v < num_nodes_; ++v) {
+      const std::uint32_t slot = slot_of_[v];
+      if (slot != kNoSlot) out[v] = slot_ptr(slot)[dim];
+    }
+    return out;
+  }
   // Single strided pass: one pointer bump per row instead of a multiply,
   // and inactive rows (all +0.0 by the flag invariant) are never read.
   const double* p = data_.data() + dim;
@@ -182,6 +382,16 @@ std::vector<double> MultiLoadState::column(std::size_t dim) const {
 double MultiLoadState::total(std::size_t dim) const {
   DGC_REQUIRE(dim < dimensions_, "dimension out of range");
   double acc = 0.0;
+  if (!dense_storage_) {
+    // Node-id order through the slot map — the same summand order as the
+    // dense pass below, so the float sum is bit-identical no matter what
+    // order parallel rounds allocated the slots in.
+    for (std::size_t v = 0; v < num_nodes_; ++v) {
+      const std::uint32_t slot = slot_of_[v];
+      if (slot != kNoSlot) acc += slot_ptr(slot)[dim];
+    }
+    return acc;
+  }
   const double* p = data_.data() + dim;
   for (std::size_t v = 0; v < num_nodes_; ++v, p += dimensions_) {
     if (active_[v]) acc += *p;

@@ -1,14 +1,37 @@
 // Multi-dimensional load state: the s load vectors x^(t,1) … x^(t,s) of
-// §3.2, stored row-major (node-major) so that averaging a matched pair
-// touches two contiguous rows — one cache line per few dimensions.
+// §3.2, with an adaptive two-mode representation.
+//
+// Dense mode stores the full n×s matrix row-major (node-major) so that
+// averaging a matched pair touches two contiguous rows.  Sparse mode
+// stores only the *active* rows, packed contiguously in allocation
+// order, with a per-node slot index: the load vectors start with support
+// s ≪ n (only seed rows are nonzero) and a round can at most double the
+// support — a zero row only becomes nonzero by averaging with a nonzero
+// one — so early rounds touch O(s·2^t) rows, and packing them keeps the
+// whole working set inside cache while the dense matrix would stride
+// through n·s doubles.
+//
+// Mode switching (SparseMode::kAuto) is a pure function of the active-
+// row count, evaluated only at round boundaries (update_mode, called by
+// apply() and by the engines before their parallel round phases): once
+// active_rows·2 > n the state densifies, one way, copying every packed
+// row into its dense position.  Because the activity flags are a pure
+// function of the value history — identical across engines, thread
+// counts, and storage modes — every run takes the switch on the same
+// round, and the values themselves are bit-identical in either mode:
+// both modes run the same averaging kernels over the same row contents,
+// and rows absent from the sparse packing are exactly the all-+0.0 rows
+// the dense mode skips (or rewrites with their own zeros).
 //
 // Active-support skipping: the state tracks which rows may be nonzero.
-// The load vectors start with support s ≪ n (only seed rows are nonzero)
-// and a round can at most double the support — a zero row only becomes
-// nonzero by averaging with a nonzero one — so early rounds touch
-// O(s·2^t) rows.  Skipping a pair whose two rows are both all-zero is
-// exact: the average of two zero rows writes back the zeros already
-// there, bit for bit.
+// Skipping a pair whose two rows are both all-zero is exact: the average
+// of two zero rows writes back the zeros already there, bit for bit.  In
+// sparse mode the skip is structural — a pair of slotless rows has no
+// storage to touch — so it stays exact even with skip_zeros off.
+//
+// SIMD: the per-pair averaging kernels are runtime-dispatched (AVX2 when
+// available and enabled, guaranteed-bit-identical scalar fallback
+// otherwise — see matching/simd_kernels.hpp for the no-FMA argument).
 //
 // Weighted averaging (our extension; the paper is unweighted): with
 // set_weighted_graph on a weighted graph, a matched pair along edge
@@ -26,12 +49,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "matching/protocol.hpp"
+#include "matching/simd_kernels.hpp"
 
 namespace dgc::matching {
 
@@ -59,18 +84,36 @@ struct ShardSplit {
 void split_by_shard(const Matching& m, std::span<const std::uint32_t> shard_of,
                     std::uint32_t num_shards, ShardSplit& out);
 
+/// Storage policy for MultiLoadState.  Pure scheduling — values, flags
+/// and labels are bit-identical across all three settings.
+enum class SparseMode : std::uint8_t {
+  /// Dense n×s matrix for the whole run (the library default, and the
+  /// representation checkpoint replay/verification uses).
+  kOff = 0,
+  /// Start sparse, densify one-way once active_rows·2 > n (the measured
+  /// crossover; see bench_micro's sweep).
+  kAuto = 1,
+  /// Stay sparse for the whole run (packed storage can still grow to n
+  /// rows; useful for measurement and for very low-support workloads).
+  kOn = 2,
+};
+
 class MultiLoadState {
  public:
-  /// n nodes, s dimensions, all loads zero.
-  MultiLoadState(std::size_t num_nodes, std::size_t dimensions);
+  /// n nodes, s dimensions, all loads zero.  kOff starts (and stays)
+  /// dense; kAuto/kOn start sparse with no per-node row storage at all.
+  MultiLoadState(std::size_t num_nodes, std::size_t dimensions,
+                 SparseMode mode = SparseMode::kOff);
 
   [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::size_t dimensions() const noexcept { return dimensions_; }
 
   /// Mutable view of node v's s values.  Conservatively marks the row
-  /// active (the caller may write any value through the span); use the
-  /// const overload for read-only access.
+  /// active (the caller may write any value through the span; in sparse
+  /// mode this materialises the row's packed storage); use the const
+  /// overload for read-only access.  Not thread-safe.
   [[nodiscard]] std::span<double> row(graph::NodeId v);
+  /// Read-only view; an inactive sparse row views a shared all-zero row.
   [[nodiscard]] std::span<const double> row(graph::NodeId v) const;
 
   [[nodiscard]] double at(graph::NodeId v, std::size_t dim) const;
@@ -89,14 +132,39 @@ class MultiLoadState {
   void set_weighted_graph(const graph::Graph* g) noexcept;
   [[nodiscard]] bool weighted() const noexcept { return weighted_graph_ != nullptr; }
 
-  /// Applies a whole matching.
+  /// Applies a whole matching.  A round boundary: re-evaluates the
+  /// storage mode first (see update_mode).
   void apply(const Matching& m);
 
   /// Averages each listed pair.  The pairs of one matching are pairwise
   /// row-disjoint, so concurrent apply_pairs calls on disjoint pair sets
   /// (e.g. a ShardSplit's lists) are race-free and bit-identical to any
-  /// sequential order (each pair also owns its two activity flags).
+  /// sequential order (each pair also owns its two activity flags, and
+  /// sparse-mode slot allocation is a single atomic counter bump into
+  /// storage update_mode() pre-reserved for the round).
   void apply_pairs(std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs);
+
+  /// Round-boundary hook: densifies a kAuto state once active_rows·2 > n
+  /// and pre-reserves sparse storage for the round ahead (support can at
+  /// most double, so 2·active slots suffice — this is what makes the
+  /// parallel apply_pairs slot allocation realloc-free and race-free).
+  /// The trigger is a pure function of the active-row count, so every
+  /// engine and thread count switches on the same round.  apply() calls
+  /// this itself; engines that drive apply_pairs directly (the sharded
+  /// round phases) must call it once per round, before fanning out.
+  void update_mode();
+
+  /// Storage policy.  Changing it mid-run converts the representation
+  /// immediately (an O(n·s) copy); values and flags are preserved bitwise.
+  void set_sparse_mode(SparseMode mode);
+  [[nodiscard]] SparseMode sparse_mode() const noexcept { return mode_; }
+  /// True while the packed sparse representation is live.
+  [[nodiscard]] bool sparse_storage() const noexcept { return !dense_storage_; }
+
+  /// Toggles the SIMD averaging kernels (default on; scalar fallback is
+  /// bit-identical, see simd_kernels.hpp).
+  void set_simd(bool enabled) noexcept;
+  [[nodiscard]] bool simd() const noexcept { return simd_; }
 
   /// Toggles active-support skipping (default on).  Pure scheduling: the
   /// stored values are identical either way; flags are maintained in both
@@ -105,37 +173,86 @@ class MultiLoadState {
   [[nodiscard]] bool skip_zeros() const noexcept { return skip_zeros_; }
 
   /// Number of rows flagged possibly-nonzero — the support bound s·2^t
-  /// that makes early-round skipping pay (plotted by bench E16).
+  /// that makes early-round skipping pay (plotted by bench E16).  O(1)
+  /// in sparse mode, O(n) dense.
   [[nodiscard]] std::size_t active_rows() const;
   [[nodiscard]] bool row_active(graph::NodeId v) const;
 
-  /// Read-only view of the whole row-major n×s matrix — the exact bytes
-  /// a checkpoint stores.
-  [[nodiscard]] std::span<const double> values() const noexcept { return data_; }
+  /// Read-only view of the whole row-major n×s matrix.  Dense storage
+  /// only — use snapshot_dense() for a mode-agnostic copy.
+  [[nodiscard]] std::span<const double> values() const;
+
+  /// Writes the full row-major n×s matrix into `out` (resizing it) —
+  /// the exact bytes a checkpoint stores, in either storage mode:
+  /// sparse rows scatter into their dense positions, absent rows are
+  /// +0.0.
+  void snapshot_dense(std::vector<double>& out) const;
 
   /// Restores the whole matrix from a row-major n×s snapshot (a loaded
-  /// checkpoint) and recomputes the activity flags by scanning — the
-  /// same not-+0.0 predicate set() uses, so a restored state skips
-  /// exactly the rows a live run would.
+  /// checkpoint), recomputes the activity flags by scanning — the same
+  /// not-+0.0 predicate set() uses, so a restored state skips exactly
+  /// the rows a live run would — and re-picks the storage mode from the
+  /// snapshot's density, so a checkpoint written sparse resumes dense
+  /// (and vice versa) with identical bits.
   void load_matrix(std::span<const double> matrix);
 
   /// Copy of dimension `dim` as an n-vector (for analysis).
   [[nodiscard]] std::vector<double> column(std::size_t dim) const;
 
   /// Sum over nodes of dimension `dim` — invariant under apply().
+  /// Accumulated in node-id order in both modes, so the float sum is
+  /// bit-identical whatever order sparse slots were allocated in.
   [[nodiscard]] double total(std::size_t dim) const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
   [[nodiscard]] double* row_ptr(graph::NodeId v) {
     return data_.data() + static_cast<std::size_t>(v) * dimensions_;
   }
+  [[nodiscard]] double* slot_ptr(std::uint32_t slot) {
+    return packed_.data() + static_cast<std::size_t>(slot) * dimensions_;
+  }
+  [[nodiscard]] const double* slot_ptr(std::uint32_t slot) const {
+    return packed_.data() + static_cast<std::size_t>(slot) * dimensions_;
+  }
+
+  /// Sparse-mode row materialisation.  Thread-safe when update_mode()
+  /// pre-reserved this round's capacity (a relaxed atomic counter bump;
+  /// rows are pair-disjoint so no two workers allocate the same node).
+  std::uint32_t allocate_slot(graph::NodeId v);
+
+  /// One-way sparse → dense conversion.
+  void densify();
+
+  void refresh_kernels() noexcept;
 
   std::size_t num_nodes_;
   std::size_t dimensions_;
+  SparseMode mode_ = SparseMode::kOff;
+  bool dense_storage_ = true;
+
+  // Dense representation (live iff dense_storage_).
   std::vector<double> data_;
   /// active_[v] != 0 iff row v may hold a value whose bits are not +0.0.
   std::vector<char> active_;
+
+  // Sparse representation (live iff !dense_storage_).  A row is active
+  /// iff it owns a slot; packed_ holds the slot-major row values.
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<graph::NodeId> slot_node_;
+  std::vector<double> packed_;
+  /// Allocated slot count; bumped via std::atomic_ref during parallel
+  /// apply_pairs (plain storage keeps the state movable).
+  std::uint32_t slots_ = 0;
+  /// Shared all-zero row backing const row() views of inactive rows.
+  std::vector<double> zero_row_;
+
   bool skip_zeros_ = true;
+  bool simd_ = true;
+  simd::AvgHalfFn avg_half_ = nullptr;
+  simd::AvgLambdaFn avg_lambda_ = nullptr;
+
   /// Weighted averaging context (null = unweighted 1/2 averaging).
   const graph::Graph* weighted_graph_ = nullptr;
   double two_max_weight_ = 0.0;

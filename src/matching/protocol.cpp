@@ -1,6 +1,7 @@
 #include "matching/protocol.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/require.hpp"
 
@@ -87,30 +88,72 @@ MatchingGenerator::MatchingGenerator(const graph::Graph& g, std::uint64_t seed,
   for (NodeId v = 0; v < g.num_nodes(); ++v) node_rng_.push_back(master.fork(v));
 }
 
-MatchingGenerator::NodeCoin MatchingGenerator::flip_node(NodeId v) {
-  auto& rng = node_rng_[v];
+MatchingGenerator::NodeCoin MatchingGenerator::coin_from_draws(NodeId v,
+                                                               std::uint64_t draw1,
+                                                               std::uint64_t draw2) {
   const auto neighbors = graph_->neighbors(v);
   const std::size_t degree = neighbors.size();
   const std::size_t slots =
       options_.virtual_degree == 0 ? degree : options_.virtual_degree;
 
-  // Every node burns exactly two draws per round regardless of the
-  // branch taken, so RNG streams stay aligned across protocol variants
-  // (next_bool_half is the same single draw as next_bool(0.5)).
+  // Activation from draw1 — the identical compares Rng::next_bool(p) /
+  // next_bool_half evaluate on a fresh draw.
   bool active;
   if (options_.degree_biased_activation) {
     const double dd = static_cast<double>(slots);
     const double activation = 0.5 + (dd - static_cast<double>(degree)) / (2.0 * dd);
-    active = rng.next_bool(activation);
+    active = static_cast<double>(draw1 >> 11) * 0x1.0p-53 < activation;
   } else {
-    active = rng.next_bool_half();
+    active = draw1 < (1ULL << 63);
   }
-  const std::size_t slot = rng.next_below(slots);
+
+  // Slot from draw2 — Rng::next_below(slots) with the first multiply
+  // applied to the pre-drawn word; the rare rejection keeps drawing from
+  // v's own stream, so the stream state matches the unbatched path.
+  const std::uint64_t bound = slots;
+  std::uint64_t x = draw2;
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = node_rng_[v].next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  const auto slot = static_cast<std::size_t>(m >> 64);
   return {active, active && slot < degree ? neighbors[slot] : kInvalidNode};
 }
 
+MatchingGenerator::NodeCoin MatchingGenerator::flip_node(NodeId v) {
+  // Every node burns exactly two draws per round regardless of the
+  // branch taken, so RNG streams stay aligned across protocol variants
+  // (and skip_rounds stays exact).
+  auto& rng = node_rng_[v];
+  const std::uint64_t draw1 = rng.next();
+  const std::uint64_t draw2 = rng.next();
+  return coin_from_draws(v, draw1, draw2);
+}
+
 void MatchingGenerator::flip_block(Coins& out, NodeId begin, NodeId end) {
-  for (NodeId v = begin; v < end; ++v) {
+  // Batch the RNG advance four streams at a time (AVX2 lanes when
+  // enabled, one by one otherwise — identical draws either way), then
+  // finish each node's coin scalar: the neighbour lookup and scatter
+  // are irregular, but the draw arithmetic is the bulk of the work.
+  alignas(32) std::uint64_t draw1[4];
+  alignas(32) std::uint64_t draw2[4];
+  NodeId v = begin;
+  while (end - v >= 4) {
+    flip_draws4_(&node_rng_[v], draw1, draw2);
+    for (NodeId lane = 0; lane < 4; ++lane) {
+      const NodeCoin coin = coin_from_draws(v + lane, draw1[lane], draw2[lane]);
+      out.active[v + lane] = coin.active ? 1 : 0;
+      out.probe[v + lane] = coin.target;
+    }
+    v += 4;
+  }
+  for (; v < end; ++v) {
     const NodeCoin coin = flip_node(v);
     out.active[v] = coin.active ? 1 : 0;
     out.probe[v] = coin.target;
@@ -208,10 +251,114 @@ void MatchingGenerator::resolve(const Coins& coins, Matching& out) {
   }
 }
 
+void MatchingGenerator::next_fused_fast(Matching& out) {
+  const NodeId n = graph_->num_nodes();
+  auto& active = round_coins_.active;
+  active.resize(n);
+  // One extra sink entry at index n lets the scatter store
+  // unconditionally: an inactive node "probes" the sink instead of
+  // taking a 50/50-unpredictable branch.  With virtual_degree == 0 the
+  // drawn slot is always a real neighbour, so that is the only case a
+  // probe can fail.
+  if (probes_scratch_.size() != static_cast<std::size_t>(n) + 1) {
+    probes_scratch_.assign(static_cast<std::size_t>(n) + 1, 0);
+  }
+  std::uint64_t* const probes = probes_scratch_.data();
+
+  // Stage-pipelined flip: advance a block of RNG streams four at a time,
+  // compute every lane's slot and prefetch its neighbour entry, then
+  // read the targets and scatter.  Grouping the random adjacency reads
+  // behind prefetches hides their cache latency; draws, Lemire rejection
+  // handling, and scatter values match coin_from_draws lane for lane.
+  constexpr NodeId kBlock = 32;
+  alignas(32) std::uint64_t draw1[kBlock];
+  alignas(32) std::uint64_t draw2[kBlock];
+  const NodeId* addr[kBlock];
+  bool act[kBlock];
+  NodeId v = 0;
+  for (; v + kBlock <= n; v += kBlock) {
+    for (NodeId b = 0; b < kBlock; b += 4) {
+      flip_draws4_(&node_rng_[v + b], &draw1[b], &draw2[b]);
+    }
+    for (NodeId b = 0; b < kBlock; ++b) {
+      const NodeId node = v + b;
+      const auto neighbors = graph_->neighbors(node);
+      const std::uint64_t bound = neighbors.size();
+      act[b] = draw1[b] < (1ULL << 63);
+      std::uint64_t x = draw2[b];
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto lo = static_cast<std::uint64_t>(m);
+      if (lo < bound) [[unlikely]] {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+          x = node_rng_[node].next();
+          m = static_cast<__uint128_t>(x) * bound;
+          lo = static_cast<std::uint64_t>(m);
+        }
+      }
+      addr[b] = &neighbors[static_cast<std::size_t>(m >> 64)];
+      __builtin_prefetch(addr[b], 0, 1);
+    }
+    for (NodeId b = 0; b < kBlock; ++b) {
+      const NodeId node = v + b;
+      active[node] = act[b] ? 1 : 0;
+      const NodeId idx = act[b] ? *addr[b] : n;
+      const std::uint64_t entry = probes[idx];
+      probes[idx] = (((entry >> 32) + 1) << 32) | node;
+    }
+  }
+  for (; v < n; ++v) {
+    const NodeCoin coin = flip_node(v);
+    active[v] = coin.active ? 1 : 0;
+    if (coin.target != kInvalidNode) {
+      const std::uint64_t entry = probes[coin.target];
+      probes[coin.target] = (((entry >> 32) + 1) << 32) | v;
+    }
+  }
+
+  out.partner.assign(n, kInvalidNode);
+  out.edges.clear();
+  if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
+  // Accept sweep: the kernel grades 64 nodes per call (probe count 1,
+  // inactive); only candidate bits pay scalar work, and each block is
+  // zeroed right after grading so the scratch is clean for the next
+  // round.  Bits come out in ascending node order, so edges are still
+  // emitted in increasing acceptor order — bit-identical to the scalar
+  // sweep.
+  NodeId base = 0;
+  for (; base + 64 <= n; base += 64) {
+    std::uint64_t mask = accept_mask64_(probes + base, active.data() + base);
+    while (mask != 0) {
+      const auto bit = static_cast<NodeId>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      const NodeId acceptor = base + bit;
+      const auto u = static_cast<NodeId>(probes[acceptor]);
+      out.partner[acceptor] = u;
+      out.partner[u] = acceptor;
+      out.edges.emplace_back(std::min(u, acceptor), std::max(u, acceptor));
+    }
+    std::memset(probes + base, 0, 64 * sizeof(std::uint64_t));
+  }
+  for (; base < n; ++base) {
+    const std::uint64_t entry = probes[base];
+    probes[base] = 0;
+    if (active[base] || (entry >> 32) != 1) continue;
+    const auto u = static_cast<NodeId>(entry);
+    out.partner[base] = u;
+    out.partner[u] = base;
+    out.edges.emplace_back(std::min(u, base), std::max(u, base));
+  }
+  probes[n] = 0;
+}
+
 void MatchingGenerator::next(Matching& out) {
   if (pool_ != nullptr && pool_->size() > 1) {
     flip_round_coins(round_coins_);
     resolve(round_coins_, out);
+    return;
+  }
+  if (options_.virtual_degree == 0 && !options_.degree_biased_activation) {
+    next_fused_fast(out);
     return;
   }
   // Fused serial path: flip and scatter in one sweep, consuming each
@@ -224,12 +371,32 @@ void MatchingGenerator::next(Matching& out) {
   auto& active = round_coins_.active;
   active.resize(n);
   if (probes_scratch_.size() != n) probes_scratch_.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    const NodeCoin coin = flip_node(v);
-    active[v] = coin.active ? 1 : 0;
-    if (coin.target != kInvalidNode) {
-      const std::uint64_t entry = probes_scratch_[coin.target];
-      probes_scratch_[coin.target] = (((entry >> 32) + 1) << 32) | v;
+  // Same four-stream draw batching as flip_block, with each lane's probe
+  // scattered straight from the registers.
+  {
+    alignas(32) std::uint64_t draw1[4];
+    alignas(32) std::uint64_t draw2[4];
+    NodeId v = 0;
+    while (n - v >= 4) {
+      flip_draws4_(&node_rng_[v], draw1, draw2);
+      for (NodeId lane = 0; lane < 4; ++lane) {
+        const NodeId node = v + lane;
+        const NodeCoin coin = coin_from_draws(node, draw1[lane], draw2[lane]);
+        active[node] = coin.active ? 1 : 0;
+        if (coin.target != kInvalidNode) {
+          const std::uint64_t entry = probes_scratch_[coin.target];
+          probes_scratch_[coin.target] = (((entry >> 32) + 1) << 32) | node;
+        }
+      }
+      v += 4;
+    }
+    for (; v < n; ++v) {
+      const NodeCoin coin = flip_node(v);
+      active[v] = coin.active ? 1 : 0;
+      if (coin.target != kInvalidNode) {
+        const std::uint64_t entry = probes_scratch_[coin.target];
+        probes_scratch_[coin.target] = (((entry >> 32) + 1) << 32) | v;
+      }
     }
   }
   out.partner.assign(n, kInvalidNode);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "matching/simd_kernels.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -129,6 +130,18 @@ class MatchingGenerator {
   void use_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
   [[nodiscard]] util::ThreadPool* thread_pool() const noexcept { return pool_; }
 
+  /// Toggles the SIMD batched coin advance (default on).  Coin flipping
+  /// always runs in blocks of four streams; this only selects whether
+  /// the four xoshiro states step in AVX2 lanes or one by one — the
+  /// draws are bit-identical either way (simd_kernels.hpp), so this is
+  /// pure scheduling like use_thread_pool.
+  void use_simd(bool enabled) noexcept {
+    simd_ = enabled;
+    flip_draws4_ = simd::flip_draws4_kernel(enabled);
+    accept_mask64_ = simd::accept_mask64_kernel(enabled);
+  }
+  [[nodiscard]] bool simd() const noexcept { return simd_; }
+
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
 
  private:
@@ -140,17 +153,36 @@ class MatchingGenerator {
   };
   NodeCoin flip_node(graph::NodeId v);
 
+  /// Turns node v's two raw draws into its coin: the activation compare
+  /// and the Lemire slot reduction of Rng::next_bool*/next_below applied
+  /// to pre-drawn words.  The (rare) Lemire rejection resumes drawing
+  /// from v's own stream, exactly as the unbatched helpers would.
+  NodeCoin coin_from_draws(graph::NodeId v, std::uint64_t draw1, std::uint64_t draw2);
+
   void flip_block(Coins& out, graph::NodeId begin, graph::NodeId end);
+
+  /// Fused serial round specialised for the default protocol
+  /// (virtual_degree == 0, unbiased activation).  Same draws, same
+  /// scatter values, same acceptor order as the generic fused path —
+  /// just scheduled harder: block-pipelined neighbour prefetch, a
+  /// branchless scatter through a sink entry, and a 64-node SIMD
+  /// acceptance mask (simd_kernels.hpp) in the accept sweep.
+  void next_fused_fast(Matching& out);
 
   const graph::Graph* graph_;
   ProtocolOptions options_;
   std::vector<util::Rng> node_rng_;
   util::ThreadPool* pool_ = nullptr;
+  bool simd_ = true;
+  simd::FlipDraws4Fn flip_draws4_ = simd::flip_draws4_kernel(true);
+  simd::AcceptMask64Fn accept_mask64_ = simd::accept_mask64_kernel(true);
 
   // Reusable per-round scratch (zero-allocation steady state).
   Coins round_coins_;
   /// Serial resolve scratch: probe count (high 32 bits) | last prober
-  /// (low 32 bits) per node; all-zero between rounds.
+  /// (low 32 bits) per node; all-zero between rounds.  The fast fused
+  /// path sizes it n + 1 and routes inactive nodes' non-probes to the
+  /// extra sink entry so its scatter never branches.
   std::vector<std::uint64_t> probes_scratch_;
   std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> block_edges_;
 };

@@ -1,0 +1,253 @@
+#include "matching/simd_kernels.hpp"
+
+#include "util/rng.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__) && \
+    !defined(DGC_NO_AVX2)
+#define DGC_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define DGC_AVX2_KERNELS 0
+#endif
+
+namespace dgc::matching::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar fallbacks.  These are the reference semantics: the AVX2 kernels
+// below must match them bit for bit (see the header's contract).
+// ---------------------------------------------------------------------
+
+void avg_half_scalar(double* __restrict ru, double* __restrict rv,
+                     std::size_t dims) {
+  for (std::size_t i = 0; i < dims; ++i) {
+    const double avg = 0.5 * (ru[i] + rv[i]);
+    ru[i] = avg;
+    rv[i] = avg;
+  }
+}
+
+void avg_lambda_scalar(double* __restrict ru, double* __restrict rv,
+                       std::size_t dims, double lambda) {
+  const double keep = 1.0 - lambda;
+  for (std::size_t i = 0; i < dims; ++i) {
+    const double xu = ru[i];
+    const double xv = rv[i];
+    ru[i] = keep * xu + lambda * xv;
+    rv[i] = keep * xv + lambda * xu;
+  }
+}
+
+void flip_draws4_scalar(util::Rng* rngs, std::uint64_t* draw1, std::uint64_t* draw2) {
+  for (int lane = 0; lane < 4; ++lane) {
+    draw1[lane] = rngs[lane].next();
+    draw2[lane] = rngs[lane].next();
+  }
+}
+
+std::uint64_t accept_mask64_scalar(const std::uint64_t* probes, const char* active) {
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 64; ++i) {
+    const bool candidate = (probes[i] >> 32) == 1 && active[i] == 0;
+    mask |= static_cast<std::uint64_t>(candidate) << i;
+  }
+  return mask;
+}
+
+#if DGC_AVX2_KERNELS
+
+// ---------------------------------------------------------------------
+// AVX2 λ-averaging.  Plain vector mul/add intrinsics — target("avx2")
+// does not enable FMA, so neither the vector body nor the scalar tail
+// can contract keep·x + λ·y, keeping both bit-identical to the scalar
+// reference above.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void avg_half_avx2(double* __restrict ru,
+                                                   double* __restrict rv,
+                                                   std::size_t dims) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  std::size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    const __m256d a = _mm256_loadu_pd(ru + i);
+    const __m256d b = _mm256_loadu_pd(rv + i);
+    const __m256d avg = _mm256_mul_pd(half, _mm256_add_pd(a, b));
+    _mm256_storeu_pd(ru + i, avg);
+    _mm256_storeu_pd(rv + i, avg);
+  }
+  for (; i < dims; ++i) {
+    const double avg = 0.5 * (ru[i] + rv[i]);
+    ru[i] = avg;
+    rv[i] = avg;
+  }
+}
+
+__attribute__((target("avx2"))) void avg_lambda_avx2(double* __restrict ru,
+                                                     double* __restrict rv,
+                                                     std::size_t dims, double lambda) {
+  const double keep_s = 1.0 - lambda;
+  const __m256d keep = _mm256_set1_pd(keep_s);
+  const __m256d lam = _mm256_set1_pd(lambda);
+  std::size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    const __m256d xu = _mm256_loadu_pd(ru + i);
+    const __m256d xv = _mm256_loadu_pd(rv + i);
+    const __m256d nu = _mm256_add_pd(_mm256_mul_pd(keep, xu), _mm256_mul_pd(lam, xv));
+    const __m256d nv = _mm256_add_pd(_mm256_mul_pd(keep, xv), _mm256_mul_pd(lam, xu));
+    _mm256_storeu_pd(ru + i, nu);
+    _mm256_storeu_pd(rv + i, nv);
+  }
+  for (; i < dims; ++i) {
+    const double xu = ru[i];
+    const double xv = rv[i];
+    ru[i] = keep_s * xu + lambda * xv;
+    rv[i] = keep_s * xv + lambda * xu;
+  }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 4-lane xoshiro256++ advance.  State words are transposed so that
+// lane l of vector s_w holds stream l's word w; the step sequence is the
+// exact integer recurrence of util::Rng::next() applied per lane.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i rotl64x4(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+__attribute__((target("avx2"))) void flip_draws4_avx2(util::Rng* rngs,
+                                                      std::uint64_t* draw1,
+                                                      std::uint64_t* draw2) {
+  static_assert(sizeof(util::Rng) == 4 * sizeof(std::uint64_t),
+                "Rng must be exactly its four state words");
+  const __m256i r0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rngs[0].raw_state()));
+  const __m256i r1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rngs[1].raw_state()));
+  const __m256i r2 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rngs[2].raw_state()));
+  const __m256i r3 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rngs[3].raw_state()));
+
+  // 4×4 uint64 transpose: s_w[lane] = state word w of stream `lane`.
+  const __m256i lo01 = _mm256_unpacklo_epi64(r0, r1);  // r0[0] r1[0] r0[2] r1[2]
+  const __m256i hi01 = _mm256_unpackhi_epi64(r0, r1);  // r0[1] r1[1] r0[3] r1[3]
+  const __m256i lo23 = _mm256_unpacklo_epi64(r2, r3);
+  const __m256i hi23 = _mm256_unpackhi_epi64(r2, r3);
+  __m256i s0 = _mm256_permute2x128_si256(lo01, lo23, 0x20);
+  __m256i s1 = _mm256_permute2x128_si256(hi01, hi23, 0x20);
+  __m256i s2 = _mm256_permute2x128_si256(lo01, lo23, 0x31);
+  __m256i s3 = _mm256_permute2x128_si256(hi01, hi23, 0x31);
+
+  for (int draw = 0; draw < 2; ++draw) {
+    // result = rotl(s0 + s3, 23) + s0
+    const __m256i result =
+        _mm256_add_epi64(rotl64x4(_mm256_add_epi64(s0, s3), 23), s0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(draw == 0 ? draw1 : draw2), result);
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = rotl64x4(s3, 45);
+  }
+
+  // Transpose back and store the advanced states.
+  const __m256i a01 = _mm256_unpacklo_epi64(s0, s1);  // s0[0] s1[0] s0[2] s1[2]
+  const __m256i b01 = _mm256_unpackhi_epi64(s0, s1);
+  const __m256i a23 = _mm256_unpacklo_epi64(s2, s3);
+  const __m256i b23 = _mm256_unpackhi_epi64(s2, s3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[0].raw_state()),
+                      _mm256_permute2x128_si256(a01, a23, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[1].raw_state()),
+                      _mm256_permute2x128_si256(b01, b23, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[2].raw_state()),
+                      _mm256_permute2x128_si256(a01, a23, 0x31));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[3].raw_state()),
+                      _mm256_permute2x128_si256(b01, b23, 0x31));
+}
+
+// ---------------------------------------------------------------------
+// AVX2 acceptance mask.  Four probe entries per vector: count == 1 is
+// (entry >> 32) == 1, the four active bytes widen to 64-bit lanes and
+// compare against zero, and movemask collects four candidate bits per
+// iteration.  All integer compares — identical to the scalar loop.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) std::uint64_t accept_mask64_avx2(
+    const std::uint64_t* probes, const char* active) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 64; i += 4) {
+    const __m256i entry =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(probes + i));
+    const __m256i count_ok = _mm256_cmpeq_epi64(_mm256_srli_epi64(entry, 32), one);
+    std::int32_t act4;
+    __builtin_memcpy(&act4, active + i, 4);
+    const __m256i act = _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(act4));
+    const __m256i inactive = _mm256_cmpeq_epi64(act, zero);
+    const __m256i candidate = _mm256_and_si256(count_ok, inactive);
+    const auto bits = static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(candidate)));
+    mask |= static_cast<std::uint64_t>(bits) << i;
+  }
+  return mask;
+}
+
+#endif  // DGC_AVX2_KERNELS
+
+}  // namespace
+
+bool avx2_available() noexcept {
+#if DGC_AVX2_KERNELS
+  static const bool available = __builtin_cpu_supports("avx2") != 0;
+  return available;
+#else
+  return false;
+#endif
+}
+
+const char* kernel_name(bool use_simd) noexcept {
+  return use_simd && avx2_available() ? "avx2" : "scalar";
+}
+
+AvgHalfFn avg_half_kernel(bool use_simd) noexcept {
+#if DGC_AVX2_KERNELS
+  if (use_simd && avx2_available()) return &avg_half_avx2;
+#else
+  (void)use_simd;
+#endif
+  return &avg_half_scalar;
+}
+
+AvgLambdaFn avg_lambda_kernel(bool use_simd) noexcept {
+#if DGC_AVX2_KERNELS
+  if (use_simd && avx2_available()) return &avg_lambda_avx2;
+#else
+  (void)use_simd;
+#endif
+  return &avg_lambda_scalar;
+}
+
+FlipDraws4Fn flip_draws4_kernel(bool use_simd) noexcept {
+#if DGC_AVX2_KERNELS
+  if (use_simd && avx2_available()) return &flip_draws4_avx2;
+#else
+  (void)use_simd;
+#endif
+  return &flip_draws4_scalar;
+}
+
+AcceptMask64Fn accept_mask64_kernel(bool use_simd) noexcept {
+#if DGC_AVX2_KERNELS
+  if (use_simd && avx2_available()) return &accept_mask64_avx2;
+#else
+  (void)use_simd;
+#endif
+  return &accept_mask64_scalar;
+}
+
+}  // namespace dgc::matching::simd

@@ -1,0 +1,66 @@
+// Runtime-dispatched SIMD kernels for the matching hot path.
+//
+// Two families live here, both with the same contract: the AVX2 variant
+// and the scalar fallback produce bit-identical results, so picking one
+// at runtime is pure scheduling (the EngineEquivalence grid asserts it).
+//
+//   * λ-averaging kernels: the per-pair row averages of MultiLoadState.
+//     Both variants evaluate the same IEEE expression — 0.5·(a+b), or
+//     keep·x_u + λ·x_v — as separate multiplies and adds.  Neither side
+//     may contract mul+add into an FMA: the scalar build targets baseline
+//     x86-64 (no FMA instruction exists to contract into) and the AVX2
+//     kernels are compiled under target("avx2"), which deliberately does
+//     NOT enable FMA (a separate CPU feature).  Same ops, same order,
+//     same rounding ⇒ same bits.
+//
+//   * Batched coin draws: advances four consecutive xoshiro256++ node
+//     streams by exactly two next() calls each.  The generator's streams
+//     are mutually independent, so stepping four of them in SIMD lanes
+//     (a 4×4 transpose of the state words, then the identical add/xor/
+//     shift/rotate sequence per lane) yields precisely the draws four
+//     scalar calls would — integer ops have no rounding to disagree on.
+//
+// Kernel selection: callers pass `use_simd`; the AVX2 variant is
+// returned only when the build carries it (x86-64, not -DDGC_NO_AVX2)
+// AND the CPU reports AVX2 at runtime.  Everything else — including the
+// CI leg built with -mno-avx2 -DDGC_NO_AVX2 — gets the scalar fallback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dgc::util {
+class Rng;
+}
+
+namespace dgc::matching::simd {
+
+/// In-place pair average: ru[i] = rv[i] = 0.5·(ru[i] + rv[i]).
+using AvgHalfFn = void (*)(double* ru, double* rv, std::size_t dims);
+/// In-place λ-partial average: ru' = keep·ru + λ·rv, rv' = keep·rv + λ·ru.
+using AvgLambdaFn = void (*)(double* ru, double* rv, std::size_t dims, double lambda);
+/// Advances rngs[0..3] by exactly two next() draws each; draw1[l] and
+/// draw2[l] receive lane l's first and second draw.
+using FlipDraws4Fn = void (*)(util::Rng* rngs, std::uint64_t* draw1,
+                              std::uint64_t* draw2);
+/// Acceptance candidates for 64 consecutive nodes of a resolve sweep:
+/// bit i is set iff probes[i] has probe count exactly 1 (high 32 bits)
+/// AND active[i] == 0.  Pure read — the caller still extracts the prober
+/// from each candidate's entry and zeroes the block afterwards.  The
+/// mask is a deterministic function of the inputs, so the AVX2 and
+/// scalar variants agree bit for bit (integer compares, no rounding).
+using AcceptMask64Fn = std::uint64_t (*)(const std::uint64_t* probes,
+                                         const char* active);
+
+/// True when this build carries AVX2 kernels and the CPU supports them.
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// "avx2" or "scalar" — what the selectors below would hand back.
+[[nodiscard]] const char* kernel_name(bool use_simd) noexcept;
+
+[[nodiscard]] AvgHalfFn avg_half_kernel(bool use_simd) noexcept;
+[[nodiscard]] AvgLambdaFn avg_lambda_kernel(bool use_simd) noexcept;
+[[nodiscard]] FlipDraws4Fn flip_draws4_kernel(bool use_simd) noexcept;
+[[nodiscard]] AcceptMask64Fn accept_mask64_kernel(bool use_simd) noexcept;
+
+}  // namespace dgc::matching::simd

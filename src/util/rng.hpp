@@ -107,6 +107,15 @@ class Rng {
     return child;
   }
 
+  /// Raw view of the four 256-bit state words, in the order next()
+  /// advances them.  Exists for the batched SIMD advance
+  /// (matching/simd_kernels.hpp), which transposes several streams into
+  /// lanes, steps them with the identical integer ops, and stores the
+  /// states back; any other mutation through this pointer voids the
+  /// stream-reproducibility contract.
+  [[nodiscard]] std::uint64_t* raw_state() noexcept { return state_.data(); }
+  [[nodiscard]] const std::uint64_t* raw_state() const noexcept { return state_.data(); }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

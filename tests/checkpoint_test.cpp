@@ -200,6 +200,41 @@ TEST(Checkpoint, ResumeWithDifferentHotPathKnobs) {
   std::remove(path.c_str());
 }
 
+// A checkpoint is storage-neutral: a run checkpointed while the load
+// matrix is still in sparse packed form may resume dense (and vice
+// versa), because save_checkpoint always snapshots the dense image and
+// load_matrix re-derives the representation from the resumed config.
+// The stop round (5 of 24) is early enough that a forced-sparse run is
+// still below the densify crossover when it writes the file.
+TEST(Checkpoint, ResumeAcrossSparseModeBoundary) {
+  const auto planted = make_instance(2, 47);
+  core::ClusterConfig config = base_config(2, 14);
+  config.hot_path.sparse_mode = matching::SparseMode::kOff;
+  const auto baseline = core::Clusterer(planted.graph, config).run();
+
+  const std::array<matching::SparseMode, 3> modes = {
+      matching::SparseMode::kOff, matching::SparseMode::kOn,
+      matching::SparseMode::kAuto};
+  for (const matching::SparseMode writer_mode : modes) {
+    core::ClusterConfig writer = config;
+    writer.hot_path.sparse_mode = writer_mode;
+    const std::string path = write_engine_checkpoint(core::EngineKind::kDense,
+                                                     planted.graph, writer, 5, "mode");
+    for (const matching::SparseMode reader_mode : modes) {
+      SCOPED_TRACE("writer=" + std::to_string(static_cast<int>(writer_mode)) +
+                   " reader=" + std::to_string(static_cast<int>(reader_mode)));
+      core::ClusterConfig reader = config;
+      reader.hot_path.sparse_mode = reader_mode;
+      const auto resumed =
+          resume_from(core::EngineKind::kDense, planted.graph, reader, path);
+      EXPECT_TRUE(resumed.resumed);
+      EXPECT_EQ(resumed.resume_round, 5u);
+      EXPECT_EQ(resumed.labels, baseline.labels);
+    }
+    std::remove(path.c_str());
+  }
+}
+
 // --checkpoint-every leaves a resumable file behind even when the run
 // finishes; resuming it replays only the tail and agrees.
 TEST(Checkpoint, PeriodicCadenceCheckpointsAndResumes) {

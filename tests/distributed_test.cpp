@@ -66,6 +66,8 @@ TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
     if (it == reference_cache.end()) {
       config.hot_path.parallel_coins = false;
       config.hot_path.skip_zero_rows = false;
+      config.hot_path.sparse_mode = matching::SparseMode::kOff;
+      config.hot_path.simd = false;
       it = reference_cache
                .emplace(std::make_tuple(k, seed, rule),
                         core::Clusterer(planted.graph, config).run())
@@ -78,6 +80,10 @@ TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
     // flip/resolve paths are exercised, not just compiled.
     config.hot_path.coin_threads = parallel_coins ? 4 : 0;
     config.hot_path.skip_zero_rows = skip_zeros;
+    // The test cells keep the sparse-storage and SIMD defaults (kAuto,
+    // on), so this grid also asserts those against the all-off reference.
+    config.hot_path.sparse_mode = matching::SparseMode::kAuto;
+    config.hot_path.simd = true;
     const auto dense = core::Clusterer(planted.graph, config).run();
     const auto distributed = core::DistributedClusterer(planted.graph, config).run();
     const auto sharded =
@@ -107,6 +113,57 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::make_tuple(false, true),
                                          std::make_tuple(true, false),
                                          std::make_tuple(true, true))));
+
+// The sparse-storage knob through the engines: with SparseMode::kAuto
+// the load matrix starts sparse and densifies mid-run (support crosses
+// n/2 well before round 60 on these expanders), and every cell of
+// {auto, on, off} x {simd on, off} must reproduce the dense-only,
+// everything-off reference bit for bit on all three engines.  This is
+// the mid-run representation switch exercised end to end, not just at
+// the MultiLoadState unit level.
+class SparseModeEquivalence
+    : public ::testing::TestWithParam<std::tuple<matching::SparseMode, bool>> {};
+
+TEST_P(SparseModeEquivalence, MidRunSwitchMatchesDenseOnlyReference) {
+  const auto [sparse_mode, simd] = GetParam();
+  const auto planted = make_instance(3, 256, 10, 30, 11);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 60;
+  config.seed = 2024;
+  config.query_rule = core::QueryRule::kPaperMinId;
+  config.hot_path.parallel_coins = false;
+  config.hot_path.skip_zero_rows = false;
+  config.hot_path.sparse_mode = matching::SparseMode::kOff;
+  config.hot_path.simd = false;
+  static core::ClusterResult reference;
+  static bool have_reference = false;
+  if (!have_reference) {
+    reference = core::Clusterer(planted.graph, config).run();
+    have_reference = true;
+  }
+
+  config.hot_path.skip_zero_rows = true;
+  config.hot_path.sparse_mode = sparse_mode;
+  config.hot_path.simd = simd;
+  core::ShardOptions options;
+  options.shards = 4;
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  const auto sharded = core::ShardedClusterer(planted.graph, config, options).run();
+  EXPECT_EQ(reference.labels, dense.labels);
+  EXPECT_EQ(reference.labels, distributed.result.labels);
+  EXPECT_EQ(reference.labels, sharded.result.labels);
+  EXPECT_EQ(reference.seeds, dense.seeds);
+  EXPECT_EQ(reference.node_ids, dense.node_ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparseSimdGrid, SparseModeEquivalence,
+    ::testing::Combine(::testing::Values(matching::SparseMode::kAuto,
+                                         matching::SparseMode::kOn,
+                                         matching::SparseMode::kOff),
+                       ::testing::Bool()));
 
 /// Re-weights a graph with a constant weight on every edge.
 graph::Graph with_uniform_weights(const graph::Graph& g, double w) {

@@ -15,6 +15,10 @@
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
+#if defined(DGC_TEST_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
 namespace {
 
 using namespace dgc;
@@ -500,6 +504,121 @@ TEST(IoFiles, SaveWithUnknownExtensionThrows) {
 TEST(IoFiles, MissingFileThrows) {
   EXPECT_THROW(graph::load_edge_list("/nonexistent/path/g.edges"), util::contract_error);
   EXPECT_THROW(graph::load_graph("/nonexistent/path/g.edges"), util::contract_error);
+}
+
+// ---------------------------------------------------------------------------
+// Gzip ingestion (.gz suffix): transparent decompression in load_graph.
+// Fixtures are written with zlib directly, so these cases are compiled
+// only in zlib builds (DGC_TEST_HAVE_ZLIB) and skip themselves when the
+// library reports no gzip support.
+
+#if defined(DGC_TEST_HAVE_ZLIB)
+
+/// gzip-compresses `text` to file_path via zlib's gzFile writer.
+void write_gz(const std::string& file_path, const std::string& text) {
+  gzFile gz = gzopen(file_path.c_str(), "wb");
+  ASSERT_NE(gz, nullptr);
+  ASSERT_EQ(gzwrite(gz, text.data(), static_cast<unsigned>(text.size())),
+            static_cast<int>(text.size()));
+  ASSERT_EQ(gzclose(gz), Z_OK);
+}
+
+TEST(IoGzip, EdgeListAndMetisDecompressTransparently) {
+  if (!graph::gzip_supported()) GTEST_SKIP() << "library built without zlib";
+  util::Rng rng(29);
+  const Graph g = graph::random_regular(40, 4, rng);
+  {
+    std::stringstream text;
+    graph::write_edge_list(text, g);
+    const std::string file_path = ::testing::TempDir() + "/dgc_io_gz.edges.gz";
+    write_gz(file_path, text.str());
+    // Extension-driven (.edges.gz -> edge list) and explicit-format loads.
+    expect_same_graph(graph::load_graph(file_path), g);
+    expect_same_graph(graph::load_graph(file_path, GraphFormat::kEdgeList), g);
+    std::remove(file_path.c_str());
+  }
+  {
+    std::stringstream text;
+    graph::write_metis(text, g);
+    const std::string file_path = ::testing::TempDir() + "/dgc_io_gz.metis.gz";
+    write_gz(file_path, text.str());
+    expect_same_graph(graph::load_graph(file_path), g);
+    std::remove(file_path.c_str());
+  }
+}
+
+TEST(IoGzip, WeightedEdgeListRoundTripsBitExact) {
+  if (!graph::gzip_supported()) GTEST_SKIP() << "library built without zlib";
+  const Graph g = weighted_fixture();
+  std::stringstream text;
+  graph::write_edge_list(text, g);
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_gz_w.edges.gz";
+  write_gz(file_path, text.str());
+  expect_same_graph(graph::load_graph(file_path), g);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoGzip, UnknownInnerExtensionSniffsDecompressedHead) {
+  if (!graph::gzip_supported()) GTEST_SKIP() << "library built without zlib";
+  util::Rng rng(31);
+  const Graph g = graph::random_regular(24, 4, rng);
+  std::stringstream text;
+  text << "% metis comment\n";
+  graph::write_metis(text, g);
+  // "name.gz" with no inner extension: the decompressed head ('%') picks
+  // the METIS reader.
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_gz_sniff.gz";
+  write_gz(file_path, text.str());
+  expect_same_graph(graph::load_graph(file_path), g);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoGzip, CompressedBinaryIsRejectedWithAClearError) {
+  if (!graph::gzip_supported()) GTEST_SKIP() << "library built without zlib";
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  std::stringstream bytes;
+  graph::write_binary(bytes, g);
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_gz.dgcg.gz";
+  write_gz(file_path, bytes.str());
+  EXPECT_THROW((void)graph::load_graph(file_path), util::contract_error);
+  std::remove(file_path.c_str());
+}
+
+TEST(IoGzip, MisnamedGzipFileNamesTheFix) {
+  if (!graph::gzip_supported()) GTEST_SKIP() << "library built without zlib";
+  const std::string file_path = ::testing::TempDir() + "/dgc_io_gz_misnamed.edges";
+  write_gz(file_path, "# nodes 2\n0 1\n");
+  try {
+    (void)graph::load_graph(file_path);
+    FAIL() << "expected contract_error";
+  } catch (const util::contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find(".gz"), std::string::npos);
+  }
+  // The sniffing path (unknown extension) reports the same fix.
+  const std::string sniffed = ::testing::TempDir() + "/dgc_io_gz_misnamed.dat";
+  write_gz(sniffed, "0 1\n");
+  EXPECT_THROW((void)graph::load_graph(sniffed), util::contract_error);
+  std::remove(file_path.c_str());
+  std::remove(sniffed.c_str());
+}
+
+#endif  // DGC_TEST_HAVE_ZLIB
+
+TEST(IoGzip, FormatFromPathStripsGzSuffix) {
+  EXPECT_EQ(graph::format_from_path("a/b/web.edges.gz"), GraphFormat::kEdgeList);
+  EXPECT_EQ(graph::format_from_path("web.metis.gz"), GraphFormat::kMetis);
+  EXPECT_EQ(graph::format_from_path("web.dgcg.gz"), GraphFormat::kBinary);
+  EXPECT_EQ(graph::format_from_path("web.gz"), GraphFormat::kAuto);
+}
+
+TEST(IoGzip, MissingZlibBuildsRaiseAClearError) {
+  if (graph::gzip_supported()) GTEST_SKIP() << "this build has zlib";
+  try {
+    (void)graph::load_graph("/nonexistent/g.edges.gz");
+    FAIL() << "expected contract_error";
+  } catch (const util::contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("zlib"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -426,6 +427,177 @@ TEST(MatchingProtocol, ProjectionProperty) {
   twice.apply(m);
   twice.apply(m);
   for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(once.at(v, 0), twice.at(v, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-active storage (SparseMode): the adaptive representation must be
+// invisible in the values — bit-identical to dense storage everywhere.
+
+TEST(SparseStorage, BitIdenticalToDenseAcrossModesAndKernels) {
+  // Property grid: {kOn, kAuto} x {simd on, off} against a dense
+  // everything-off reference, on random graphs with signed values, a
+  // -0.0 row and a NaN row.  Every stored double must match bit for bit
+  // after every round, through the kAuto densify crossover included.
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    util::Rng rng(500 + trial);
+    const auto n = static_cast<graph::NodeId>(96 + 32 * trial);
+    const auto g = graph::random_regular(n, 6, rng);
+    const std::size_t dims = 1 + trial % 4;
+    matching::MultiLoadState reference(n, dims, matching::SparseMode::kOff);
+    reference.set_skip_zeros(false);
+    reference.set_simd(false);
+    struct Variant {
+      matching::SparseMode mode;
+      bool simd;
+    };
+    const Variant variants[] = {{matching::SparseMode::kOn, false},
+                                {matching::SparseMode::kOn, true},
+                                {matching::SparseMode::kAuto, false},
+                                {matching::SparseMode::kAuto, true}};
+    std::vector<matching::MultiLoadState> states;
+    for (const auto& variant : variants) {
+      states.emplace_back(n, dims, variant.mode);
+      states.back().set_simd(variant.simd);
+    }
+    // ~6% of rows start nonzero; row 0 carries -0.0 and row 1 a NaN —
+    // both must flag as active and survive every representation switch.
+    auto seed_values = [&](matching::MultiLoadState& state, util::Rng& values_rng) {
+      for (graph::NodeId v = 2; v < n; ++v) {
+        if (values_rng.next_bool(0.06)) {
+          for (std::size_t d = 0; d < dims; ++d) {
+            state.set(v, d, values_rng.next_double() * 2.0 - 1.0);
+          }
+        }
+      }
+      state.set(0, 0, -0.0);
+      state.set(1, 0, std::numeric_limits<double>::quiet_NaN());
+    };
+    {
+      util::Rng values_rng(900 + trial);
+      seed_values(reference, values_rng);
+    }
+    for (auto& state : states) {
+      util::Rng values_rng(900 + trial);
+      seed_values(state, values_rng);
+      EXPECT_TRUE(state.row_active(0)) << "-0.0 must flag active";
+      EXPECT_TRUE(state.row_active(1)) << "NaN must flag active";
+    }
+    matching::MatchingGenerator reference_gen(g, 7100 + trial);
+    std::vector<matching::MatchingGenerator> gens;
+    for (std::size_t i = 0; i < states.size(); ++i) gens.emplace_back(g, 7100 + trial);
+    bool auto_switched = false;
+    for (int round = 0; round < 40; ++round) {
+      reference.apply(reference_gen.next());
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        states[i].apply(gens[i].next());
+        ASSERT_EQ(states[i].active_rows(), reference.active_rows())
+            << "trial " << trial << " variant " << i << " round " << round;
+        for (graph::NodeId v = 0; v < n; ++v) {
+          for (std::size_t d = 0; d < dims; ++d) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(states[i].at(v, d)),
+                      std::bit_cast<std::uint64_t>(reference.at(v, d)))
+                << "trial " << trial << " variant " << i << " round " << round
+                << " node " << v << " dim " << d;
+          }
+        }
+      }
+      if (!states[2].sparse_storage()) auto_switched = true;
+    }
+    // kAuto must actually cross over in a 40-round expander run (support
+    // saturates), kOn must never densify on its own.
+    EXPECT_TRUE(auto_switched);
+    EXPECT_TRUE(states[0].sparse_storage());
+    // The switch rule is a pure function of active_rows: both kAuto
+    // variants (scalar and SIMD) are in the same mode now.
+    EXPECT_EQ(states[2].sparse_storage(), states[3].sparse_storage());
+  }
+}
+
+TEST(SparseStorage, PositiveZeroSetDoesNotMaterializeARow) {
+  // Dense storage does not flag a row for set(v, d, +0.0); sparse
+  // storage must mirror that exactly — no slot, no active flag — while
+  // -0.0 (signbit set) materialises in both.
+  matching::MultiLoadState sparse(8, 2, matching::SparseMode::kOn);
+  matching::MultiLoadState dense(8, 2, matching::SparseMode::kOff);
+  sparse.set(3, 0, 0.0);
+  dense.set(3, 0, 0.0);
+  EXPECT_EQ(sparse.active_rows(), 0u);
+  EXPECT_EQ(dense.active_rows(), 0u);
+  EXPECT_FALSE(sparse.row_active(3));
+  sparse.set(4, 1, -0.0);
+  dense.set(4, 1, -0.0);
+  EXPECT_TRUE(sparse.row_active(4));
+  EXPECT_TRUE(dense.row_active(4));
+  EXPECT_EQ(sparse.active_rows(), dense.active_rows());
+}
+
+TEST(SparseStorage, SnapshotDenseAgreesAcrossModesAndValuesRequiresDense) {
+  matching::MultiLoadState sparse(16, 3, matching::SparseMode::kOn);
+  matching::MultiLoadState dense(16, 3, matching::SparseMode::kOff);
+  util::Rng rng(77);
+  for (graph::NodeId v = 0; v < 16; v += 3) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      const double value = rng.next_double() - 0.5;
+      sparse.set(v, d, value);
+      dense.set(v, d, value);
+    }
+  }
+  std::vector<double> from_sparse;
+  std::vector<double> from_dense;
+  sparse.snapshot_dense(from_sparse);
+  dense.snapshot_dense(from_dense);
+  ASSERT_EQ(from_sparse.size(), from_dense.size());
+  for (std::size_t i = 0; i < from_sparse.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(from_sparse[i]),
+              std::bit_cast<std::uint64_t>(from_dense[i]));
+  }
+  // values() views dense storage only; the sparse state must refuse.
+  EXPECT_THROW((void)sparse.values(), util::contract_error);
+  EXPECT_EQ(dense.values().size(), 48u);
+  // Round-tripping the snapshot through load_matrix restores the values
+  // and the representation choice (kOn stays sparse).
+  matching::MultiLoadState reloaded(16, 3, matching::SparseMode::kOn);
+  reloaded.load_matrix(from_sparse);
+  EXPECT_TRUE(reloaded.sparse_storage());
+  for (graph::NodeId v = 0; v < 16; ++v) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(reloaded.at(v, d)),
+                std::bit_cast<std::uint64_t>(sparse.at(v, d)));
+    }
+  }
+}
+
+TEST(SparseStorage, UpdateModeSwitchesExactlyPastHalfActive) {
+  // The densify trigger is active_rows * 2 > n, evaluated in
+  // update_mode() only — a pure function of the active count, so every
+  // engine and thread count flips representation on the same round.
+  const graph::NodeId n = 10;
+  matching::MultiLoadState state(n, 1, matching::SparseMode::kAuto);
+  for (graph::NodeId v = 0; v < 5; ++v) state.set(v, 0, 1.0);
+  state.update_mode();
+  EXPECT_TRUE(state.sparse_storage()) << "5 of 10 active: 2*5 > 10 is false";
+  state.set(5, 0, 1.0);
+  EXPECT_TRUE(state.sparse_storage()) << "set() must not switch mid-round";
+  state.update_mode();
+  EXPECT_FALSE(state.sparse_storage()) << "6 of 10 active: 2*6 > 10 densifies";
+  // One-way: dropping activity below the line never goes back.
+  state.update_mode();
+  EXPECT_FALSE(state.sparse_storage());
+}
+
+TEST(SparseStorage, SetSparseModeOffDensifiesInPlace) {
+  matching::MultiLoadState state(12, 2, matching::SparseMode::kOn);
+  state.set(7, 1, 2.5);
+  EXPECT_TRUE(state.sparse_storage());
+  state.set_sparse_mode(matching::SparseMode::kOff);
+  EXPECT_FALSE(state.sparse_storage());
+  EXPECT_EQ(state.at(7, 1), 2.5);
+  EXPECT_EQ(state.active_rows(), 1u);
+  // And back: kOn re-packs the dense matrix into slots.
+  state.set_sparse_mode(matching::SparseMode::kOn);
+  EXPECT_TRUE(state.sparse_storage());
+  EXPECT_EQ(state.at(7, 1), 2.5);
+  EXPECT_EQ(state.active_rows(), 1u);
 }
 
 }  // namespace

@@ -92,6 +92,9 @@ void describe_cluster_config(util::Cli& cli) {
   cli.describe("parallel_coins", "1", "flip/resolve coins block-parallel");
   cli.describe("coin_threads", "0", "coin pool threads (0 = hardware)");
   cli.describe("skip_zero_rows", "1", "skip averaging all-zero row pairs");
+  cli.describe("sparse_mode", "auto",
+               "load-matrix storage: auto (densify past n/2 active rows)|on|off");
+  cli.describe("simd", "1", "AVX2 coin/averaging kernels when available");
 }
 
 core::ClusterConfig parse_cluster_config(util::Cli& cli, std::string* rule_name) {
@@ -122,11 +125,23 @@ core::ClusterConfig parse_cluster_config(util::Cli& cli, std::string* rule_name)
   config.hot_path.parallel_coins = cli.get_bool("parallel_coins", true);
   config.hot_path.coin_threads = cli.get_uint64("coin_threads", 0);
   config.hot_path.skip_zero_rows = cli.get_bool("skip_zero_rows", true);
+  const std::string sparse = cli.get("sparse_mode", "auto");
+  if (sparse == "auto") {
+    config.hot_path.sparse_mode = matching::SparseMode::kAuto;
+  } else if (sparse == "on") {
+    config.hot_path.sparse_mode = matching::SparseMode::kOn;
+  } else if (sparse == "off") {
+    config.hot_path.sparse_mode = matching::SparseMode::kOff;
+  } else {
+    DGC_REQUIRE(false, "unknown --sparse_mode: " + sparse + " (expected auto|on|off)");
+  }
+  config.hot_path.simd = cli.get_bool("simd", true);
   return config;
 }
 
 int run_cluster(util::Cli& cli) {
-  cli.describe("in", "", "input graph file (required)");
+  cli.describe("in", "", "input graph file (required; text .gz decompresses "
+                         "transparently in zlib builds)");
   cli.describe("format", "auto", "input format: auto|edges|metis|binary");
   cli.describe("weights", "auto",
                "edge-list weight column: auto (header-driven)|yes|no");
@@ -274,6 +289,17 @@ int run_cluster(util::Cli& cli) {
     append_json_string(out, rule);
     out += ",\n    \"seeding_trials\": " + std::to_string(config.seeding_trials);
     out += ",\n    \"seed\": " + std::to_string(config.seed);
+    out += ",\n    \"sparse_mode\": ";
+    append_json_string(out,
+                       config.hot_path.sparse_mode == matching::SparseMode::kAuto
+                           ? "auto"
+                           : config.hot_path.sparse_mode == matching::SparseMode::kOn
+                                 ? "on"
+                                 : "off");
+    out += ",\n    \"simd\": ";
+    out += config.hot_path.simd ? "true" : "false";
+    out += ",\n    \"simd_kernel\": ";
+    append_json_string(out, matching::simd::kernel_name(config.hot_path.simd));
     out += "\n  },\n  \"result\": {\n    \"seeds\": " + std::to_string(result.seeds.size());
     out += ",\n    \"rounds\": " + std::to_string(result.rounds);
     out += ",\n    \"threshold\": ";

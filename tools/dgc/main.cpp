@@ -33,7 +33,9 @@ void print_usage(std::ostream& os) {
         "`dgc <verb> --help` lists the verb's flags.  Graph files may be\n"
         "edge lists (.edges/.txt), METIS (.graph/.metis), or the binary\n"
         "format (.dgcg); formats are inferred from the extension and can\n"
-        "be forced with --format / --in_format / --out_format.\n";
+        "be forced with --format / --in_format / --out_format.  Text\n"
+        "inputs with a .gz suffix decompress transparently when the\n"
+        "build has zlib.\n";
 }
 
 }  // namespace
