@@ -1,15 +1,32 @@
-// E15 — shard scaling of the sharded parallel engine.
+// E15 — shard scaling and partition quality of the sharded engine.
 //
 // The protocol is embarrassingly parallel within a round: matched pairs
 // average disjoint load-vector rows, so P shards can apply their
 // intra-shard pairs concurrently and only cross-shard pairs cost
-// inter-shard traffic.  We sweep P ∈ {1,2,4,8} (and P = hardware) over
-// an n sweep and report wall-clock seconds, speedup vs. the dense
-// single-threaded engine, cross-shard words, and the partition edge cut
-// — plus a bit-equality check against the dense labels, since sharding
-// must not change a single label.
+// inter-shard traffic.  Cross-shard words therefore track the partition
+// edge cut, which makes the partitioner a traffic knob: this harness
+// sweeps P and the partition mode (range | bfs | refined multilevel)
+// over two instances and *gates* on the results (exit 1 on regression,
+// like E16):
+//
+//   * flat      — k planted expander clusters (the paper's §1.2
+//     instance).  Expander clusters have no internal sub-structure, so
+//     any balanced P-way split of a cluster pays Θ(cluster volume / P)
+//     cut; no partitioner can beat that bound by much, and the gate only
+//     requires refined ≤ min(range, bfs) cut in every cell.
+//   * hierarchical — sub-expanders nested in parent clusters (two-tier
+//     clustered_regular: sibling tier at phi_sub, parent tier at
+//     phi_inter).  Here a cut-minimising partitioner can place whole
+//     sub-clusters per shard while BFS growth straddles them, and the
+//     gate requires words(bfs) / words(refined) >= --min_words_ratio
+//     (default 5) at the largest P and n benched.
+//
+// Both tables also gate the invariants: labels bit-identical to the
+// dense engine in every cell, and zero cross words at P = 1.
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <map>
 #include <thread>
 
 #include "common.hpp"
@@ -20,42 +37,60 @@
 
 using namespace dgc;
 
+namespace {
+
+constexpr graph::PartitionMode kModes[] = {
+    graph::PartitionMode::kRange, graph::PartitionMode::kBfs,
+    graph::PartitionMode::kRefined};
+
+core::ClusterConfig base_config(std::uint32_t k) {
+  core::ClusterConfig config;
+  config.beta = 1.0 / static_cast<double>(k);
+  config.k_hint = k;
+  config.rounds_multiplier = 1.5;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.seed = 5;
+  return config;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto k = static_cast<std::uint32_t>(cli.get_int("k", 4));
   const auto min_log2 = static_cast<int>(cli.get_int("min_log2", 13));
   const auto max_log2 = static_cast<int>(cli.get_int("max_log2", 16));
-  const bool bfs = cli.get_bool("bfs", false);
+  const double min_words_ratio = cli.get_double("min_words_ratio", 5.0);
   const std::string json_path = cli.get("json", "BENCH_E15.json");
   cli.reject_unknown();
-  const auto mode = bfs ? graph::PartitionMode::kBfs : graph::PartitionMode::kRange;
 
   bench::banner("E15",
-                "Intra-round parallelism: matched pairs average disjoint rows, so "
-                "sharded apply is bit-identical to the dense engine and scales with P",
-                "k=4 planted expander clusters; n sweep x P in {1,2,4,8,hw}; "
-                "range partition (pass --bfs for BFS-grown shards)");
+                "Cross-shard words track the partition cut: the refined multilevel "
+                "partitioner never loses to range/bfs, and cuts traffic by >= "
+                "min_words_ratio on hierarchical instances — at bit-identical labels",
+                "flat: k planted expander clusters; hierarchical: 2k sub-expanders "
+                "in k parent groups; n sweep x P in {1,2,4,8,hw} x partition mode");
 
   const auto hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::uint32_t> shard_counts{1, 2, 4, 8};
-  if (hw > 8) shard_counts.push_back(hw);
+  std::vector<std::uint32_t> flat_shards{1, 2, 4, 8};
+  if (hw > 8) flat_shards.push_back(hw);
+  const std::vector<std::uint32_t> hier_shards{2, 4, 8};
 
-  util::Table table("sharded engine vs dense engine",
-                    {"n", "P", "mode", "T", "s_dims", "dense_s", "sharded_s", "speedup",
-                     "cross_words", "cut_frac", "labels_eq"});
+  std::vector<std::string> gate_failures;
+  const auto check = [&](bool ok, const std::string& what) {
+    if (!ok) gate_failures.push_back(what);
+  };
 
+  // ---- Flat instance: refined must never lose to range or bfs --------
+  util::Table flat("flat planted instance: sharded vs dense",
+                   {"n", "P", "mode", "T", "s_dims", "dense_s", "sharded_s",
+                    "speedup", "cut", "cross_words", "labels_eq"});
   for (int log2n = min_log2; log2n <= max_log2; ++log2n) {
     const auto n = static_cast<graph::NodeId>(1) << log2n;
     const auto planted =
         bench::make_clustered(k, n / k, 16, 0.02, 1500 + static_cast<std::uint64_t>(log2n));
 
-    core::ClusterConfig config;
-    config.beta = 1.0 / static_cast<double>(k);
-    config.k_hint = k;
-    config.rounds_multiplier = 1.5;
-    config.query_rule = core::QueryRule::kArgmax;
-    config.seed = 5;
-
+    core::ClusterConfig config = base_config(k);
     // Fix T up front (the paper assumes T is known) so the timed region is
     // pure averaging + query for every engine.
     config.rounds =
@@ -66,30 +101,120 @@ int main(int argc, char** argv) {
     const auto dense = core::Clusterer(planted.graph, config).run();
     const double dense_seconds = dense_timer.seconds();
 
-    for (const auto P : shard_counts) {
-      core::ShardOptions options;
-      options.shards = P;
-      options.mode = mode;
-      const core::ShardedClusterer engine(planted.graph, config, options);
-      util::Timer timer;
-      const auto report = engine.run();
-      const double seconds = timer.seconds();
+    for (const auto P : flat_shards) {
+      std::map<graph::PartitionMode, std::uint64_t> cut_of;
+      for (const auto mode : kModes) {
+        core::ShardOptions options;
+        options.shards = P;
+        options.mode = mode;
+        const core::ShardedClusterer engine(planted.graph, config, options);
+        util::Timer timer;
+        const auto report = engine.run();
+        const double seconds = timer.seconds();
+        cut_of[mode] = report.partition_edge_cut;
 
-      const double m = static_cast<double>(planted.graph.num_edges());
-      table.row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(P),
-                 std::string(graph::partition_mode_name(mode)),
-                 static_cast<std::int64_t>(report.result.rounds),
-                 static_cast<std::int64_t>(report.result.seeds.size()), dense_seconds,
-                 seconds, dense_seconds / seconds,
-                 static_cast<std::int64_t>(report.traffic.words),
-                 static_cast<double>(report.partition_edge_cut) / m,
-                 std::string(report.result.labels == dense.labels ? "yes" : "NO")});
+        const bool labels_eq = report.result.labels == dense.labels;
+        const std::string cell = "flat n=" + std::to_string(n) +
+                                 " P=" + std::to_string(P) + " mode=" +
+                                 std::string(graph::partition_mode_name(mode));
+        check(labels_eq, cell + ": labels differ from the dense engine");
+        if (P == 1) check(report.traffic.words == 0, cell + ": cross words at P=1");
+
+        flat.row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(P),
+                  std::string(graph::partition_mode_name(mode)),
+                  static_cast<std::int64_t>(report.result.rounds),
+                  static_cast<std::int64_t>(report.result.seeds.size()), dense_seconds,
+                  seconds, dense_seconds / seconds,
+                  static_cast<std::int64_t>(report.partition_edge_cut),
+                  static_cast<std::int64_t>(report.traffic.words),
+                  std::string(labels_eq ? "yes" : "NO")});
+      }
+      const std::uint64_t best_baseline =
+          std::min(cut_of[graph::PartitionMode::kRange], cut_of[graph::PartitionMode::kBfs]);
+      check(cut_of[graph::PartitionMode::kRefined] <= best_baseline,
+            "flat n=" + std::to_string(n) + " P=" + std::to_string(P) +
+                ": refined cut " + std::to_string(cut_of[graph::PartitionMode::kRefined]) +
+                " > best baseline " + std::to_string(best_baseline));
     }
   }
-  table.print(std::cout);
-  bench::write_bench_json(json_path, "E15", {&table});
-  std::cout << "# PASS criteria: labels_eq = yes everywhere (sharding never changes a\n"
-               "# label); speedup > 1 for P > 1 on multi-core hardware, growing with n;\n"
-               "# cross_words tracks the partition cut (P=1 => 0 cross words).\n";
+  flat.print(std::cout);
+
+  // ---- Hierarchical instance: refined must beat bfs on words ---------
+  // 2k sub-expanders of n/(2k) nodes, paired into k parent groups:
+  // sibling tier (within a group) rewired to phi_sub, parent tier
+  // (across groups) to phi_inter.  BFS growth from one seed straddles
+  // sub-cluster boundaries; the multilevel partitioner recovers them.
+  util::Table hier("hierarchical instance: cross-shard words by partition mode",
+                   {"n", "P", "mode", "T", "cut", "cross_words", "words_vs_refined",
+                    "labels_eq"});
+  const std::uint32_t k2 = 2 * k;
+  double gate_ratio = 0.0;  // words(bfs)/words(refined) at max n, max P
+  for (int log2n = min_log2; log2n <= max_log2; ++log2n) {
+    const auto n = static_cast<graph::NodeId>(1) << log2n;
+    graph::ClusteredRegularSpec spec;
+    spec.cluster_sizes.assign(k2, n / k2);
+    spec.degree = 16;
+    spec.sibling_group_size = 2;
+    spec.sibling_swaps = graph::swaps_for_conductance(spec, 0.04);
+    spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.015);
+    util::Rng rng(2500 + static_cast<std::uint64_t>(log2n));
+    const auto planted = graph::clustered_regular(spec, rng);
+
+    core::ClusterConfig config = base_config(k2);
+    config.rounds =
+        core::recommended_rounds(planted.graph, k2, config.rounds_multiplier, config.seed)
+            .rounds;
+    const auto dense = core::Clusterer(planted.graph, config).run();
+
+    for (const auto P : hier_shards) {
+      std::map<graph::PartitionMode, std::uint64_t> words_of;
+      std::map<graph::PartitionMode, core::ShardedReport> report_of;
+      for (const auto mode : kModes) {
+        core::ShardOptions options;
+        options.shards = P;
+        options.mode = mode;
+        const core::ShardedClusterer engine(planted.graph, config, options);
+        report_of[mode] = engine.run();
+        words_of[mode] = report_of[mode].traffic.words;
+        const std::string cell = "hier n=" + std::to_string(n) +
+                                 " P=" + std::to_string(P) + " mode=" +
+                                 std::string(graph::partition_mode_name(mode));
+        check(report_of[mode].result.labels == dense.labels,
+              cell + ": labels differ from the dense engine");
+      }
+      const double refined_words =
+          static_cast<double>(std::max<std::uint64_t>(1, words_of[graph::PartitionMode::kRefined]));
+      for (const auto mode : kModes) {
+        const auto& report = report_of[mode];
+        hier.row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(P),
+                  std::string(graph::partition_mode_name(mode)),
+                  static_cast<std::int64_t>(report.result.rounds),
+                  static_cast<std::int64_t>(report.partition_edge_cut),
+                  static_cast<std::int64_t>(report.traffic.words),
+                  static_cast<double>(report.traffic.words) / refined_words,
+                  std::string(report.result.labels == dense.labels ? "yes" : "NO")});
+      }
+      if (log2n == max_log2 && P == hier_shards.back()) {
+        gate_ratio =
+            static_cast<double>(words_of[graph::PartitionMode::kBfs]) / refined_words;
+      }
+    }
+  }
+  hier.print(std::cout);
+  check(gate_ratio >= min_words_ratio,
+        "hierarchical words(bfs)/words(refined) = " + std::to_string(gate_ratio) +
+            " < required " + std::to_string(min_words_ratio) + " at P=" +
+            std::to_string(hier_shards.back()) + ", n=2^" + std::to_string(max_log2));
+
+  bench::write_bench_json(json_path, "E15", {&flat, &hier});
+
+  if (!gate_failures.empty()) {
+    for (const auto& f : gate_failures) std::cout << "# FAIL: " << f << "\n";
+    return 1;
+  }
+  std::cout << "# PASS: labels bit-identical to dense in every cell; P=1 => 0 cross\n"
+               "# words; refined cut <= min(range, bfs) on every flat cell; and\n"
+               "# hierarchical words(bfs)/words(refined) = "
+            << gate_ratio << " >= " << min_words_ratio << ".\n";
   return 0;
 }

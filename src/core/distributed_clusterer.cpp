@@ -56,10 +56,12 @@ SparseState merge_states(const SparseState& own, const SparseState& other,
 DistributedClusterer::DistributedClusterer(const graph::Graph& g, ClusterConfig config)
     : Engine(g, config) {}
 
-DistributedReport DistributedClusterer::run(double drop_probability) const {
+DistributedReport DistributedClusterer::run(double drop_probability,
+                                            const graph::Partition* partition) const {
   const graph::Graph& g = graph();
   const graph::NodeId n = g.num_nodes();
   const ClusterConfig& cfg = config();
+  if (partition != nullptr) graph::validate_partition(*partition, n);
 
   DistributedReport report;
   ClusterResult& result = report.result;
@@ -81,6 +83,18 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
     network.set_drop_probability(drop_probability,
                                  derive_seed(cfg.seed, Stream::kTieBreak));
   }
+  // Wire-traffic accounting only: messages whose endpoints live on
+  // different shards of the supplied partition are what a multi-process
+  // deployment would serialise.  Metered at send time (a dropped message
+  // still cost its bytes).
+  const auto send = [&](net::Message message) {
+    if (partition != nullptr &&
+        partition->shard_of[message.from] != partition->shard_of[message.to]) {
+      report.cross_partition_words += net::Network::words_of(message);
+      ++report.cross_partition_messages;
+    }
+    network.send(std::move(message));
+  };
 
   matching::MatchingGenerator generator(
       g, derive_seed(cfg.seed, Stream::kMatching), cfg.protocol);
@@ -149,7 +163,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
     // Phase 1 — active nodes probe their chosen neighbour.
     for (graph::NodeId v = 0; v < n; ++v) {
       if (coins.probe[v] != graph::kInvalidNode) {
-        network.send({v, coins.probe[v], net::MsgKind::kProbe, {}});
+        send({v, coins.probe[v], net::MsgKind::kProbe, {}});
       }
     }
     network.deliver();
@@ -173,7 +187,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
       if (probes == 1) {
         pending_partner[v] = prober;
         ++matched_pairs;
-        network.send({v, prober, net::MsgKind::kAccept, state[v]});
+        send({v, prober, net::MsgKind::kAccept, state[v]});
       }
     }
     network.deliver();
@@ -186,7 +200,7 @@ DistributedReport DistributedClusterer::run(double drop_probability) const {
       for (const auto& message : inbox) {
         if (message.kind != net::MsgKind::kAccept) continue;
         // u probed exactly one neighbour, so at most one accept arrives.
-        network.send({u, message.from, net::MsgKind::kState, state[u]});
+        send({u, message.from, net::MsgKind::kState, state[u]});
         state[u] = merge_states(state[u], message.payload, pair_lambda(u, message.from));
         break;
       }

@@ -19,6 +19,7 @@
 #include "core/config.hpp"
 #include "core/engine.hpp"
 #include "graph/graph.hpp"
+#include "graph/partitioner.hpp"
 #include "net/network.hpp"
 
 namespace dgc::core {
@@ -32,6 +33,12 @@ struct DistributedReport {
   std::size_t phases = 0;
   /// Per-round words, for the message-complexity experiment (E4).
   std::vector<std::uint64_t> words_per_round;
+  /// With a partition supplied to run(): the subset of traffic whose
+  /// endpoints sit on different shards — what a multi-process deployment
+  /// would actually put on the wire (intra-shard messages stay
+  /// in-memory).  Zero when no partition is given.
+  std::uint64_t cross_partition_words = 0;
+  std::uint64_t cross_partition_messages = 0;
 };
 
 class DistributedClusterer : public Engine {
@@ -42,7 +49,12 @@ class DistributedClusterer : public Engine {
   /// (losing an Accept aborts that pair's averaging symmetrically; losing
   /// the final State reply leaves the pair asymmetric — exactly the
   /// two-generals behaviour a real lossy network would exhibit).
-  [[nodiscard]] DistributedReport run(double drop_probability = 0.0) const;
+  /// `partition` (optional, validated, not owned) only adds accounting:
+  /// cross_partition_words/messages meter the traffic that crosses its
+  /// shard boundaries.  The protocol itself — coins, pairs, labels — is
+  /// partition-independent.
+  [[nodiscard]] DistributedReport run(double drop_probability = 0.0,
+                                      const graph::Partition* partition = nullptr) const;
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "message-passing";

@@ -50,6 +50,11 @@ class ShardMailbox {
 ShardedClusterer::ShardedClusterer(const graph::Graph& g, ClusterConfig config,
                                    ShardOptions options)
     : Engine(g, config), options_(options) {
+  if (options_.partition != nullptr) {
+    graph::validate_partition(*options_.partition, g.num_nodes());
+    shards_ = options_.partition->num_shards;
+    return;
+  }
   std::uint32_t shards = options_.shards;
   if (shards == 0) {
     shards = std::max<std::uint32_t>(1, std::thread::hardware_concurrency());
@@ -70,7 +75,9 @@ ShardedReport ShardedClusterer::run() const {
   const std::size_t s = result.seeds.size();
 
   // --- Shard assignment ---------------------------------------------
-  report.partition = graph::partition_graph(g, P, options_.mode);
+  report.partition = options_.partition != nullptr
+                         ? *options_.partition
+                         : graph::partition_graph(g, P, options_.mode);
   report.partition_edge_cut = metrics::edge_cut(g, report.partition.shard_of);
   report.partition_cut_weight = metrics::edge_cut_weight(g, report.partition.shard_of);
   report.partition_imbalance = metrics::partition_imbalance(report.partition.shard_of, P);

@@ -35,6 +35,14 @@ struct ShardOptions {
   /// Number of shards P.  0 = hardware concurrency (capped at n).
   std::uint32_t shards = 0;
   graph::PartitionMode mode = graph::PartitionMode::kRange;
+  /// Externally supplied node partition (a partition file, or
+  /// graph::refine_partition with non-default options).  When set it
+  /// wins outright: `shards` and `mode` are ignored and P =
+  /// partition->num_shards.  Validated against the graph at
+  /// construction (graph::validate_partition — any valid assignment is
+  /// accepted, balanced or not; labels stay bit-identical either way).
+  /// Must outlive the clusterer.
+  const graph::Partition* partition = nullptr;
   /// Worker threads backing the shards.  0 = one per shard.
   std::size_t threads = 0;
 };

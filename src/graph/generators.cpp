@@ -87,6 +87,17 @@ PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng)
   }
   DGC_REQUIRE(k >= 2 || spec.inter_cluster_swaps == 0,
               "inter-cluster swaps need at least two clusters");
+  const std::uint32_t gs = spec.sibling_group_size;
+  DGC_REQUIRE(gs >= 1, "sibling_group_size must be at least 1");
+  if (gs > 1) {
+    DGC_REQUIRE(k % gs == 0, "sibling_group_size must divide the cluster count");
+    DGC_REQUIRE(spec.topology == ClusteredRegularSpec::Topology::kComplete,
+                "sibling groups are only defined for kComplete topology");
+    DGC_REQUIRE(gs < k || spec.inter_cluster_swaps == 0,
+                "inter-cluster swaps need at least two sibling groups");
+  } else {
+    DGC_REQUIRE(spec.sibling_swaps == 0, "sibling_swaps need sibling_group_size > 1");
+  }
 
   // Node id layout: cluster c occupies a contiguous block.
   std::vector<NodeId> base(k + 1, 0);
@@ -124,14 +135,10 @@ PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng)
     return {a, b};
   };
 
-  std::size_t done = 0;
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = 400 * (spec.inter_cluster_swaps + 1) + 10000;
-  while (done < spec.inter_cluster_swaps) {
-    DGC_REQUIRE(++attempts < max_attempts,
-                "clustered_regular rewiring did not converge; too many swaps requested");
-    const auto [a, b] = pick_cluster_pair();
-    if (intra[a].empty() || intra[b].empty()) continue;
+  // One rewiring attempt between clusters a and b; returns whether it
+  // landed (false on intra-list exhaustion or a duplicate-edge clash).
+  const auto try_swap = [&](std::uint32_t a, std::uint32_t b) {
+    if (intra[a].empty() || intra[b].empty()) return false;
     const std::size_t ia = rng.next_below(intra[a].size());
     const std::size_t ib = rng.next_below(intra[b].size());
     const std::size_t ea = intra[a][ia];
@@ -140,7 +147,7 @@ PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng)
     auto [u2, v2] = edges[eb];
     if (rng.next_bit()) std::swap(u2, v2);  // random orientation
     if (present.count(edge_key(u1, u2)) != 0 || present.count(edge_key(v1, v2)) != 0) {
-      continue;
+      return false;
     }
     present.erase(edge_key(u1, v1));
     present.erase(edge_key(u2, v2));
@@ -153,7 +160,32 @@ PlantedGraph clustered_regular(const ClusteredRegularSpec& spec, util::Rng& rng)
     intra[a].pop_back();
     intra[b][ib] = intra[b].back();
     intra[b].pop_back();
-    ++done;
+    return true;
+  };
+
+  // Sibling tier first: rewire inside each parent group, so the nested
+  // sub-structure exists before the coarse tier spreads across groups.
+  std::size_t done = 0;
+  std::size_t attempts = 0;
+  std::size_t max_attempts = 400 * (spec.sibling_swaps + 1) + 10000;
+  while (done < spec.sibling_swaps) {
+    DGC_REQUIRE(++attempts < max_attempts,
+                "clustered_regular sibling rewiring did not converge; too many swaps");
+    const auto a = static_cast<std::uint32_t>(rng.next_below(k));
+    auto b = (a / gs) * gs + static_cast<std::uint32_t>(rng.next_below(gs - 1));
+    if (b >= a) ++b;
+    if (try_swap(a, b)) ++done;
+  }
+
+  done = 0;
+  attempts = 0;
+  max_attempts = 400 * (spec.inter_cluster_swaps + 1) + 10000;
+  while (done < spec.inter_cluster_swaps) {
+    DGC_REQUIRE(++attempts < max_attempts,
+                "clustered_regular rewiring did not converge; too many swaps requested");
+    const auto [a, b] = pick_cluster_pair();
+    if (gs > 1 && a / gs == b / gs) continue;  // coarse tier crosses groups only
+    if (try_swap(a, b)) ++done;
   }
 
   PlantedGraph out;

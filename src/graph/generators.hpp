@@ -50,6 +50,19 @@ struct ClusteredRegularSpec {
     kRing,      ///< only consecutive clusters i, i+1 (mod k)
   };
   Topology topology = Topology::kComplete;
+  /// Hierarchical (two-tier) variant: consecutive runs of
+  /// sibling_group_size clusters form a parent group (must divide the
+  /// cluster count; kComplete topology only).  sibling_swaps rewire
+  /// between clusters of the *same* group — the tight tier — while
+  /// inter_cluster_swaps then only join clusters of *different* groups,
+  /// so the planted structure has sub-clusters nested inside parent
+  /// clusters (membership stays per-sub-cluster; the parent of cluster c
+  /// is c / sibling_group_size).  At group size 1 both knobs reduce to
+  /// the flat instance, bit-identically.  swaps_for_conductance applies
+  /// to either tier (the per-cluster cut formula only depends on k, d
+  /// and the cluster size).
+  std::uint32_t sibling_group_size = 1;
+  std::size_t sibling_swaps = 0;
   /// Weighted variant: intra-cluster edges carry intra_weight and
   /// inter-cluster edges inter_weight (the in/out weight-ratio knob).
   /// The adjacency structure is identical to the unweighted instance

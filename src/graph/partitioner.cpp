@@ -1,6 +1,14 @@
 #include "graph/partitioner.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <deque>
+#include <functional>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <utility>
 
 #include "util/require.hpp"
 
@@ -12,8 +20,17 @@ std::string_view partition_mode_name(PartitionMode mode) {
       return "range";
     case PartitionMode::kBfs:
       return "bfs";
+    case PartitionMode::kRefined:
+      return "refined";
   }
   DGC_REQUIRE(false, "unknown partition mode");
+}
+
+PartitionMode parse_partition_mode(std::string_view name) {
+  if (name == "range") return PartitionMode::kRange;
+  if (name == "bfs") return PartitionMode::kBfs;
+  if (name == "refined") return PartitionMode::kRefined;
+  DGC_REQUIRE(false, "unknown partition mode (want range|bfs|refined)");
 }
 
 std::vector<std::size_t> Partition::shard_sizes() const {
@@ -30,7 +47,18 @@ std::vector<std::vector<NodeId>> Partition::members() const {
   return out;
 }
 
+void validate_partition(const Partition& p, NodeId num_nodes) {
+  DGC_REQUIRE(p.num_shards >= 1, "need at least one shard");
+  DGC_REQUIRE(p.num_shards <= num_nodes, "more shards than nodes");
+  DGC_REQUIRE(p.shard_of.size() == num_nodes, "partition size mismatch");
+  for (const std::uint32_t s : p.shard_of) {
+    DGC_REQUIRE(s < p.num_shards, "shard id out of range");
+  }
+}
+
 namespace {
+
+constexpr double kEps = 1e-9;
 
 /// Target size of shard s: ⌈n/P⌉ for the first n mod P shards, ⌊n/P⌋ after.
 std::vector<std::size_t> target_sizes(std::size_t n, std::uint32_t shards) {
@@ -51,36 +79,677 @@ Partition partition_range(const Graph& g, std::uint32_t shards) {
   return p;
 }
 
-Partition partition_bfs(const Graph& g, std::uint32_t shards) {
-  const NodeId n = g.num_nodes();
-  Partition p;
-  p.num_shards = shards;
-  p.shard_of.assign(n, shards);  // "unassigned" sentinel
-  const auto targets = target_sizes(n, shards);
+/// Grows shards breadth-first over a CSR view.  Weight-aware: shard s
+/// absorbs the frontier until the cumulative assigned weight reaches
+/// sum_{t<=s} (⌊W/P⌋ + (t < W mod P)) — with unit weights this is the
+/// classic node-count grower, and the multilevel refiner reuses it at
+/// the coarsest level with contracted node weights.  Restart rule:
+/// whenever the frontier empties (disconnected graphs, isolated nodes)
+/// growth restarts from the lowest-id unassigned node, so the result is
+/// deterministic on every input.
+std::vector<std::uint32_t> bfs_grow(NodeId n, std::span<const std::uint64_t> offsets,
+                                    std::span<const NodeId> adj,
+                                    std::span<const std::uint64_t> node_weight,
+                                    std::uint32_t shards) {
+  std::vector<std::uint32_t> part(n, shards);  // "unassigned" sentinel
+  std::uint64_t total = 0;
+  if (node_weight.empty()) {
+    total = n;
+  } else {
+    for (const std::uint64_t w : node_weight) total += w;
+  }
+  const std::uint64_t base = total / shards;
+  const std::uint64_t rem = total % shards;
 
   std::deque<NodeId> frontier;
   NodeId next_unassigned = 0;  // smallest node never enqueued as a restart
+  std::uint64_t assigned = 0;
+  std::uint64_t cum_target = 0;
+  NodeId assigned_nodes = 0;
   for (std::uint32_t s = 0; s < shards; ++s) {
-    std::size_t filled = 0;
-    while (filled < targets[s]) {
+    cum_target += base + (s < rem ? 1 : 0);
+    while (assigned < cum_target && assigned_nodes < n) {
       if (frontier.empty()) {
-        while (p.shard_of[next_unassigned] != shards) ++next_unassigned;
+        while (part[next_unassigned] != shards) ++next_unassigned;
         frontier.push_back(next_unassigned);
       }
       const NodeId v = frontier.front();
       frontier.pop_front();
-      if (p.shard_of[v] != shards) continue;
-      p.shard_of[v] = s;
-      ++filled;
-      for (const NodeId u : g.neighbors(v)) {
-        if (p.shard_of[u] == shards) frontier.push_back(u);
+      if (part[v] != shards) continue;
+      part[v] = s;
+      assigned += node_weight.empty() ? 1 : node_weight[v];
+      ++assigned_nodes;
+      for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        const NodeId u = adj[i];
+        if (part[u] == shards) frontier.push_back(u);
       }
     }
   }
+  // Lumpy node weights can exhaust the targets before every node is
+  // placed; sweep the tail into the last shard (unit weights never hit
+  // this — the targets sum to exactly n).
+  for (NodeId v = 0; v < n; ++v) {
+    if (part[v] == shards) part[v] = shards - 1;
+  }
+  return part;
+}
+
+Partition partition_bfs(const Graph& g, std::uint32_t shards) {
+  Partition p;
+  p.num_shards = shards;
+  p.shard_of = bfs_grow(g.num_nodes(), g.offsets(), g.adjacency(), {}, shards);
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// Multilevel machinery (refine_partition).
+// ---------------------------------------------------------------------------
+
+/// One level of the coarsening hierarchy.  Level 0 aliases the input
+/// graph's CSR spans (no copy); coarse levels own their arrays and keep
+/// the spans bound to them (rebind()).  Coarse graphs are always
+/// weighted — contracted parallel edges sum their weights — and carry
+/// per-node weights (= how many original nodes a coarse node stands
+/// for), so balance at any level speaks for balance at level 0.
+struct Level {
+  NodeId n = 0;
+  std::span<const std::uint64_t> offsets;
+  std::span<const NodeId> adj;
+  std::span<const double> wgt;             // empty ⇒ every arc weighs 1.0
+  std::vector<std::uint64_t> node_weight;  // empty ⇒ every node weighs 1
+  std::vector<double> node_volume;         // filled only for kVolume runs
+  std::vector<NodeId> coarse_of;           // fine node → this level's node
+  std::uint64_t max_node_weight = 1;
+  std::vector<std::uint64_t> own_offsets;
+  std::vector<NodeId> own_adj;
+  std::vector<double> own_wgt;
+
+  [[nodiscard]] double arc_weight(std::uint64_t i) const {
+    return wgt.empty() ? 1.0 : wgt[i];
+  }
+  [[nodiscard]] std::uint64_t weight_of(NodeId v) const {
+    return node_weight.empty() ? 1 : node_weight[v];
+  }
+  /// Points the spans at the owned arrays (call after moving a Level
+  /// into its final slot; level 0 keeps aliasing the Graph).
+  void rebind() {
+    if (!own_offsets.empty()) {
+      offsets = own_offsets;
+      adj = own_adj;
+      wgt = own_wgt;
+    }
+  }
+};
+
+/// Contracts one level by heavy-edge matching: scanning nodes in id
+/// order, each unmatched node grabs its heaviest unmatched neighbour
+/// (ties → lowest id); matched pairs and leftover singletons become the
+/// coarse nodes, numbered by their smaller endpoint, so the whole step
+/// is deterministic.
+Level coarsen_level(const Level& fine, bool need_volume) {
+  const NodeId n = fine.n;
+  std::vector<NodeId> match(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (match[v] != kInvalidNode) continue;
+    NodeId best = kInvalidNode;
+    double best_w = 0.0;
+    for (std::uint64_t i = fine.offsets[v]; i < fine.offsets[v + 1]; ++i) {
+      const NodeId u = fine.adj[i];
+      if (match[u] != kInvalidNode || u == v) continue;
+      const double w = fine.arc_weight(i);
+      if (best == kInvalidNode || w > best_w || (w == best_w && u < best)) {
+        best = u;
+        best_w = w;
+      }
+    }
+    match[v] = (best == kInvalidNode) ? v : best;
+    if (best != kInvalidNode) match[best] = v;
+  }
+
+  Level coarse;
+  coarse.coarse_of.resize(n);
+  std::vector<NodeId> rep;  // smaller endpoint of each coarse node
+  rep.reserve(n);
+  NodeId cn = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (match[v] >= v) {
+      coarse.coarse_of[v] = cn++;
+      rep.push_back(v);
+    } else {
+      coarse.coarse_of[v] = coarse.coarse_of[match[v]];
+    }
+  }
+  coarse.n = cn;
+
+  coarse.node_weight.assign(cn, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    coarse.node_weight[coarse.coarse_of[v]] += fine.weight_of(v);
+  }
+  for (const std::uint64_t w : coarse.node_weight) {
+    coarse.max_node_weight = std::max(coarse.max_node_weight, w);
+  }
+  if (need_volume) {
+    coarse.node_volume.assign(cn, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      coarse.node_volume[coarse.coarse_of[v]] += fine.node_volume[v];
+    }
+  }
+
+  coarse.own_offsets.assign(static_cast<std::size_t>(cn) + 1, 0);
+  std::vector<double> acc(cn, 0.0);
+  std::vector<NodeId> touched;
+  for (NodeId cv = 0; cv < cn; ++cv) {
+    const NodeId a = rep[cv];
+    const NodeId b = match[a];
+    const auto absorb = [&](NodeId u) {
+      for (std::uint64_t i = fine.offsets[u]; i < fine.offsets[u + 1]; ++i) {
+        const NodeId cu = coarse.coarse_of[fine.adj[i]];
+        if (cu == cv) continue;  // the contracted edge disappears
+        if (acc[cu] == 0.0) touched.push_back(cu);
+        acc[cu] += fine.arc_weight(i);
+      }
+    };
+    absorb(a);
+    if (b != a) absorb(b);
+    std::sort(touched.begin(), touched.end());
+    for (const NodeId cu : touched) {
+      coarse.own_adj.push_back(cu);
+      coarse.own_wgt.push_back(acc[cu]);
+      acc[cu] = 0.0;
+    }
+    coarse.own_offsets[cv + 1] =
+        coarse.own_offsets[cv] + static_cast<std::uint64_t>(touched.size());
+    touched.clear();
+  }
+  return coarse;
+}
+
+double level_cut_weight(const Level& L, const std::vector<std::uint32_t>& part) {
+  double cut = 0.0;
+  for (NodeId v = 0; v < L.n; ++v) {
+    for (std::uint64_t i = L.offsets[v]; i < L.offsets[v + 1]; ++i) {
+      const NodeId u = L.adj[i];
+      if (u > v && part[u] != part[v]) cut += L.arc_weight(i);
+    }
+  }
+  return cut;
+}
+
+/// Per-level balance bands.  Moves during a refinement pass must keep
+/// every shard in [lo, hi]; a pass prefix only *commits* when every
+/// shard is in [legal_lo, legal_hi].  The two differ only at the finest
+/// node-balance level when P | n, where the commit target is "all shards
+/// exactly n/P" but a ±1 corridor is needed to swap nodes at all.
+struct Bounds {
+  double lo = 0.0;
+  double hi = 0.0;
+  double legal_lo = 0.0;
+  double legal_hi = 0.0;
+};
+
+Bounds level_bounds(const Level& L, std::uint32_t P, bool finest, bool volume,
+                    double volume_tolerance, const std::vector<double>& size) {
+  Bounds b;
+  if (volume) {
+    double total = 0.0;
+    double largest = 0.0;
+    for (const double s : size) {
+      total += s;
+      largest = std::max(largest, s);
+    }
+    // Never demand a tighter balance than the state we started from —
+    // lumpy volumes can make the tolerance unreachable; "no worse" is
+    // always reachable.
+    b.hi = std::max(volume_tolerance * total / static_cast<double>(P), largest);
+    b.legal_hi = b.hi;
+    b.lo = 0.0;
+    b.legal_lo = 0.0;
+    return b;
+  }
+  std::uint64_t total = 0;
+  if (L.node_weight.empty()) {
+    total = L.n;
+  } else {
+    for (const std::uint64_t w : L.node_weight) total += w;
+  }
+  const double f = static_cast<double>(total / P);
+  const double c = static_cast<double>(total / P + (total % P != 0 ? 1 : 0));
+  if (finest) {
+    b.legal_lo = f;
+    b.legal_hi = c;
+    if (total % P == 0) {
+      // All shards must end at exactly f; allow a ±1 corridor so nodes
+      // can still trade places mid-pass.
+      b.lo = f - 1.0;
+      b.hi = f + 1.0;
+    } else {
+      b.lo = f;
+      b.hi = c;
+    }
+  } else {
+    const double slack = static_cast<double>(L.max_node_weight);
+    b.lo = std::max(0.0, f - slack);
+    b.hi = c + slack;
+    b.legal_lo = b.lo;
+    b.legal_hi = b.hi;
+  }
+  return b;
+}
+
+/// Euclidean projection of a row onto the probability simplex (the
+/// standard sort-and-threshold step).
+void project_row_simplex(std::span<double> row, std::vector<double>& scratch) {
+  scratch.assign(row.begin(), row.end());
+  std::sort(scratch.begin(), scratch.end(), std::greater<>());
+  double cum = 0.0;
+  double theta = 0.0;
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < scratch.size(); ++j) {
+    cum += scratch[j];
+    const double t = (cum - 1.0) / static_cast<double>(j + 1);
+    if (scratch[j] - t > 0.0) {
+      theta = t;
+      k = j + 1;
+    }
+  }
+  if (k == 0) {
+    const double uniform = 1.0 / static_cast<double>(row.size());
+    for (double& x : row) x = uniform;
+    return;
+  }
+  for (double& x : row) x = std::max(0.0, x - theta);
+}
+
+/// Projected-gradient smoothing of the fractional shard assignment at
+/// the coarsest level (arXiv:1902.03522-style): gradient steps on the
+/// random-walk smoothness objective interleaved with row-simplex and
+/// column-mass projections, then a confidence-ordered deterministic
+/// rounding under per-shard capacities.
+void projected_gradient_sweep(const Level& L, std::uint32_t P, const RefineOptions& opt,
+                              bool volume, std::vector<std::uint32_t>& part) {
+  const NodeId n = L.n;
+  if (n == 0 || P <= 1) return;
+  const std::size_t np = static_cast<std::size_t>(n) * P;
+  std::vector<double> x(np, 0.0);
+  std::vector<double> y(np, 0.0);
+  for (NodeId v = 0; v < n; ++v) x[static_cast<std::size_t>(v) * P + part[v]] = 1.0;
+
+  std::vector<double> deg(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t i = L.offsets[v]; i < L.offsets[v + 1]; ++i) {
+      deg[v] += L.arc_weight(i);
+    }
+  }
+  const auto node_size = [&](NodeId v) -> double {
+    return volume ? L.node_volume[v] : static_cast<double>(L.weight_of(v));
+  };
+
+  std::vector<double> scratch;
+  std::vector<double> acc(P, 0.0);
+  std::vector<double> mass(P, 0.0);
+  const double step = opt.pg_step;
+  for (std::size_t it = 0; it < opt.pg_iterations; ++it) {
+    for (NodeId v = 0; v < n; ++v) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::uint64_t i = L.offsets[v]; i < L.offsets[v + 1]; ++i) {
+        const double* xu = &x[static_cast<std::size_t>(L.adj[i]) * P];
+        const double w = L.arc_weight(i);
+        for (std::uint32_t p = 0; p < P; ++p) acc[p] += w * xu[p];
+      }
+      double* yv = &y[static_cast<std::size_t>(v) * P];
+      const double* xv = &x[static_cast<std::size_t>(v) * P];
+      if (deg[v] > 0.0) {
+        for (std::uint32_t p = 0; p < P; ++p) {
+          yv[p] = (1.0 - step) * xv[p] + step * acc[p] / deg[v];
+        }
+      } else {
+        for (std::uint32_t p = 0; p < P; ++p) yv[p] = xv[p];
+      }
+      project_row_simplex(std::span<double>(yv, P), scratch);
+    }
+    // Pull column masses toward balance, then restore row-stochasticity.
+    std::fill(mass.begin(), mass.end(), 0.0);
+    double total = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double wv = node_size(v);
+      const double* yv = &y[static_cast<std::size_t>(v) * P];
+      for (std::uint32_t p = 0; p < P; ++p) mass[p] += wv * yv[p];
+      total += wv;
+    }
+    const double target = total / static_cast<double>(P);
+    for (std::uint32_t p = 0; p < P; ++p) {
+      mass[p] = target / std::max(mass[p], 1e-12);  // reuse as scale
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      double* yv = &y[static_cast<std::size_t>(v) * P];
+      for (std::uint32_t p = 0; p < P; ++p) yv[p] *= mass[p];
+      project_row_simplex(std::span<double>(yv, P), scratch);
+    }
+    x.swap(y);
+  }
+
+  // Round the most confident rows first so ambiguous nodes absorb the
+  // capacity pressure; ties (including the one-hot rows PG left alone)
+  // break on node id.
+  std::vector<double> conf(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const double* xv = &x[static_cast<std::size_t>(v) * P];
+    double top1 = -1.0;
+    double top2 = -1.0;
+    for (std::uint32_t p = 0; p < P; ++p) {
+      if (xv[p] > top1) {
+        top2 = top1;
+        top1 = xv[p];
+      } else if (xv[p] > top2) {
+        top2 = xv[p];
+      }
+    }
+    conf[v] = top1 - top2;
+  }
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (conf[a] != conf[b]) return conf[a] > conf[b];
+    return a < b;
+  });
+
+  double cap = 0.0;
+  if (volume) {
+    double total = 0.0;
+    double largest = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      total += L.node_volume[v];
+      largest = std::max(largest, L.node_volume[v]);
+    }
+    cap = opt.volume_tolerance * total / static_cast<double>(P) + largest;
+  } else {
+    std::uint64_t total = 0;
+    for (NodeId v = 0; v < n; ++v) total += L.weight_of(v);
+    cap = static_cast<double>(total / P + (total % P != 0 ? 1 : 0)) +
+          static_cast<double>(L.max_node_weight);
+  }
+
+  std::vector<double> size(P, 0.0);
+  std::vector<std::uint32_t> rank(P, 0);
+  for (const NodeId v : order) {
+    const double* xv = &x[static_cast<std::size_t>(v) * P];
+    std::iota(rank.begin(), rank.end(), std::uint32_t{0});
+    std::sort(rank.begin(), rank.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (xv[a] != xv[b]) return xv[a] > xv[b];
+      return a < b;
+    });
+    const double w = node_size(v);
+    std::uint32_t chosen = P;
+    for (const std::uint32_t s : rank) {
+      if (size[s] + w <= cap + kEps) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == P) {  // every shard over capacity: take the emptiest
+      chosen = 0;
+      for (std::uint32_t s = 1; s < P; ++s) {
+        if (size[s] < size[chosen]) chosen = s;
+      }
+    }
+    part[v] = chosen;
+    size[chosen] += w;
+  }
+}
+
+/// FM-style refinement of `part` on one level: a rebalance preamble
+/// forces every shard inside the commit band, then up to max_fm_passes
+/// gain-ordered passes.  Each pass moves every node at most once
+/// (best-gain first, deterministic tie-breaks on node id then target
+/// shard), tracks the running cut gain, and rolls back to the best
+/// prefix whose shard sizes were all legal — the classic
+/// Fiduccia–Mattheyses hill-climb, with a lazy max-heap instead of gain
+/// buckets because coarse-level gains are real-valued.
+void fm_refine(const Level& L, std::uint32_t P, const RefineOptions& opt, bool finest,
+               bool volume, std::vector<std::uint32_t>& part) {
+  if (P <= 1 || L.n == 0) return;
+  const auto node_size = [&](NodeId v) -> double {
+    return volume ? L.node_volume[v] : static_cast<double>(L.weight_of(v));
+  };
+  std::vector<double> size(P, 0.0);
+  for (NodeId v = 0; v < L.n; ++v) size[part[v]] += node_size(v);
+  const Bounds b = level_bounds(L, P, finest, volume, opt.volume_tolerance, size);
+
+  // --- Rebalance preamble: projection from the coarser level (or PG
+  // rounding overflow) can leave shards outside the commit band.  Move
+  // the best-gain node from the fullest shard to the emptiest until
+  // every shard is legal; stop if a move can no longer reduce the
+  // violation (lumpy volumes).
+  const auto violation = [&](double s) {
+    return std::max(0.0, s - b.legal_hi) + std::max(0.0, b.legal_lo - s);
+  };
+  for (std::size_t guard = 0; guard <= 4 * static_cast<std::size_t>(L.n) + 16; ++guard) {
+    std::uint32_t lo_s = 0;
+    std::uint32_t hi_s = 0;
+    for (std::uint32_t s = 1; s < P; ++s) {
+      if (size[s] < size[lo_s]) lo_s = s;
+      if (size[s] > size[hi_s]) hi_s = s;
+    }
+    if (size[hi_s] <= b.legal_hi + kEps && size[lo_s] >= b.legal_lo - kEps) break;
+    NodeId best_v = kInvalidNode;
+    double best_g = 0.0;
+    for (NodeId v = 0; v < L.n; ++v) {
+      if (part[v] != hi_s) continue;
+      double g = 0.0;
+      for (std::uint64_t i = L.offsets[v]; i < L.offsets[v + 1]; ++i) {
+        const std::uint32_t s = part[L.adj[i]];
+        if (s == lo_s) g += L.arc_weight(i);
+        else if (s == hi_s) g -= L.arc_weight(i);
+      }
+      if (best_v == kInvalidNode || g > best_g || (g == best_g && v < best_v)) {
+        best_v = v;
+        best_g = g;
+      }
+    }
+    if (best_v == kInvalidNode) break;  // fullest shard is somehow empty
+    const double w = node_size(best_v);
+    const double before = violation(size[hi_s]) + violation(size[lo_s]);
+    const double after = violation(size[hi_s] - w) + violation(size[lo_s] + w);
+    if (after >= before - kEps) break;  // this move can't help any more
+    size[hi_s] -= w;
+    size[lo_s] += w;
+    part[best_v] = lo_s;
+  }
+
+  // --- Gain-ordered passes.
+  std::vector<double> conn(P, 0.0);
+  std::vector<std::uint32_t> touched;
+  const auto best_move = [&](NodeId v, double& gain, std::uint32_t& to) {
+    const std::uint32_t own = part[v];
+    for (std::uint64_t i = L.offsets[v]; i < L.offsets[v + 1]; ++i) {
+      const std::uint32_t s = part[L.adj[i]];
+      if (conn[s] == 0.0) touched.push_back(s);
+      conn[s] += L.arc_weight(i);
+    }
+    bool found = false;
+    for (const std::uint32_t s : touched) {
+      if (s == own) continue;
+      const double g = conn[s] - conn[own];
+      if (!found || g > gain || (g == gain && s < to)) {
+        gain = g;
+        to = s;
+        found = true;
+      }
+    }
+    for (const std::uint32_t s : touched) conn[s] = 0.0;
+    touched.clear();
+    return found;
+  };
+
+  struct Cand {
+    double gain;
+    NodeId v;
+    std::uint32_t to;
+    std::uint64_t stamp;
+  };
+  const auto cand_less = [](const Cand& lhs, const Cand& rhs) {
+    if (lhs.gain != rhs.gain) return lhs.gain < rhs.gain;  // max-heap on gain
+    if (lhs.v != rhs.v) return lhs.v > rhs.v;              // then lowest node id
+    return lhs.to > rhs.to;                                // then lowest target
+  };
+  std::vector<std::uint64_t> version(L.n, 0);
+  std::vector<char> moved(L.n, 0);
+  struct Move {
+    NodeId v;
+    std::uint32_t from;
+    std::uint32_t to;
+  };
+  std::vector<Move> history;
+  const auto legal = [&](double s) {
+    return s >= b.legal_lo - kEps && s <= b.legal_hi + kEps;
+  };
+
+  for (std::size_t pass = 0; pass < opt.max_fm_passes; ++pass) {
+    std::fill(moved.begin(), moved.end(), char{0});
+    history.clear();
+    std::priority_queue<Cand, std::vector<Cand>, decltype(cand_less)> heap(cand_less);
+    for (NodeId v = 0; v < L.n; ++v) {
+      double gain = 0.0;
+      std::uint32_t to = 0;
+      if (best_move(v, gain, to)) heap.push({gain, v, to, version[v]});
+    }
+    int violations = 0;
+    for (std::uint32_t s = 0; s < P; ++s) violations += legal(size[s]) ? 0 : 1;
+    double gain_sum = 0.0;
+    double best_gain = 0.0;
+    std::size_t best_prefix = 0;
+    while (!heap.empty()) {
+      const Cand c = heap.top();
+      heap.pop();
+      if (moved[c.v] || c.stamp != version[c.v]) continue;
+      const std::uint32_t from = part[c.v];
+      if (from == c.to) continue;
+      const double w = node_size(c.v);
+      if (size[from] - w < b.lo - kEps || size[c.to] + w > b.hi + kEps) continue;
+      violations -= legal(size[from]) ? 0 : 1;
+      violations -= legal(size[c.to]) ? 0 : 1;
+      size[from] -= w;
+      size[c.to] += w;
+      violations += legal(size[from]) ? 0 : 1;
+      violations += legal(size[c.to]) ? 0 : 1;
+      part[c.v] = c.to;
+      moved[c.v] = 1;
+      history.push_back({c.v, from, c.to});
+      gain_sum += c.gain;
+      if (violations == 0 && gain_sum > best_gain + kEps) {
+        best_gain = gain_sum;
+        best_prefix = history.size();
+      }
+      for (std::uint64_t i = L.offsets[c.v]; i < L.offsets[c.v + 1]; ++i) {
+        const NodeId u = L.adj[i];
+        if (moved[u]) continue;
+        ++version[u];
+        double gain = 0.0;
+        std::uint32_t to = 0;
+        if (best_move(u, gain, to)) heap.push({gain, u, to, version[u]});
+      }
+    }
+    for (std::size_t i = history.size(); i-- > best_prefix;) {
+      const Move& mv = history[i];
+      part[mv.v] = mv.from;
+      const double w = node_size(mv.v);
+      size[mv.to] -= w;
+      size[mv.from] += w;
+    }
+    if (best_prefix == 0) break;  // the pass found no committable gain
+  }
+}
+
 }  // namespace
+
+Partition refine_partition(const Graph& g, std::uint32_t shards,
+                           const RefineOptions& opt) {
+  const NodeId n = g.num_nodes();
+  DGC_REQUIRE(shards >= 1, "need at least one shard");
+  DGC_REQUIRE(shards <= n, "more shards than nodes");
+  DGC_REQUIRE(opt.volume_tolerance >= 1.0, "volume_tolerance must be >= 1.0");
+  Partition p;
+  p.num_shards = shards;
+  if (shards == 1) {
+    p.shard_of.assign(n, 0);
+    return p;
+  }
+  if (shards == n) {
+    p.shard_of.resize(n);
+    std::iota(p.shard_of.begin(), p.shard_of.end(), std::uint32_t{0});
+    return p;
+  }
+  const bool volume = opt.objective == BalanceObjective::kVolume;
+
+  // --- Coarsen.
+  constexpr std::size_t kMaxLevels = 48;
+  std::vector<Level> levels;
+  levels.reserve(kMaxLevels);
+  levels.emplace_back();
+  levels[0].n = n;
+  levels[0].offsets = g.offsets();
+  levels[0].adj = g.adjacency();
+  levels[0].wgt = g.weights();
+  if (volume) {
+    levels[0].node_volume.assign(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint64_t i = levels[0].offsets[v]; i < levels[0].offsets[v + 1]; ++i) {
+        levels[0].node_volume[v] += levels[0].arc_weight(i);
+      }
+    }
+  }
+  const std::size_t stop =
+      std::max<std::size_t>(opt.coarsen_min_nodes != 0
+                                ? opt.coarsen_min_nodes
+                                : std::max<std::size_t>(64, std::size_t{16} * shards),
+                            shards);
+  while (levels.back().n > stop && levels.size() < kMaxLevels) {
+    Level c = coarsen_level(levels.back(), volume);
+    const NodeId prev = levels.back().n;
+    if (c.n < shards || c.n >= prev - prev / 20) break;  // overshoot / stall
+    levels.push_back(std::move(c));
+    levels.back().rebind();
+  }
+
+  // --- Initial partition at the coarsest level.
+  const Level& top = levels.back();
+  std::vector<std::uint32_t> part =
+      bfs_grow(top.n, top.offsets, top.adj, top.node_weight, shards);
+  if (opt.projected_gradient) {
+    projected_gradient_sweep(top, shards, opt, volume, part);
+  }
+  fm_refine(top, shards, opt, /*finest=*/levels.size() == 1, volume, part);
+
+  // --- Uncoarsen: project each level down and refine.
+  for (std::size_t li = levels.size() - 1; li >= 1; --li) {
+    const Level& coarse = levels[li];
+    const Level& fine = levels[li - 1];
+    std::vector<std::uint32_t> fine_part(fine.n);
+    for (NodeId v = 0; v < fine.n; ++v) fine_part[v] = part[coarse.coarse_of[v]];
+    part = std::move(fine_part);
+    fm_refine(fine, shards, opt, /*finest=*/li - 1 == 0, volume, part);
+  }
+
+  // --- Portfolio: the multilevel result must never cut more weight than
+  // the plain heuristics, so refine range and BFS the same way and keep
+  // the lightest cut (ties prefer the multilevel result, then BFS).
+  // Node balance only — range/BFS don't honour the volume objective.
+  if (!volume) {
+    const Level& base = levels.front();
+    double best_cut = level_cut_weight(base, part);
+    for (const PartitionMode mode : {PartitionMode::kBfs, PartitionMode::kRange}) {
+      std::vector<std::uint32_t> cand = partition_graph(g, shards, mode).shard_of;
+      fm_refine(base, shards, opt, /*finest=*/true, /*volume=*/false, cand);
+      const double cut = level_cut_weight(base, cand);
+      if (cut < best_cut - kEps) {
+        best_cut = cut;
+        part = std::move(cand);
+      }
+    }
+  }
+  p.shard_of = std::move(part);
+  return p;
+}
 
 Partition partition_graph(const Graph& g, std::uint32_t shards, PartitionMode mode) {
   DGC_REQUIRE(shards >= 1, "need at least one shard");
@@ -90,6 +759,8 @@ Partition partition_graph(const Graph& g, std::uint32_t shards, PartitionMode mo
       return partition_range(g, shards);
     case PartitionMode::kBfs:
       return partition_bfs(g, shards);
+    case PartitionMode::kRefined:
+      return refine_partition(g, shards);
   }
   DGC_REQUIRE(false, "unknown partition mode");
 }

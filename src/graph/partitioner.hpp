@@ -3,16 +3,26 @@
 // The sharded engine (core/sharded_clusterer.hpp) assigns nodes to P
 // shards that simulate machines; a good assignment keeps the shards the
 // same size (parallel work is balanced) and the edge cut small (matched
-// pairs rarely cross shards, so little inter-shard traffic).  Two
-// deterministic modes:
-//   * kRange — contiguous node-id blocks.  Ignores edges entirely, but
+// pairs rarely cross shards, so little inter-shard traffic — E15 shows
+// cross-shard mailbox words track the cut exactly).  Three deterministic
+// modes:
+//   * kRange   — contiguous node-id blocks.  Ignores edges entirely, but
 //     planted generators number clusters contiguously, so on those
 //     instances range cuts are already near-minimal.
-//   * kBfs   — shards grown by breadth-first search: the next shard keeps
-//     absorbing the frontier until it reaches its target size, so shards
-//     hug connected regions.  The classic linear-time heuristic behind
-//     multi-dimensional balanced partitioners (see PAPERS.md).
-// Both modes are balanced within ±1 node (property-tested).  Cut quality
+//   * kBfs     — shards grown by breadth-first search: the next shard
+//     keeps absorbing the frontier until it reaches its target size, so
+//     shards hug connected regions.  When the frontier empties
+//     (disconnected graphs, isolated nodes) growth restarts from the
+//     lowest-id unassigned node, so the result is deterministic on every
+//     input.  The classic linear-time heuristic.
+//   * kRefined — multilevel cut minimisation (refine_partition below):
+//     coarsen by repeated heavy-edge matching, seed the coarsest level
+//     from the BFS grower (optionally smoothed by a projected-gradient
+//     sweep on the fractional assignment, after the multi-dimensional
+//     balanced-partitioning formulation of arXiv:1902.03522), then
+//     uncoarsen with gain-driven boundary refinement.  Our extension,
+//     not the paper's.
+// All modes are balanced within ±1 node (property-tested).  Cut quality
 // is measured by metrics::edge_cut / metrics::partition_imbalance.
 #pragma once
 
@@ -27,9 +37,13 @@ namespace dgc::graph {
 enum class PartitionMode : std::uint8_t {
   kRange = 0,
   kBfs = 1,
+  kRefined = 2,
 };
 
 [[nodiscard]] std::string_view partition_mode_name(PartitionMode mode);
+
+/// Parses "range" | "bfs" | "refined" (throws contract_error otherwise).
+[[nodiscard]] PartitionMode parse_partition_mode(std::string_view name);
 
 struct Partition {
   /// shard_of[v] in [0, num_shards) for every node v.
@@ -41,9 +55,62 @@ struct Partition {
   [[nodiscard]] std::vector<std::vector<NodeId>> members() const;
 };
 
+/// Throws contract_error unless `p` is a valid assignment for a graph of
+/// `num_nodes` nodes: one entry per node, 1 ≤ num_shards ≤ num_nodes,
+/// every entry in range.  Balance is NOT required — the engines stay
+/// bit-correct under any assignment; only performance suffers.  This is
+/// the trust boundary for externally supplied partitions (files, custom
+/// partitioners) handed to the engines.
+void validate_partition(const Partition& p, NodeId num_nodes);
+
 /// Deterministically partitions g's nodes into `shards` parts of size
-/// ⌊n/P⌋ or ⌈n/P⌉.  Requires 1 ≤ shards ≤ n.
+/// ⌊n/P⌋ or ⌈n/P⌉.  Requires 1 ≤ shards ≤ n.  kRefined uses
+/// refine_partition with default options.
 [[nodiscard]] Partition partition_graph(const Graph& g, std::uint32_t shards,
                                         PartitionMode mode);
+
+/// What the multilevel refiner keeps balanced while it minimises cut.
+enum class BalanceObjective : std::uint8_t {
+  /// Shard node counts within ±1 — partition_graph's contract, and the
+  /// sharded engine's parallel-work balance.
+  kNodes = 0,
+  /// Shard weighted volumes (sums of node strengths) within
+  /// RefineOptions::volume_tolerance, measured by
+  /// metrics::partition_imbalance_volume.  Node counts are then only
+  /// best-effort; use when per-edge work dominates per-node work.
+  kVolume = 1,
+};
+
+struct RefineOptions {
+  BalanceObjective objective = BalanceObjective::kNodes;
+  /// kVolume only: admissible partition_imbalance_volume (≥ 1.0).
+  double volume_tolerance = 1.05;
+  /// Coarsening stops once a level has at most this many nodes
+  /// (0 = max(64, 16·shards)).
+  std::size_t coarsen_min_nodes = 0;
+  /// Gain-driven refinement passes per level (each pass moves every
+  /// node at most once and commits the best balanced prefix).
+  std::size_t max_fm_passes = 8;
+  /// Smooth the coarsest-level fractional assignment with a projected-
+  /// gradient sweep before rounding (arXiv:1902.03522-style); purely a
+  /// quality knob, deterministic either way.
+  bool projected_gradient = true;
+  std::size_t pg_iterations = 24;
+  double pg_step = 0.9;
+};
+
+/// Cut-minimising multilevel partitioner (deterministic, serial):
+///   1. coarsen — repeated heavy-edge matching over the CSR views
+///      (weight-aware; contracted node weights carry original node
+///      counts) until coarsen_min_nodes;
+///   2. initial — BFS grower on the coarsest level (weight-aware
+///      targets), optionally followed by the projected-gradient sweep;
+///   3. uncoarsen — project each level back and refine with FM-style
+///      best-gain boundary moves under the balance objective.
+/// A best-of portfolio guarantees the result never cuts more weight
+/// than the range or BFS partitions of the same graph (kNodes mode).
+/// With kNodes the result honours the ±1 node contract exactly.
+[[nodiscard]] Partition refine_partition(const Graph& g, std::uint32_t shards,
+                                         const RefineOptions& options = {});
 
 }  // namespace dgc::graph

@@ -85,4 +85,60 @@ double partition_imbalance_volume(const graph::Graph& g,
   return largest * static_cast<double>(num_parts) / total;
 }
 
+PartitionProfile partition_profile(const graph::Graph& g,
+                                   std::span<const std::uint32_t> part,
+                                   std::uint32_t num_parts) {
+  DGC_REQUIRE(num_parts > 0, "need at least one part");
+  DGC_REQUIRE(part.size() == g.num_nodes(), "partition size mismatch");
+  PartitionProfile profile;
+  profile.shards.resize(num_parts);
+  const auto weights = g.weights();
+  const auto offsets = g.offsets();
+  const auto adjacency = g.adjacency();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t p = part[v];
+    DGC_REQUIRE(p < num_parts, "part id out of range");
+    ShardProfile& shard = profile.shards[p];
+    ++shard.nodes;
+    bool boundary = false;
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const graph::NodeId u = adjacency[i];
+      const double w = weights.empty() ? 1.0 : weights[i];
+      shard.volume += w;
+      if (part[u] != p) {
+        boundary = true;
+        ++shard.cut_edges;
+        shard.cut_weight += w;
+        if (u > v) {  // count each cut edge once in the totals
+          ++profile.cut_edges;
+          profile.cut_weight += w;
+        }
+      } else if (u > v) {
+        ++shard.internal_edges;
+      }
+    }
+    if (boundary) {
+      ++shard.boundary_nodes;
+      ++profile.boundary_nodes;
+    }
+  }
+  // Aggregates.
+  std::uint64_t largest_nodes = 0;
+  double largest_volume = 0.0;
+  double total_volume = 0.0;
+  for (const ShardProfile& shard : profile.shards) {
+    largest_nodes = std::max(largest_nodes, shard.nodes);
+    largest_volume = std::max(largest_volume, shard.volume);
+    total_volume += shard.volume;
+  }
+  profile.imbalance = static_cast<double>(largest_nodes) *
+                      static_cast<double>(num_parts) /
+                      static_cast<double>(part.size());
+  profile.imbalance_volume =
+      total_volume == 0.0
+          ? 0.0
+          : largest_volume * static_cast<double>(num_parts) / total_volume;
+  return profile;
+}
+
 }  // namespace dgc::metrics

@@ -43,4 +43,31 @@ namespace dgc::metrics {
                                                 std::span<const std::uint32_t> part,
                                                 std::uint32_t num_parts);
 
+/// Per-shard quality breakdown of a partition (the `dgc partition`
+/// summary and the E15 bench both report from this).
+struct ShardProfile {
+  std::uint64_t nodes = 0;
+  double volume = 0.0;           ///< strength sum (degree sum unweighted)
+  std::uint64_t boundary_nodes = 0;  ///< nodes with a neighbour elsewhere
+  std::uint64_t internal_edges = 0;  ///< both endpoints in this shard
+  std::uint64_t cut_edges = 0;       ///< edges leaving this shard
+  double cut_weight = 0.0;           ///< weight of those edges
+};
+
+struct PartitionProfile {
+  std::vector<ShardProfile> shards;
+  std::uint64_t cut_edges = 0;  ///< total cut (each edge counted once)
+  double cut_weight = 0.0;
+  std::uint64_t boundary_nodes = 0;
+  double imbalance = 0.0;         ///< partition_imbalance
+  double imbalance_volume = 0.0;  ///< partition_imbalance_volume
+};
+
+/// One-pass computation of the per-shard stats plus the aggregates the
+/// scalar metrics above report.  A shard's cut_edges counts every edge
+/// leaving it, so sum_p cut_edges(p) = 2 * total cut_edges.
+[[nodiscard]] PartitionProfile partition_profile(const graph::Graph& g,
+                                                 std::span<const std::uint32_t> part,
+                                                 std::uint32_t num_parts);
+
 }  // namespace dgc::metrics

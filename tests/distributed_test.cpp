@@ -10,7 +10,10 @@
 #include "core/distributed_clusterer.hpp"
 #include "core/sharded_clusterer.hpp"
 #include "graph/generators.hpp"
+#include "graph/partitioner.hpp"
 #include "metrics/clustering_metrics.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -53,6 +56,13 @@ TEST_P(EngineEquivalence, AllEnginesProduceIdenticalRuns) {
   config.seed = seed * 1000 + 1;
   core::ShardOptions options;
   options.shards = shards;
+  // The partition mode rides the shard axis (range at P=1, bfs at P=2,
+  // refined at P=4/8), so every mode crosses the whole hot-path grid —
+  // and the TSan leg — without tripling the cell count.  Partitioning
+  // must never move a label, so the assertions below are unchanged.
+  options.mode = shards == 1   ? graph::PartitionMode::kRange
+                 : shards == 2 ? graph::PartitionMode::kBfs
+                               : graph::PartitionMode::kRefined;
   // Reference: everything off (the pre-overhaul schedule).  It depends
   // only on (k, seed, rule), so cache it across the shard/hot-path grid
   // instead of recomputing it 16x per (k, seed) — this suite also runs
@@ -302,6 +312,66 @@ TEST(Distributed, TrafficAccountingIsConsistent) {
   EXPECT_EQ(sum, report.traffic.words);
   EXPECT_GT(report.traffic.messages, 0u);
   EXPECT_EQ(report.traffic.dropped_messages, 0u);
+}
+
+TEST(Distributed, CrossPartitionMeteringIsPureAccounting) {
+  // Supplying a partition to run() must not move a label or a word of
+  // total traffic — it only splits the existing traffic into the
+  // cross-shard subset a multi-process deployment would serialise.
+  const auto planted = make_instance(3, 120, 8, 24, 19);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 40;
+  config.seed = 23;
+  const auto baseline = core::DistributedClusterer(planted.graph, config).run();
+  EXPECT_EQ(baseline.cross_partition_words, 0u);
+  EXPECT_EQ(baseline.cross_partition_messages, 0u);
+
+  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs,
+                          graph::PartitionMode::kRefined}) {
+    for (const std::uint32_t shards : {1u, 4u}) {
+      const auto partition = graph::partition_graph(planted.graph, shards, mode);
+      const auto report =
+          core::DistributedClusterer(planted.graph, config).run(0.0, &partition);
+      EXPECT_EQ(report.result.labels, baseline.result.labels);
+      EXPECT_EQ(report.traffic.words, baseline.traffic.words);
+      EXPECT_EQ(report.traffic.messages, baseline.traffic.messages);
+      if (shards == 1) {
+        EXPECT_EQ(report.cross_partition_words, 0u);
+        EXPECT_EQ(report.cross_partition_messages, 0u);
+      } else {
+        EXPECT_LE(report.cross_partition_words, report.traffic.words);
+        EXPECT_LE(report.cross_partition_messages, report.traffic.messages);
+        EXPECT_GT(report.cross_partition_words, 0u);  // 4 shards on 3 clusters must cut
+      }
+    }
+  }
+
+  // A lower-cut partition meters fewer cross words on the same run: the
+  // whole point of the refined mode.
+  const auto bfs_part = graph::partition_graph(planted.graph, 4, graph::PartitionMode::kBfs);
+  const auto refined_part =
+      graph::partition_graph(planted.graph, 4, graph::PartitionMode::kRefined);
+  const auto bfs_words =
+      core::DistributedClusterer(planted.graph, config).run(0.0, &bfs_part);
+  const auto refined_words =
+      core::DistributedClusterer(planted.graph, config).run(0.0, &refined_part);
+  EXPECT_LE(metrics::edge_cut(planted.graph, refined_part.shard_of),
+            metrics::edge_cut(planted.graph, bfs_part.shard_of));
+  EXPECT_LE(refined_words.cross_partition_words, bfs_words.cross_partition_words);
+}
+
+TEST(Distributed, PartitionIsValidatedAtRun) {
+  const auto planted = make_instance(2, 60, 6, 8, 21);
+  core::ClusterConfig config;
+  config.beta = 0.5;
+  config.rounds = 5;
+  config.seed = 29;
+  graph::Partition bad;
+  bad.num_shards = 2;
+  bad.shard_of.assign(10, 0);  // wrong size
+  EXPECT_THROW((void)core::DistributedClusterer(planted.graph, config).run(0.0, &bad),
+               util::contract_error);
 }
 
 TEST(Distributed, StateNeverExceedsSeedCount) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "graph/analysis.hpp"
@@ -110,6 +111,78 @@ TEST(ClusteredRegular, RingTopologyOnlyLinksNeighbours) {
     const auto diff = (cu + 4 - cv) % 4;
     EXPECT_TRUE(diff == 1 || diff == 3) << "clusters " << cu << " and " << cv;
   });
+}
+
+TEST(ClusteredRegular, SiblingTierNestsSubClustersInParentGroups) {
+  // Two-tier instance: 6 sub-clusters paired into 3 parent groups.  Both
+  // rewiring tiers must hold exactly — sibling swaps land within a
+  // group, inter swaps across groups, regularity untouched.
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(6, 80);
+  spec.degree = 10;
+  spec.sibling_group_size = 2;
+  spec.sibling_swaps = 30;
+  spec.inter_cluster_swaps = 40;
+  util::Rng rng(19);
+  const auto planted = graph::clustered_regular(spec, rng);
+  EXPECT_TRUE(planted.graph.is_regular());
+  EXPECT_EQ(planted.graph.max_degree(), 10u);
+  std::size_t sibling_edges = 0;
+  std::size_t inter_group_edges = 0;
+  planted.graph.for_each_edge([&](NodeId u, NodeId v) {
+    const auto cu = planted.membership[u];
+    const auto cv = planted.membership[v];
+    if (cu == cv) return;
+    if (cu / 2 == cv / 2) {
+      ++sibling_edges;
+    } else {
+      ++inter_group_edges;
+    }
+  });
+  // Each swap converts two intra edges into two cross edges of its tier.
+  EXPECT_EQ(sibling_edges, 2 * spec.sibling_swaps);
+  EXPECT_EQ(inter_group_edges, 2 * spec.inter_cluster_swaps);
+}
+
+TEST(ClusteredRegular, SiblingGroupSizeOneIsBitIdenticalToFlat) {
+  // gs = 1 must reduce to the flat instance on the same Rng stream —
+  // existing seeds and recorded experiments cannot move.
+  ClusteredRegularSpec flat;
+  flat.cluster_sizes.assign(4, 64);
+  flat.degree = 8;
+  flat.inter_cluster_swaps = 25;
+  ClusteredRegularSpec tiered = flat;
+  tiered.sibling_group_size = 1;
+  tiered.sibling_swaps = 0;
+  util::Rng rng_flat(23);
+  util::Rng rng_tiered(23);
+  const auto a = graph::clustered_regular(flat, rng_flat);
+  const auto b = graph::clustered_regular(tiered, rng_tiered);
+  EXPECT_EQ(a.membership, b.membership);
+  std::vector<std::pair<NodeId, NodeId>> ea;
+  std::vector<std::pair<NodeId, NodeId>> eb;
+  a.graph.for_each_edge([&](NodeId u, NodeId v) { ea.emplace_back(u, v); });
+  b.graph.for_each_edge([&](NodeId u, NodeId v) { eb.emplace_back(u, v); });
+  EXPECT_EQ(ea, eb);
+}
+
+TEST(ClusteredRegular, SiblingTierRejectsBadSpecs) {
+  ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, 40);
+  spec.degree = 8;
+  util::Rng rng(29);
+  // Group size must divide the cluster count…
+  spec.sibling_group_size = 3;
+  spec.sibling_swaps = 5;
+  EXPECT_THROW((void)graph::clustered_regular(spec, rng), util::contract_error);
+  // …sibling swaps need a group size > 1…
+  spec.sibling_group_size = 1;
+  spec.sibling_swaps = 5;
+  EXPECT_THROW((void)graph::clustered_regular(spec, rng), util::contract_error);
+  // …and the two-tier variant is kComplete-only.
+  spec.sibling_group_size = 2;
+  spec.topology = ClusteredRegularSpec::Topology::kRing;
+  EXPECT_THROW((void)graph::clustered_regular(spec, rng), util::contract_error);
 }
 
 TEST(ClusteredRegular, SwapsForConductanceHitsTarget) {

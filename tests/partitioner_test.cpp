@@ -1,6 +1,9 @@
 // Property tests for graph::partition_graph: output is a partition
-// (every node in exactly one shard), balanced within ±1 in both modes,
-// deterministic, and scored correctly by the partition metrics.
+// (every node in exactly one shard), balanced within ±1 in every mode,
+// deterministic — including on disconnected graphs — and scored
+// correctly by the partition metrics.  The refined multilevel mode
+// additionally guarantees a cut no worse than the best of range/bfs
+// (it ends in a best-of portfolio over FM-refined candidates).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -71,7 +74,8 @@ TEST_P(PartitionerProperty, ValidBalancedDeterministic) {
 INSTANTIATE_TEST_SUITE_P(
     ModeShardGrid, PartitionerProperty,
     ::testing::Combine(::testing::Values(graph::PartitionMode::kRange,
-                                         graph::PartitionMode::kBfs),
+                                         graph::PartitionMode::kBfs,
+                                         graph::PartitionMode::kRefined),
                        ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u)));
 
 TEST(Partitioner, RangeModeIsContiguous) {
@@ -101,6 +105,185 @@ TEST(Partitioner, BfsRespectsClusterLocality) {
   // Only a handful of inter-cluster edges exist (4 swaps = 8 cut edges max);
   // a locality-blind split would cut ~half of one cluster's edges (~500).
   EXPECT_LE(cut, 100u);
+}
+
+TEST(Partitioner, RefinedCutNeverWorseThanBaselines) {
+  // The refined pipeline ends in a best-of portfolio over FM-refined
+  // candidates seeded from range and bfs, and FM only ever commits
+  // cut-decreasing prefixes — so refined ≤ min(range, bfs) always.
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto planted = make_instance(4, 96, 8, 40, seed);
+    for (const std::uint32_t shards : {2u, 3u, 4u, 8u}) {
+      const auto range =
+          graph::partition_graph(planted.graph, shards, graph::PartitionMode::kRange);
+      const auto bfs =
+          graph::partition_graph(planted.graph, shards, graph::PartitionMode::kBfs);
+      const auto refined =
+          graph::partition_graph(planted.graph, shards, graph::PartitionMode::kRefined);
+      const auto cut = [&](const graph::Partition& p) {
+        return metrics::edge_cut(planted.graph, p.shard_of);
+      };
+      EXPECT_LE(cut(refined), std::min(cut(range), cut(bfs)))
+          << "seed=" << seed << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Partitioner, RefinedCutWeightNeverWorseOnWeightedGraphs) {
+  // The portfolio metric is the *weighted* cut, so the guarantee holds
+  // in cut weight on weighted graphs too.
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(3, 80);
+  spec.degree = 8;
+  spec.inter_cluster_swaps = 30;
+  spec.weighted = true;
+  spec.intra_weight = 8.0;
+  spec.inter_weight = 1.0;
+  util::Rng rng(31);
+  const auto planted = graph::clustered_regular(spec, rng);
+  for (const std::uint32_t shards : {2u, 3u, 6u}) {
+    const auto cut_weight = [&](graph::PartitionMode mode) {
+      const auto p = graph::partition_graph(planted.graph, shards, mode);
+      return metrics::edge_cut_weight(planted.graph, p.shard_of);
+    };
+    EXPECT_LE(cut_weight(graph::PartitionMode::kRefined),
+              std::min(cut_weight(graph::PartitionMode::kRange),
+                       cut_weight(graph::PartitionMode::kBfs)) +
+                  1e-9)
+        << "shards=" << shards;
+  }
+}
+
+TEST(Partitioner, RefinedRecoversNestedStructureBfsMisses) {
+  // Two-tier instance: 4 sub-expanders paired into 2 parent groups.
+  // BFS growth from one seed straddles sub-cluster boundaries; the
+  // multilevel partitioner finds the planted sub-cuts.
+  graph::ClusteredRegularSpec spec;
+  spec.cluster_sizes.assign(4, 256);
+  spec.degree = 12;
+  spec.sibling_group_size = 2;
+  spec.sibling_swaps = graph::swaps_for_conductance(spec, 0.04);
+  spec.inter_cluster_swaps = graph::swaps_for_conductance(spec, 0.015);
+  util::Rng rng(33);
+  const auto planted = graph::clustered_regular(spec, rng);
+  const auto cut = [&](graph::PartitionMode mode) {
+    const auto p = graph::partition_graph(planted.graph, 4, mode);
+    return metrics::edge_cut(planted.graph, p.shard_of);
+  };
+  const auto refined = cut(graph::PartitionMode::kRefined);
+  EXPECT_LE(refined, cut(graph::PartitionMode::kRange));
+  EXPECT_LE(3 * refined, cut(graph::PartitionMode::kBfs));
+}
+
+TEST(Partitioner, DeterministicOnDisconnectedGraphs) {
+  // Three components (cycle, triangle, path) plus an isolated node.
+  // BFS restarts from the lowest unvisited id, so the visit order —
+  // hence the assignment — is fully determined.
+  graph::GraphBuilder builder(11);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 0);
+  builder.add_edge(4, 5);
+  builder.add_edge(5, 6);
+  builder.add_edge(6, 4);
+  // node 7 is isolated
+  builder.add_edge(8, 9);
+  builder.add_edge(9, 10);
+  const auto g = builder.build();
+  for (const auto mode : {graph::PartitionMode::kBfs, graph::PartitionMode::kRefined}) {
+    const auto p = graph::partition_graph(g, 3, mode);
+    expect_valid_balanced(p, 11, 3);
+    const auto q = graph::partition_graph(g, 3, mode);
+    EXPECT_EQ(p.shard_of, q.shard_of) << graph::partition_mode_name(mode);
+  }
+  // The BFS assignment itself is pinned: component {0..3} fills shard 0
+  // (target 4), {4,5,6} plus the isolated 7 fill shard 1, {8,9,10}
+  // shard 2 — whatever the intra-component visit order.
+  const auto bfs = graph::partition_graph(g, 3, graph::PartitionMode::kBfs);
+  const std::vector<std::uint32_t> expected{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2};
+  EXPECT_EQ(bfs.shard_of, expected);
+}
+
+TEST(Partitioner, VolumeObjectiveIsValidAndDeterministic) {
+  // Skewed degrees: a star glued to a path stresses the volume variant
+  // (node balance and volume balance disagree).
+  graph::GraphBuilder builder(24);
+  for (graph::NodeId v = 1; v < 12; ++v) builder.add_edge(0, v);
+  for (graph::NodeId v = 11; v + 1 < 24; ++v) builder.add_edge(v, v + 1);
+  const auto g = builder.build();
+  graph::RefineOptions options;
+  options.objective = graph::BalanceObjective::kVolume;
+  const auto p = graph::refine_partition(g, 3, options);
+  ASSERT_EQ(p.shard_of.size(), g.num_nodes());
+  ASSERT_EQ(p.num_shards, 3u);
+  for (const std::uint32_t s : p.shard_of) EXPECT_LT(s, 3u);
+  const auto q = graph::refine_partition(g, 3, options);
+  EXPECT_EQ(p.shard_of, q.shard_of);
+}
+
+TEST(Partitioner, ParsePartitionModeRoundTrips) {
+  EXPECT_EQ(graph::parse_partition_mode("range"), graph::PartitionMode::kRange);
+  EXPECT_EQ(graph::parse_partition_mode("bfs"), graph::PartitionMode::kBfs);
+  EXPECT_EQ(graph::parse_partition_mode("refined"), graph::PartitionMode::kRefined);
+  EXPECT_THROW((void)graph::parse_partition_mode("metis"), util::contract_error);
+  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs,
+                          graph::PartitionMode::kRefined}) {
+    EXPECT_EQ(graph::parse_partition_mode(graph::partition_mode_name(mode)), mode);
+  }
+}
+
+TEST(Partitioner, ValidatePartitionEnforcesTheTrustBoundary) {
+  graph::Partition p;
+  p.num_shards = 2;
+  p.shard_of = {0, 1, 0, 1};
+  EXPECT_NO_THROW(graph::validate_partition(p, 4));
+  // Unbalanced is fine — any valid assignment is accepted.
+  const auto make = [](std::uint32_t shards, std::vector<std::uint32_t> ids) {
+    graph::Partition out;
+    out.num_shards = shards;
+    out.shard_of = std::move(ids);
+    return out;
+  };
+  EXPECT_NO_THROW(graph::validate_partition(make(2, {0, 0, 0, 1}), 4));
+  // Size mismatch, out-of-range ids, and bad shard counts are not.
+  EXPECT_THROW(graph::validate_partition(p, 5), util::contract_error);
+  EXPECT_THROW(graph::validate_partition(make(2, {0, 1, 2, 1}), 4), util::contract_error);
+  EXPECT_THROW(graph::validate_partition(make(0, {0, 0, 0, 0}), 4), util::contract_error);
+  EXPECT_THROW(graph::validate_partition(make(5, {0, 1, 2, 3}), 4), util::contract_error);
+}
+
+TEST(PartitionMetrics, ProfileOnAPathSplitInTwo) {
+  // Path 0-1-2-3 split {0,1} | {2,3}: one crossing edge, one boundary
+  // node per side, volume 3 per side (degrees 1+2).
+  graph::GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  const auto g = builder.build();
+  const std::vector<std::uint32_t> part{0, 0, 1, 1};
+  const auto profile = metrics::partition_profile(g, part, 2);
+  EXPECT_EQ(profile.cut_edges, 1u);
+  EXPECT_DOUBLE_EQ(profile.cut_weight, 1.0);
+  EXPECT_EQ(profile.boundary_nodes, 2u);
+  EXPECT_DOUBLE_EQ(profile.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(profile.imbalance_volume, 1.0);
+  ASSERT_EQ(profile.shards.size(), 2u);
+  for (const auto& shard : profile.shards) {
+    EXPECT_EQ(shard.nodes, 2u);
+    EXPECT_DOUBLE_EQ(shard.volume, 3.0);
+    EXPECT_EQ(shard.boundary_nodes, 1u);
+    EXPECT_EQ(shard.internal_edges, 1u);
+    EXPECT_EQ(shard.cut_edges, 1u);
+    EXPECT_DOUBLE_EQ(shard.cut_weight, 1.0);
+  }
+  // Consistency with the scalar metrics on a real instance.
+  const auto planted = make_instance(3, 60, 6, 12, 9);
+  const auto p = graph::partition_graph(planted.graph, 4, graph::PartitionMode::kBfs);
+  const auto full = metrics::partition_profile(planted.graph, p.shard_of, 4);
+  EXPECT_EQ(full.cut_edges, metrics::edge_cut(planted.graph, p.shard_of));
+  EXPECT_DOUBLE_EQ(full.cut_weight, metrics::edge_cut_weight(planted.graph, p.shard_of));
+  EXPECT_DOUBLE_EQ(full.imbalance, metrics::partition_imbalance(p.shard_of, 4));
 }
 
 TEST(Partitioner, RejectsBadShardCounts) {

@@ -11,6 +11,7 @@
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "metrics/graph_metrics.hpp"
+#include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -35,11 +36,12 @@ core::ClusterConfig base_config(std::uint32_t k, std::uint64_t seed) {
   return config;
 }
 
-TEST(Sharded, BothPartitionModesMatchDense) {
+TEST(Sharded, EveryPartitionModeMatchesDense) {
   const auto planted = make_instance(3, 120, 8, 20, 41);
   const auto config = base_config(3, 77);
   const auto dense = core::Clusterer(planted.graph, config).run();
-  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs}) {
+  for (const auto mode : {graph::PartitionMode::kRange, graph::PartitionMode::kBfs,
+                          graph::PartitionMode::kRefined}) {
     core::ShardOptions options;
     options.shards = 4;
     options.mode = mode;
@@ -106,6 +108,72 @@ TEST(Sharded, RepeatedRunsAreBitIdentical) {
     const auto again = engine.run();
     EXPECT_EQ(again.result.labels, first.result.labels);
     EXPECT_EQ(again.traffic.words, first.traffic.words);
+  }
+}
+
+TEST(Sharded, ExternalPartitionIsUsedVerbatimAndMatchesDense) {
+  // An externally supplied partition — even an unbalanced one — wins
+  // outright over shards/mode and never changes a label (partitioning
+  // only routes pairs between mailbox and local apply).
+  const auto planted = make_instance(3, 100, 8, 18, 67);
+  const auto config = base_config(3, 29);
+  const auto dense = core::Clusterer(planted.graph, config).run();
+
+  graph::Partition external;
+  external.num_shards = 3;
+  external.shard_of.resize(planted.graph.num_nodes());
+  for (graph::NodeId v = 0; v < planted.graph.num_nodes(); ++v) {
+    external.shard_of[v] = v < 20 ? 0u : (v % 2 == 0 ? 1u : 2u);  // skewed on purpose
+  }
+  core::ShardOptions options;
+  options.shards = 99;                              // ignored
+  options.mode = graph::PartitionMode::kRefined;    // ignored
+  options.partition = &external;
+  const core::ShardedClusterer engine(planted.graph, config, options);
+  EXPECT_EQ(engine.resolved_shards(), 3u);
+  const auto report = engine.run();
+  EXPECT_EQ(report.result.labels, dense.labels);
+  EXPECT_EQ(report.partition.shard_of, external.shard_of);
+  EXPECT_EQ(report.partition_edge_cut,
+            metrics::edge_cut(planted.graph, external.shard_of));
+}
+
+TEST(Sharded, ExternalPartitionIsValidatedAtConstruction) {
+  const auto planted = make_instance(2, 60, 6, 8, 71);
+  const auto config = base_config(2, 31);
+  graph::Partition bad;
+  bad.num_shards = 2;
+  bad.shard_of.assign(10, 0);  // wrong size for the graph
+  core::ShardOptions options;
+  options.partition = &bad;
+  EXPECT_THROW((void)core::ShardedClusterer(planted.graph, config, options),
+               util::contract_error);
+  graph::Partition out_of_range;
+  out_of_range.num_shards = 2;
+  out_of_range.shard_of.assign(planted.graph.num_nodes(), 0);
+  out_of_range.shard_of[5] = 7;  // >= num_shards
+  options.partition = &out_of_range;
+  EXPECT_THROW((void)core::ShardedClusterer(planted.graph, config, options),
+               util::contract_error);
+}
+
+TEST(Sharded, RefinedModeDeterministicAcrossThreadCounts) {
+  // The partitioner is serial and the parallel apply is race-free, so
+  // the report — labels, partition, traffic — cannot depend on the
+  // worker count.
+  const auto planted = make_instance(4, 80, 8, 24, 73);
+  const auto config = base_config(4, 37);
+  core::ShardOptions options;
+  options.shards = 8;
+  options.mode = graph::PartitionMode::kRefined;
+  options.threads = 1;
+  const auto one = core::ShardedClusterer(planted.graph, config, options).run();
+  for (const std::size_t threads : {2u, 5u, 16u}) {
+    options.threads = threads;
+    const auto many = core::ShardedClusterer(planted.graph, config, options).run();
+    EXPECT_EQ(many.result.labels, one.result.labels) << "threads=" << threads;
+    EXPECT_EQ(many.partition.shard_of, one.partition.shard_of);
+    EXPECT_EQ(many.traffic.words, one.traffic.words);
   }
 }
 

@@ -12,16 +12,22 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "commands.hpp"
 #include "core/checkpoint.hpp"
+#include "core/distributed_clusterer.hpp"
 #include "core/engine.hpp"
 #include "core/seeding.hpp"
+#include "core/sharded_clusterer.hpp"
 #include "core/summary.hpp"
 #include "graph/analysis.hpp"
 #include "graph/io.hpp"
+#include "graph/partitioner.hpp"
 #include "metrics/clustering_metrics.hpp"
+#include "metrics/graph_metrics.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
 
@@ -149,6 +155,15 @@ int run_cluster(util::Cli& cli) {
                "strip degree-0 nodes before clustering; their output labels "
                "are the unclustered sentinel");
   cli.describe("engine", "dense", "execution engine: dense|message-passing|sharded");
+  cli.describe("shards", "0",
+               "shard count P for --engine=sharded (0 = hardware), or the "
+               "accounting partition size for --engine=message-passing");
+  cli.describe("partition", "range",
+               "node partitioner for --shards: range|bfs|refined "
+               "(multilevel cut minimisation)");
+  cli.describe("partition_file", "",
+               "per-node shard file (from `dgc partition --out`); overrides "
+               "--partition");
   describe_cluster_config(cli);
   cli.describe("checkpoint", "", "checkpoint file (.dgcc); enables SIGTERM-to-"
                "checkpoint (exit 75 = resumable)");
@@ -174,6 +189,9 @@ int run_cluster(util::Cli& cli) {
   const bool drop_isolated =
       cli.get_bool("drop-isolated", false) || cli.get_bool("drop_isolated", false);
   const std::string engine_name = cli.get("engine", "dense");
+  const auto shards = static_cast<std::uint32_t>(cli.get_uint64("shards", 0));
+  const std::string partition_name = cli.get("partition", "range");
+  const std::string partition_file = cli.get("partition_file", "");
 
   std::string rule;
   core::ClusterConfig config = parse_cluster_config(cli, &rule);
@@ -193,6 +211,11 @@ int run_cluster(util::Cli& cli) {
   cli.reject_unknown();
   DGC_REQUIRE(!in.empty(), "--in is required");
   const core::EngineKind kind = parse_engine(engine_name);
+  const bool partition_requested =
+      shards != 0 || partition_name != "range" || !partition_file.empty();
+  DGC_REQUIRE(!partition_requested || kind != core::EngineKind::kDense,
+              "--shards/--partition/--partition_file apply to the sharded and "
+              "message-passing engines");
 
   util::Timer timer;
   const graph::Graph loaded = graph::load_graph(in, format, weights);
@@ -214,9 +237,83 @@ int run_cluster(util::Cli& cli) {
               "graph has isolated nodes; the matching protocol needs degree >= 1 "
               "(pass --drop-isolated to strip them)");
 
-  const auto engine = core::make_engine(kind, g, config);
+  DGC_REQUIRE(partition_file.empty() || isolated_dropped == 0,
+              "--partition_file indexes the loaded node ids; --drop-isolated "
+              "renumbers them (partition the compacted graph instead)");
+
+  // Partition quality + traffic accounting, echoed when the run was
+  // sharded (always) or message-passing with partition flags.
+  struct PartitionSummary {
+    bool present = false;
+    std::string mode;  // range|bfs|refined|file
+    std::uint32_t shards = 0;
+    std::uint64_t edge_cut = 0;
+    double cut_weight = 0.0;
+    double imbalance = 0.0;
+    std::uint64_t cross_words = 0;
+    std::uint64_t cross_messages = 0;
+    std::uint64_t intra_pairs = 0;  // sharded engine only
+    std::uint64_t cross_pairs = 0;
+  } part;
+  const std::string mode_label =
+      !partition_file.empty() ? "file" : partition_name;
+
+  std::string engine_label;
+  core::ClusterResult result;
   timer.reset();
-  const core::ClusterResult result = engine->cluster();
+  if (kind == core::EngineKind::kSharded) {
+    core::ShardOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.mode = graph::parse_partition_mode(partition_name);
+    graph::Partition external;
+    if (!partition_file.empty()) {
+      external = load_partition_file(partition_file, g.num_nodes(), shards);
+      shard_options.partition = &external;
+    }
+    const core::ShardedClusterer sharded(g, config, shard_options);
+    engine_label = std::string(sharded.name());
+    core::ShardedReport report = sharded.run();
+    result = std::move(report.result);
+    part.present = true;
+    part.mode = mode_label;
+    part.shards = sharded.resolved_shards();
+    part.edge_cut = report.partition_edge_cut;
+    part.cut_weight = report.partition_cut_weight;
+    part.imbalance = report.partition_imbalance;
+    part.cross_words = report.traffic.words;
+    part.cross_messages = report.traffic.messages;
+    part.intra_pairs = report.intra_pairs;
+    part.cross_pairs = report.cross_pairs;
+  } else if (kind == core::EngineKind::kMessagePassing && partition_requested) {
+    graph::Partition partition;
+    if (!partition_file.empty()) {
+      partition = load_partition_file(partition_file, g.num_nodes(), shards);
+    } else {
+      std::uint32_t p = shards != 0 ? shards
+                                    : std::max<std::uint32_t>(
+                                          1, std::thread::hardware_concurrency());
+      p = std::min<std::uint32_t>(p, g.num_nodes());
+      partition =
+          graph::partition_graph(g, p, graph::parse_partition_mode(partition_name));
+    }
+    const core::DistributedClusterer mp(g, config);
+    engine_label = std::string(mp.name());
+    core::DistributedReport report = mp.run(0.0, &partition);
+    result = std::move(report.result);
+    part.present = true;
+    part.mode = mode_label;
+    part.shards = partition.num_shards;
+    part.edge_cut = metrics::edge_cut(g, partition.shard_of);
+    part.cut_weight = metrics::edge_cut_weight(g, partition.shard_of);
+    part.imbalance =
+        metrics::partition_imbalance(partition.shard_of, partition.num_shards);
+    part.cross_words = report.cross_partition_words;
+    part.cross_messages = report.cross_partition_messages;
+  } else {
+    const auto engine = core::make_engine(kind, g, config);
+    engine_label = std::string(engine->name());
+    result = engine->cluster();
+  }
   const double cluster_seconds = timer.seconds();
 
   const auto summary = core::summarize_partition(g, result.labels);
@@ -239,11 +336,18 @@ int run_cluster(util::Cli& cli) {
   }
 
   std::printf("file              %s\n", in.c_str());
-  std::printf("engine            %s\n", std::string(engine->name()).c_str());
+  std::printf("engine            %s\n", engine_label.c_str());
   std::printf("nodes             %u\n", loaded.num_nodes());
   std::printf("edges             %zu\n", loaded.num_edges());
   std::printf("weighted          %s\n", loaded.is_weighted() ? "yes" : "no");
   if (drop_isolated) std::printf("dropped isolated  %zu\n", isolated_dropped);
+  if (part.present) {
+    std::printf("partition         %s x %u (cut %llu, imbalance %.4f)\n",
+                part.mode.c_str(), part.shards,
+                static_cast<unsigned long long>(part.edge_cut), part.imbalance);
+    std::printf("cross-shard words %llu\n",
+                static_cast<unsigned long long>(part.cross_words));
+  }
   std::printf("seeds drawn       %zu\n", result.seeds.size());
   std::printf("rounds T          %zu\n", result.rounds);
   if (result.resumed) std::printf("resumed at round  %zu\n", result.resume_round);
@@ -269,7 +373,7 @@ int run_cluster(util::Cli& cli) {
     out += "{\n  \"tool\": \"dgc-cluster\",\n  \"input\": ";
     append_json_string(out, in);
     out += ",\n  \"engine\": ";
-    append_json_string(out, std::string(engine->name()));
+    append_json_string(out, engine_label);
     out += ",\n  \"nodes\": " + std::to_string(loaded.num_nodes());
     out += ",\n  \"edges\": " + std::to_string(loaded.num_edges());
     out += ",\n  \"weighted\": ";
@@ -277,6 +381,21 @@ int run_cluster(util::Cli& cli) {
     out += ",\n  \"total_weight\": ";
     append_json_double(out, loaded.total_weight());
     out += ",\n  \"dropped_isolated\": " + std::to_string(isolated_dropped);
+    if (part.present) {
+      out += ",\n  \"partition\": {\n    \"mode\": ";
+      append_json_string(out, part.mode);
+      out += ",\n    \"shards\": " + std::to_string(part.shards);
+      out += ",\n    \"edge_cut\": " + std::to_string(part.edge_cut);
+      out += ",\n    \"cut_weight\": ";
+      append_json_double(out, part.cut_weight);
+      out += ",\n    \"imbalance\": ";
+      append_json_double(out, part.imbalance);
+      out += ",\n    \"cross_words\": " + std::to_string(part.cross_words);
+      out += ",\n    \"cross_messages\": " + std::to_string(part.cross_messages);
+      out += ",\n    \"intra_pairs\": " + std::to_string(part.intra_pairs);
+      out += ",\n    \"cross_pairs\": " + std::to_string(part.cross_pairs);
+      out += "\n  }";
+    }
     out += ",\n  \"config\": {\n    \"beta\": ";
     append_json_double(out, config.beta);
     out += ",\n    \"rounds\": " + std::to_string(config.rounds);

@@ -4,9 +4,11 @@
 // verb and converts contract_error into a clean stderr message.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/config.hpp"
+#include "graph/partitioner.hpp"
 #include "util/cli.hpp"
 
 namespace dgc::tools {
@@ -32,6 +34,16 @@ int run_stats(util::Cli& cli);
 
 /// `dgc cluster` — run an engine on a graph file; labels + JSON out.
 int run_cluster(util::Cli& cli);
+
+/// `dgc partition` — partition a graph file; shard ids + JSON out.
+int run_partition(util::Cli& cli);
+
+/// Reads a whitespace-separated per-node shard file (the format `dgc
+/// partition --out` writes).  num_shards_hint == 0 infers P as
+/// max(shard id) + 1; the result passes graph::validate_partition.
+[[nodiscard]] graph::Partition load_partition_file(const std::string& path,
+                                                   graph::NodeId num_nodes,
+                                                   std::uint32_t num_shards_hint);
 
 /// `dgc verify-checkpoint` — replay a .dgcc checkpoint from its coins
 /// and report the first divergence (fault detection).

@@ -26,6 +26,8 @@ void print_usage(std::ostream& os) {
         "  convert   re-serialise a graph file into another format\n"
         "  stats     print n / m / degree profile of a graph file\n"
         "  cluster   run a clustering engine on a graph file\n"
+        "  partition assign nodes to shards (range | bfs | refined\n"
+        "            multilevel cut minimisation); shard file + JSON out\n"
         "  verify-checkpoint\n"
         "            replay a .dgcc checkpoint's rounds from coins and\n"
         "            report the first divergence (fault detection)\n"
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
     if (verb == "convert") return tools::run_convert(cli);
     if (verb == "stats") return tools::run_stats(cli);
     if (verb == "cluster") return tools::run_cluster(cli);
+    if (verb == "partition") return tools::run_partition(cli);
     if (verb == "verify-checkpoint") return tools::run_verify_checkpoint(cli);
     std::cerr << "dgc: unknown verb '" << verb << "'\n\n";
     print_usage(std::cerr);

@@ -1,0 +1,213 @@
+// `dgc partition` — graph file in, per-node shard assignment out.
+// Runs one of the three deterministic partitioners (range | bfs |
+// refined — graph/partitioner.hpp) and reports the quality numbers the
+// sharded engine's traffic scales with: edge cut, cut weight, node and
+// volume imbalance, boundary nodes, and a per-round mailbox word bound.
+// The shard file (one shard id per node line) feeds back into
+// `dgc cluster --partition_file=...`.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+#include "graph/io.hpp"
+#include "graph/partitioner.hpp"
+#include "metrics/graph_metrics.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace dgc::tools {
+
+namespace {
+
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+graph::Partition load_partition_file(const std::string& path, graph::NodeId num_nodes,
+                                     std::uint32_t num_shards_hint) {
+  std::ifstream is(path);
+  DGC_REQUIRE(is.good(), "cannot open partition file: " + path);
+  graph::Partition p;
+  p.shard_of.reserve(num_nodes);
+  std::uint64_t value = 0;
+  std::uint32_t max_seen = 0;
+  while (is >> value) {
+    DGC_REQUIRE(value < num_nodes, "shard id out of range in " + path);
+    const auto s = static_cast<std::uint32_t>(value);
+    max_seen = std::max(max_seen, s);
+    p.shard_of.push_back(s);
+  }
+  DGC_REQUIRE(is.eof(), "malformed partition file (expected integers): " + path);
+  DGC_REQUIRE(p.shard_of.size() == num_nodes,
+              "partition file has " + std::to_string(p.shard_of.size()) +
+                  " entries for a graph of " + std::to_string(num_nodes) + " nodes: " +
+                  path);
+  p.num_shards = num_shards_hint != 0 ? num_shards_hint : max_seen + 1;
+  graph::validate_partition(p, num_nodes);
+  return p;
+}
+
+int run_partition(util::Cli& cli) {
+  cli.describe("in", "", "input graph file (required)");
+  cli.describe("format", "auto", "input format: auto|edges|metis|binary");
+  cli.describe("weights", "auto",
+               "edge-list weight column: auto (header-driven)|yes|no");
+  cli.describe("shards", "0", "number of shards P (required, >= 1)");
+  cli.describe("partition", "refined", "partitioner: range|bfs|refined");
+  cli.describe("balance", "nodes",
+               "refined balance objective: nodes (±1 contract)|volume");
+  cli.describe("volume_tolerance", "1.05",
+               "admissible volume imbalance for --balance=volume");
+  cli.describe("pg", "1", "refined: projected-gradient sweep at the coarsest level");
+  cli.describe("fm_passes", "8", "refined: refinement passes per level");
+  cli.describe("dims", "0",
+               "load-vector entries s for the mailbox word bound (0 = skip)");
+  cli.describe("out", "", "write one shard id per node line");
+  cli.describe("json", "", "write a machine-readable summary");
+  if (cli.help_requested()) {
+    std::cout << "usage: dgc partition --in=FILE --shards=P [--flags]\n\n";
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  const std::string in = cli.get("in", "");
+  const auto format = graph::parse_format(cli.get("format", "auto"));
+  const auto weights = graph::parse_weight_mode(cli.get("weights", "auto"));
+  const auto shards = static_cast<std::uint32_t>(cli.get_uint64("shards", 0));
+  const std::string mode_name = cli.get("partition", "refined");
+  const std::string balance = cli.get("balance", "nodes");
+  graph::RefineOptions refine;
+  refine.volume_tolerance = cli.get_double("volume_tolerance", refine.volume_tolerance);
+  refine.projected_gradient = cli.get_bool("pg", true);
+  refine.max_fm_passes = cli.get_uint64("fm_passes", refine.max_fm_passes);
+  const std::uint64_t dims = cli.get_uint64("dims", 0);
+  const std::string out_path = cli.get("out", "");
+  const std::string json_out = cli.get("json", "");
+  cli.reject_unknown();
+  DGC_REQUIRE(!in.empty(), "--in is required");
+  DGC_REQUIRE(shards >= 1, "--shards is required (>= 1)");
+  const graph::PartitionMode mode = graph::parse_partition_mode(mode_name);
+  if (balance == "nodes") {
+    refine.objective = graph::BalanceObjective::kNodes;
+  } else if (balance == "volume") {
+    refine.objective = graph::BalanceObjective::kVolume;
+  } else {
+    DGC_REQUIRE(false, "unknown --balance: " + balance + " (expected nodes|volume)");
+  }
+
+  util::Timer timer;
+  const graph::Graph g = graph::load_graph(in, format, weights);
+  const double load_seconds = timer.seconds();
+  timer.reset();
+  const graph::Partition p = mode == graph::PartitionMode::kRefined
+                                 ? graph::refine_partition(g, shards, refine)
+                                 : graph::partition_graph(g, shards, mode);
+  const double partition_seconds = timer.seconds();
+  const auto profile = metrics::partition_profile(g, p.shard_of, shards);
+  // If every cut edge were matched in one round, both endpoints' dense
+  // s-entry rows would cross the mailbox: 2 * cut * (1 + 2s) words — an
+  // upper bound on the sharded engine's per-round cross-shard traffic.
+  const std::uint64_t word_bound =
+      dims > 0 ? 2 * profile.cut_edges * (1 + 2 * dims) : 0;
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path, std::ios::trunc);
+    DGC_REQUIRE(os.good(), "cannot open for writing: " + out_path);
+    for (const std::uint32_t s : p.shard_of) os << s << '\n';
+    DGC_REQUIRE(os.good(), "failed to write: " + out_path);
+  }
+
+  std::printf("file              %s\n", in.c_str());
+  std::printf("nodes             %u\n", g.num_nodes());
+  std::printf("edges             %zu\n", g.num_edges());
+  std::printf("weighted          %s\n", g.is_weighted() ? "yes" : "no");
+  std::printf("mode              %s\n", std::string(graph::partition_mode_name(mode)).c_str());
+  std::printf("shards            %u\n", shards);
+  if (mode == graph::PartitionMode::kRefined) {
+    std::printf("balance           %s\n", balance.c_str());
+  }
+  std::printf("edge_cut          %llu\n",
+              static_cast<unsigned long long>(profile.cut_edges));
+  std::printf("cut_weight        %.6g\n", profile.cut_weight);
+  std::printf("boundary_nodes    %llu\n",
+              static_cast<unsigned long long>(profile.boundary_nodes));
+  std::printf("imbalance         %.4f\n", profile.imbalance);
+  std::printf("imbalance_volume  %.4f\n", profile.imbalance_volume);
+  if (dims > 0) {
+    std::printf("word_bound/round  %llu  (s=%llu dims)\n",
+                static_cast<unsigned long long>(word_bound),
+                static_cast<unsigned long long>(dims));
+  }
+  std::printf("load_seconds      %.3f\n", load_seconds);
+  std::printf("partition_seconds %.3f\n", partition_seconds);
+  if (!out_path.empty()) std::printf("wrote %s\n", out_path.c_str());
+
+  if (!json_out.empty()) {
+    std::string out;
+    out += "{\n  \"tool\": \"dgc-partition\",\n  \"input\": ";
+    append_json_string(out, in);
+    out += ",\n  \"mode\": ";
+    append_json_string(out, std::string(graph::partition_mode_name(mode)));
+    out += ",\n  \"balance\": ";
+    append_json_string(out, balance);
+    out += ",\n  \"shards\": " + std::to_string(shards);
+    out += ",\n  \"nodes\": " + std::to_string(g.num_nodes());
+    out += ",\n  \"edges\": " + std::to_string(g.num_edges());
+    out += ",\n  \"weighted\": ";
+    out += g.is_weighted() ? "true" : "false";
+    out += ",\n  \"edge_cut\": " + std::to_string(profile.cut_edges);
+    out += ",\n  \"cut_weight\": ";
+    append_json_double(out, profile.cut_weight);
+    out += ",\n  \"boundary_nodes\": " + std::to_string(profile.boundary_nodes);
+    out += ",\n  \"imbalance\": ";
+    append_json_double(out, profile.imbalance);
+    out += ",\n  \"imbalance_volume\": ";
+    append_json_double(out, profile.imbalance_volume);
+    out += ",\n  \"dims\": " + std::to_string(dims);
+    out += ",\n  \"word_bound_per_round\": " + std::to_string(word_bound);
+    out += ",\n  \"timing\": {\n    \"load_seconds\": ";
+    append_json_double(out, load_seconds);
+    out += ",\n    \"partition_seconds\": ";
+    append_json_double(out, partition_seconds);
+    out += "\n  },\n  \"shard_profiles\": [";
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto& sp = profile.shards[s];
+      out += s == 0 ? "\n" : ",\n";
+      out += "    {\"shard\": " + std::to_string(s);
+      out += ", \"nodes\": " + std::to_string(sp.nodes);
+      out += ", \"volume\": ";
+      append_json_double(out, sp.volume);
+      out += ", \"boundary_nodes\": " + std::to_string(sp.boundary_nodes);
+      out += ", \"internal_edges\": " + std::to_string(sp.internal_edges);
+      out += ", \"cut_edges\": " + std::to_string(sp.cut_edges);
+      out += ", \"cut_weight\": ";
+      append_json_double(out, sp.cut_weight);
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    std::ofstream os(json_out, std::ios::trunc);
+    DGC_REQUIRE(os.good(), "cannot open for writing: " + json_out);
+    os << out;
+    DGC_REQUIRE(os.good(), "failed to write: " + json_out);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace dgc::tools
