@@ -25,6 +25,7 @@
 #include "linalg/walk_matrix.hpp"
 #include "matching/load_state.hpp"
 #include "matching/protocol.hpp"
+#include "matching/schedule.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -240,6 +241,67 @@ BENCHMARK(BM_ApplyPairsSparse)
     ->Args({1 << 14, 32, 0})
     ->Args({1 << 14, 32, 1});
 
+void BM_ScheduleBuild(benchmark::State& state) {
+  // Materialising a window: W generator rounds packed into the CSR
+  // schedule (matching draws + the flat pair append; edges-only mode, so
+  // no partner-array upkeep).  items/s is node-rounds per second —
+  // directly comparable to BM_MatchingRound's per-round rate.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 3);
+  matching::ScheduleBuilder builder;
+  matching::RoundSchedule sched;
+  std::size_t round = 0;
+  for (auto _ : state) {
+    builder.build(generator, round, window, nullptr, sched);
+    round += window;
+    benchmark::DoNotOptimize(sched.pairs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * window));
+}
+BENCHMARK(BM_ScheduleBuild)
+    ->Args({1 << 14, 8})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 32});
+
+void BM_ApplyTiled(benchmark::State& state) {
+  // The windowed striped replay on a saturated state (every row active,
+  // so prepare_window takes its identity fast path and the timing is the
+  // stripe loop itself).  range: {n, s, window, tile_cols}; tile 0 means
+  // full width (one stripe).  items/s counts pair-dimension updates, the
+  // same unit as BM_MultiLoadApply.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  const auto window = static_cast<std::size_t>(state.range(2));
+  const std::size_t tile =
+      state.range(3) == 0 ? s : static_cast<std::size_t>(state.range(3));
+  const auto& g = shared_graph(n);
+  matching::MatchingGenerator generator(g, 5);
+  matching::ScheduleBuilder builder;
+  matching::RoundSchedule sched;
+  builder.build(generator, 0, window, nullptr, sched);
+  auto loads = make_seeded_state(n, s, n, matching::SparseMode::kOff);
+  loads.prepare_window(sched);
+  for (auto _ : state) {
+    for (std::size_t d0 = 0; d0 < s; d0 += tile) {
+      loads.apply_window_stripe(sched, d0, std::min(s, d0 + tile));
+    }
+    benchmark::DoNotOptimize(loads.at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sched.pair_count() * s));
+}
+BENCHMARK(BM_ApplyTiled)
+    ->Args({1 << 16, 19, 8, 0})
+    ->Args({1 << 16, 19, 8, 8})
+    ->Args({1 << 16, 64, 8, 0})
+    ->Args({1 << 16, 64, 8, 16})
+    ->Args({1 << 14, 64, 8, 0})
+    ->Args({1 << 14, 64, 8, 16});
+
 void BM_FlipRoundCoins(benchmark::State& state) {
   // 1 thread = the serial path; > 1 = block-parallel on a pool.  The
   // coins are bit-identical either way (protocol tests assert it).
@@ -407,6 +469,66 @@ void run_crossover_sweep() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-round vs windowed-tiled apply crossover.  Same style as the sweep
+// above: one self-describing table, printed after the registered
+// benchmarks.  For each (s, W, tile_cols) it applies the same W
+// matchings to a saturated dense state (n = 2^16) two ways — the classic
+// per-round apply() loop and the schedule replay striped at tile_cols —
+// and reports which wins.  This is the empirical basis for the
+// resolve_tile_cols auto rule: while the matrix is LLC-resident every
+// stripe narrower than the full width loses, so auto stripes only once
+// the matrix outgrows the last-level cache (and then no narrower than 8
+// columns).
+
+void run_tile_sweep() {
+  using clock = std::chrono::steady_clock;
+  const graph::NodeId n = 1 << 16;
+  const std::size_t window = 8;
+  std::printf("\n# per-round vs windowed-tiled apply (n=%u, W=%zu, saturated state)\n",
+              static_cast<unsigned>(n), window);
+  std::printf("%-6s %-10s %-12s %-12s %s\n", "s", "tile_cols", "per_round_ms",
+              "tiled_ms", "faster");
+  const auto& g = shared_graph(n);
+  for (const std::size_t s : {std::size_t{16}, std::size_t{19}, std::size_t{64}}) {
+    matching::MatchingGenerator generator(g, 9);
+    std::vector<matching::Matching> rounds(window);
+    for (auto& m : rounds) generator.next(m);
+    matching::MatchingGenerator sched_gen(g, 9);  // same seed: same draws
+    matching::ScheduleBuilder builder;
+    matching::RoundSchedule sched;
+    builder.build(sched_gen, 0, window, nullptr, sched);
+
+    double per_round_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      auto loads = make_seeded_state(n, s, n, matching::SparseMode::kOff);
+      const auto t0 = clock::now();
+      for (const auto& m : rounds) loads.apply(m);
+      per_round_ms = std::min(
+          per_round_ms,
+          std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+    }
+    for (const std::size_t tile : {std::size_t{2}, std::size_t{8}, s}) {
+      if (tile > s) continue;
+      double tiled_ms = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 5; ++rep) {
+        auto loads = make_seeded_state(n, s, n, matching::SparseMode::kOff);
+        matching::RoundSchedule window_sched = sched;  // prepare rewrites in place
+        const auto t0 = clock::now();
+        loads.prepare_window(window_sched);
+        for (std::size_t d0 = 0; d0 < s; d0 += tile) {
+          loads.apply_window_stripe(window_sched, d0, std::min(s, d0 + tile));
+        }
+        tiled_ms = std::min(
+            tiled_ms,
+            std::chrono::duration<double, std::milli>(clock::now() - t0).count());
+      }
+      std::printf("%-6zu %-10zu %-12.4f %-12.4f %s\n", s, tile, per_round_ms,
+                  tiled_ms, tiled_ms <= per_round_ms ? "tiled" : "per-round");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,5 +537,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_crossover_sweep();
+  run_tile_sweep();
   return 0;
 }

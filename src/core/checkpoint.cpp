@@ -327,14 +327,20 @@ CheckpointVerification verify_checkpoint(const graph::Graph& g,
     return out;
   }
 
-  // Replay rounds 1..r from coins alone — the dense engine's exact
-  // averaging path, which every engine is bit-identical to.
+  // Replay rounds 1..r from coins alone, through the same schedule-ahead
+  // windowed executor the engines run — which is bit-identical to the
+  // per-round path for every window and stripe width, so a checkpoint
+  // written by any engine with any HotPathOptions verifies against it.
   matching::MultiLoadState state(g.num_nodes(), s);
   state.set_weighted_graph(&g);
   for (std::size_t i = 0; i < s; ++i) state.set(derived.seeds[i], i, 1.0);
   matching::MatchingGenerator generator(g, derive_seed(config.seed, Stream::kMatching),
                                         config.protocol);
-  (void)matching::run_process(generator, state, cp.round);
+  matching::WindowPlan plan;
+  plan.window = resolve_schedule_window(config.hot_path, CheckpointOptions{});
+  plan.tile_cols = resolve_tile_cols(config.hot_path, g.num_nodes(), s);
+  plan.weighted_graph = state.weighted() ? &g : nullptr;
+  (void)matching::run_process_windowed(generator, state, 0, cp.round, plan);
 
   const std::span<const double> replay = state.values();
   for (std::size_t idx = 0; idx < replay.size(); ++idx) {

@@ -1,11 +1,13 @@
 #include "core/clusterer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "core/seeding.hpp"
 #include "metrics/clustering_metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dgc::core {
 
@@ -51,17 +53,50 @@ ClusterResult Clusterer::run(matching::MultiLoadState* final_state) const {
     state.load_matrix(loaded->matrix);
   }
   generator.skip_rounds(start);
-  result.process = matching::run_process_range(
-      generator, state, start, result.rounds,
-      [&](std::size_t t, const matching::Matching&) { return ckpt.after_round(t, state); });
+  const std::size_t window = resolve_schedule_window(hot, config().checkpoint);
+  if (window > 1) {
+    // Schedule-ahead executor: W rounds of matchings drawn per window,
+    // replayed per dimension stripe (see matching/schedule.hpp).  The
+    // coin pool doubles as the stripe pool — both phases are barriered,
+    // never concurrent.
+    matching::WindowPlan plan;
+    plan.window = window;
+    plan.tile_cols = resolve_tile_cols(hot, n, s);
+    plan.pool = coin_pool.get();
+    plan.checkpoint_every = config().checkpoint.every;
+    plan.stop_after_round = config().checkpoint.stop_after_round;
+    plan.weighted_graph = state.weighted() ? &g : nullptr;
+    matching::ProcessPhaseTimes phases;
+    plan.phases = &phases;
+    result.process = matching::run_process_windowed(
+        generator, state, start, result.rounds, plan, {},
+        [&](std::size_t t) { return ckpt.after_round(t, state); });
+    result.phase_seconds.schedule = phases.schedule_seconds;
+    result.phase_seconds.apply = phases.apply_seconds;
+  } else {
+    double apply_seconds = 0.0;
+    const util::Timer loop_timer;
+    result.process = matching::run_process_range(
+        generator, start, result.rounds,
+        [&](std::size_t, const matching::Matching& m) {
+          const util::Timer apply_timer;
+          state.apply(m);
+          apply_seconds += apply_timer.seconds();
+        },
+        [&](std::size_t t, const matching::Matching&) { return ckpt.after_round(t, state); });
+    result.phase_seconds.apply = apply_seconds;
+    result.phase_seconds.schedule = std::max(0.0, loop_timer.seconds() - apply_seconds);
+  }
   ckpt.finish(result);
 
   // --- Query procedure ------------------------------------------------
+  const util::Timer query_timer;
   result.labels.resize(n);
   for (graph::NodeId v = 0; v < n; ++v) {
     result.labels[v] = query_label(std::as_const(state).row(v), seed_ids,
                                    result.threshold, config().query_rule);
   }
+  result.phase_seconds.query = query_timer.seconds();
 
   if (final_state != nullptr) *final_state = std::move(state);
   return result;

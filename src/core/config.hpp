@@ -44,6 +44,19 @@ struct HotPathOptions {
   /// CPU dispatch; the scalar fallback is bit-identical, see
   /// matching/simd_kernels.hpp).
   bool simd = true;
+  /// Rounds scheduled ahead per window (matching/schedule.hpp): the
+  /// matchings of W rounds are precomputed in one fused pass, then the
+  /// load updates replay per dimension stripe so a stripe stays
+  /// cache-resident across the whole window.  0 = auto (the default
+  /// window, currently 8; forced to 1 while round_sleep_ms widens
+  /// per-round signal windows); 1 = the classic per-round driver; >= 2 =
+  /// windowed.  The message-passing engine has nothing to schedule ahead
+  /// (it is the per-round fidelity path) and ignores this.
+  std::size_t schedule_window = 0;
+  /// Dimension-stripe width of the tiled window apply.  0 = auto-sized
+  /// from the L2 cache so an n × tile stripe stays resident; otherwise
+  /// clamped to [1, s].
+  std::size_t tile_cols = 0;
 };
 
 /// Checkpoint/restart knobs (core/checkpoint.hpp).  The run state at a

@@ -99,8 +99,12 @@ DistributedReport DistributedClusterer::run(double drop_probability,
   matching::MatchingGenerator generator(
       g, derive_seed(cfg.seed, Stream::kMatching), cfg.protocol);
   // This engine's per-node State maps are natively sparse, so
-  // hot_path.sparse_mode has nothing to pick here; the SIMD coin batch
-  // still applies (bit-identical draws either way).
+  // hot_path.sparse_mode has nothing to pick here; likewise
+  // schedule_window — the per-message round loop IS the fidelity being
+  // simulated, so there is nothing to schedule ahead (labels stay
+  // bit-identical to the windowed engines either way, asserted by the
+  // EngineEquivalence grid).  The SIMD coin batch still applies
+  // (bit-identical draws either way).
   generator.use_simd(cfg.hot_path.simd);
   const std::unique_ptr<util::ThreadPool> coin_pool = make_coin_pool(cfg.hot_path, n);
   generator.use_thread_pool(coin_pool.get());

@@ -1,7 +1,12 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 #include "core/clusterer.hpp"
 #include "core/distributed_clusterer.hpp"
@@ -136,6 +141,42 @@ std::unique_ptr<util::ThreadPool> make_coin_pool(const HotPathOptions& hot,
       hot.coin_threads != 0 ? hot.coin_threads : std::thread::hardware_concurrency();
   if (threads <= 1) return nullptr;
   return std::make_unique<util::ThreadPool>(threads);
+}
+
+std::size_t resolve_schedule_window(const HotPathOptions& hot,
+                                    const CheckpointOptions& checkpoint) {
+  if (checkpoint.round_sleep_ms > 0) return 1;
+  return hot.schedule_window == 0 ? kDefaultScheduleWindow : hot.schedule_window;
+}
+
+std::size_t resolve_tile_cols(const HotPathOptions& hot, std::size_t n,
+                              std::size_t dims) {
+  if (dims == 0) return 1;
+  if (hot.tile_cols != 0) return std::min(hot.tile_cols, dims);
+  long l2 = -1;
+  long l3 = -1;
+#if defined(__unix__) && defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(__unix__) && defined(_SC_LEVEL3_CACHE_SIZE)
+  l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  // Striping is a memory-traffic play: replaying the window per stripe
+  // only pays when the full matrix spills out of the last-level cache,
+  // so each stripe's cache residency across the window's rounds cuts
+  // DRAM traffic.  While the matrix is LLC-resident, every extra stripe
+  // is a pure per-pair-overhead loss (bench_micro's tile sweep has
+  // every tile < full width losing to one full-width pass), so run one
+  // pass over all columns.
+  const std::size_t llc = l3 > 0 ? static_cast<std::size_t>(l3) : (32u << 20);
+  if (n * dims * sizeof(double) <= llc) return dims;
+  // Past the LLC, stripe to the L2 budget — but never narrower than 8
+  // columns: a skinnier stripe pulls whole cache lines for a fraction
+  // of their bytes and repeats the per-pair pointer work per stripe,
+  // which costs more than the residency buys.
+  const std::size_t budget = (l2 > 0 ? static_cast<std::size_t>(l2) : (1u << 20)) / 2;
+  const std::size_t tile = budget / (std::max<std::size_t>(n, 1) * sizeof(double));
+  return std::min<std::size_t>(std::max<std::size_t>(tile, 8), dims);
 }
 
 }  // namespace dgc::core

@@ -36,6 +36,21 @@
 
 namespace dgc::core {
 
+/// Per-phase wall seconds of one run (observability: `dgc cluster`
+/// surfaces these in the run-summary JSON so bench regressions are
+/// diagnosable from production runs).  `schedule` covers drawing the
+/// matchings — coin flips and resolution, which the fast paths fuse, so
+/// `flip`/`resolve` are only split out by runs that executed them
+/// unfused (the E16 breakdown bench) and stay 0 here.  Fields a path
+/// didn't exercise stay 0.
+struct PhaseSeconds {
+  double schedule = 0.0;
+  double flip = 0.0;
+  double resolve = 0.0;
+  double apply = 0.0;
+  double query = 0.0;
+};
+
 struct ClusterResult {
   /// Per-node label: the ID of a seed node, or metrics::kUnclustered.
   std::vector<std::uint64_t> labels;
@@ -57,6 +72,8 @@ struct ClusterResult {
   bool interrupted = false;           ///< stop flag fired: labels are NOT
                                       ///< final, a checkpoint was written
   std::size_t checkpoint_round = 0;   ///< last round checkpointed (0 = none)
+  /// Per-phase wall times of this run (see PhaseSeconds).
+  PhaseSeconds phase_seconds;
 };
 
 /// τ = threshold_scale / (sqrt(2β)·n).
@@ -143,5 +160,25 @@ enum class EngineKind : std::uint8_t {
 /// engine reuses its shard pool instead).
 [[nodiscard]] std::unique_ptr<util::ThreadPool> make_coin_pool(const HotPathOptions& hot,
                                                                graph::NodeId n);
+
+/// The auto window width HotPathOptions::schedule_window == 0 resolves
+/// to.  Deep enough to amortise the schedule build, shallow enough that
+/// the stop flag and the checkpoint-cadence early close stay responsive.
+inline constexpr std::size_t kDefaultScheduleWindow = 8;
+
+/// Resolves HotPathOptions::schedule_window to the W an engine runs
+/// with: 1 (the classic per-round driver) while round_sleep_ms widens
+/// per-round signal windows — the kill-and-resume harness relies on the
+/// sleep firing every round — else the explicit value, or
+/// kDefaultScheduleWindow for 0.
+[[nodiscard]] std::size_t resolve_schedule_window(const HotPathOptions& hot,
+                                                  const CheckpointOptions& checkpoint);
+
+/// Resolves HotPathOptions::tile_cols to a stripe width in [1, dims]:
+/// the explicit value clamped, or auto-sized so an n × tile stripe of
+/// doubles fills about half the L2 cache (sysconf when available, 1 MiB
+/// assumed otherwise).
+[[nodiscard]] std::size_t resolve_tile_cols(const HotPathOptions& hot, std::size_t n,
+                                            std::size_t dims);
 
 }  // namespace dgc::core

@@ -1,6 +1,7 @@
 #include "core/sharded_clusterer.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "metrics/graph_metrics.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dgc::core {
 
@@ -113,6 +115,37 @@ ShardedReport ShardedClusterer::run() const {
   generator.skip_rounds(start);
 
   report.words_per_round.reserve(result.rounds);
+  const std::size_t window = resolve_schedule_window(config().hot_path, config().checkpoint);
+  if (window > 1) {
+    // Schedule-ahead executor: thread parallelism moves from per-round
+    // pair splitting to dimension-stripe ownership — one barrier per
+    // window instead of two per round.  The per-round mailbox accounting
+    // is unchanged: the window reorders execution, not the data
+    // dependencies, so each scheduled round still costs the same
+    // cross-shard row exchanges, metered from the matchings as drawn.
+    matching::WindowPlan plan;
+    plan.window = window;
+    plan.tile_cols = resolve_tile_cols(config().hot_path, n, s);
+    plan.pool = &pool;
+    plan.checkpoint_every = config().checkpoint.every;
+    plan.stop_after_round = config().checkpoint.stop_after_round;
+    plan.weighted_graph = state.weighted() ? &g : nullptr;
+    matching::ProcessPhaseTimes phases;
+    plan.phases = &phases;
+    const std::span<const std::uint32_t> shard_of{report.partition.shard_of};
+    result.process = matching::run_process_windowed(
+        generator, state, start, result.rounds, plan,
+        [&](std::size_t, const matching::Matching& m) {
+          std::size_t cross = 0;
+          for (const auto& [u, v] : m.edges) cross += shard_of[u] != shard_of[v];
+          report.words_per_round.push_back(mailbox.exchange(cross));
+          report.intra_pairs += m.edges.size() - cross;
+          report.cross_pairs += cross;
+        },
+        [&](std::size_t t) { return ckpt.after_round(t, state); });
+    result.phase_seconds.schedule = phases.schedule_seconds;
+    result.phase_seconds.apply = phases.apply_seconds;
+  } else {
   matching::ShardSplit split;  // hoisted: rounds reuse its capacity
   result.process = matching::run_process_range(
       generator, start, result.rounds,
@@ -150,10 +183,12 @@ ShardedReport ShardedClusterer::run() const {
         report.cross_pairs += split.cross.size();
       },
       [&](std::size_t t, const matching::Matching&) { return ckpt.after_round(t, state); });
+  }
   ckpt.finish(result);
   report.traffic = mailbox.traffic();
 
   // --- Query procedure, each shard labelling its own nodes -----------
+  const util::Timer query_timer;
   result.labels.resize(n);
   pool.parallel_for(P, [&](std::size_t shard) {
     for (const graph::NodeId v : members[shard]) {
@@ -161,6 +196,7 @@ ShardedReport ShardedClusterer::run() const {
                                      result.threshold, config().query_rule);
     }
   });
+  result.phase_seconds.query = query_timer.seconds();
 
   return report;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "matching/schedule.hpp"
 #include "util/require.hpp"
 
 namespace dgc::matching {
@@ -273,6 +274,116 @@ void MultiLoadState::apply_pairs(
       if (sv != kNoSlot) __builtin_prefetch(slot_ptr(sv));
     }
     average_pair(pairs[i].first, pairs[i].second);
+  }
+}
+
+void MultiLoadState::prepare_window(RoundSchedule& sched) {
+  const std::size_t rounds = sched.rounds();
+  DGC_REQUIRE(sched.offsets.size() == rounds + 1, "schedule offsets malformed");
+  const bool weighted = !sched.lambda.empty();
+  DGC_REQUIRE(!weighted || sched.lambda.size() == sched.pair_count(),
+              "schedule lambda column malformed");
+  if (dense_storage_ &&
+      std::all_of(active_.begin(), active_.end(), [](char a) { return a != 0; })) {
+    // Saturated state: every pair survives the filter, the flag updates
+    // are all 1 |= 1, and dense storage rows are the node ids the
+    // schedule already carries — the pass would be the identity.  Flags
+    // are monotone within a run, so once the support covers every row
+    // (the common steady state past the support-doubling ramp) each
+    // window takes this exit after one early-exiting scan of active_.
+    return;
+  }
+  if (!dense_storage_) {
+    // Support at most doubles per round, so `rounds` doublings bound the
+    // window's slot demand; reserving up front keeps allocate_slot on its
+    // O(1) path (the growth fallback would copy packed_ per slot).
+    std::size_t cap = std::max<std::size_t>(slots_, 64);
+    for (std::size_t r = 0; r < rounds && cap < num_nodes_; ++r) cap *= 2;
+    cap = std::min(cap, num_nodes_);
+    if (slot_node_.size() < cap) {
+      slot_node_.resize(cap);
+      packed_.resize(cap * dimensions_, 0.0);
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t begin = sched.offsets[r];
+    const std::size_t end = sched.offsets[r + 1];
+    sched.offsets[r] = kept;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t u = sched.pairs[2 * i];
+      const std::uint32_t v = sched.pairs[2 * i + 1];
+      std::uint32_t iu;
+      std::uint32_t iv;
+      if (dense_storage_) {
+        // Filtering both-zero pairs is exact with skip_zeros on OR off:
+        // either way the per-round path leaves both values and both flags
+        // untouched (merged == 0 writes the 0 already there).
+        if ((active_[u] | active_[v]) == 0) continue;
+        active_[u] = 1;
+        active_[v] = 1;
+        iu = u;
+        iv = v;
+      } else {
+        std::uint32_t su = slot_of_[u];
+        std::uint32_t sv = slot_of_[v];
+        if (su == kNoSlot && sv == kNoSlot) continue;  // structurally zero
+        if (su == kNoSlot) su = allocate_slot(u);
+        if (sv == kNoSlot) sv = allocate_slot(v);
+        iu = su;
+        iv = sv;
+      }
+      sched.pairs[2 * kept] = iu;
+      sched.pairs[2 * kept + 1] = iv;
+      if (weighted) sched.lambda[kept] = sched.lambda[i];
+      ++kept;
+    }
+  }
+  sched.offsets[rounds] = kept;
+  sched.pairs.resize(2 * kept);
+  if (weighted) sched.lambda.resize(kept);
+}
+
+void MultiLoadState::apply_window_stripe(const RoundSchedule& sched, std::size_t d0,
+                                         std::size_t d1) {
+  DGC_REQUIRE(d0 < d1 && d1 <= dimensions_, "dimension stripe out of range");
+  double* const base = dense_storage_ ? data_.data() : packed_.data();
+  const std::size_t dims = dimensions_;
+  const std::size_t width = d1 - d0;
+  const std::uint32_t* p = sched.pairs.data();
+  const double* lam = sched.lambda.empty() ? nullptr : sched.lambda.data();
+  const std::size_t total = sched.pair_count();
+  // Round boundaries need no special handling: the flat array lists the
+  // rounds' surviving pairs in round order, and sequential application in
+  // that order is exactly the per-round order, per dimension.
+  // A stripe slice spans up to ⌈width·8/64⌉ + 1 cache lines; prefetch
+  // them all — the rows land randomly in an L3-resident matrix, and the
+  // hardware prefetcher does not chase the pair indirection.
+  const std::size_t lines = (width * sizeof(double) + 63) / 64 + 1;
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i + kAhead < total) {
+      const double* fu = base + static_cast<std::size_t>(p[2 * (i + kAhead)]) * dims + d0;
+      const double* fv =
+          base + static_cast<std::size_t>(p[2 * (i + kAhead) + 1]) * dims + d0;
+      for (std::size_t l = 0; l < lines; ++l) {
+        __builtin_prefetch(fu + 8 * l);
+        __builtin_prefetch(fv + 8 * l);
+      }
+    }
+    double* const ru = base + static_cast<std::size_t>(p[2 * i]) * dims + d0;
+    double* const rv = base + static_cast<std::size_t>(p[2 * i + 1]) * dims + d0;
+    const double lambda = lam != nullptr ? lam[i] : 0.5;
+    // The same runtime-dispatched kernels as average_pair, applied to the
+    // stripe slice: AVX2 and scalar variants are bit-identical by the
+    // simd_kernels.hpp contract, and the λ == 0.5 routing mirrors
+    // average_pair exactly, so stripe width and the simd toggle are both
+    // pure scheduling.
+    if (lambda == 0.5) {
+      avg_half_(ru, rv, width);
+    } else {
+      avg_lambda_(ru, rv, width, lambda);
+    }
   }
 }
 

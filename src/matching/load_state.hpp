@@ -60,6 +60,8 @@
 
 namespace dgc::matching {
 
+struct RoundSchedule;
+
 /// One matching's edges split by a shard assignment: intra[s] holds the
 /// pairs whose endpoints both live on shard s (appliable shard-locally,
 /// in parallel across shards), cross the pairs that straddle two shards
@@ -143,6 +145,32 @@ class MultiLoadState {
   /// sparse-mode slot allocation is a single atomic counter bump into
   /// storage update_mode() pre-reserved for the round).
   void apply_pairs(std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs);
+
+  /// Structural pre-pass of the schedule-ahead window executor (see
+  /// matching/schedule.hpp).  Serially walks the schedule's rounds in
+  /// order, advancing the activity flags through the exact recurrence the
+  /// per-round path runs (merged = active[u] | active[v] — a pure
+  /// function of the value history, never of the values' magnitudes),
+  /// drops pairs whose two rows are both all-+0.0 at their round (exact:
+  /// averaging two zero rows rewrites the zeros, (1−λ)·0 + λ·0 = +0.0,
+  /// and per-round application leaves their flags at 0 too), allocates
+  /// sparse slots for every row the window will touch, and rewrites the
+  /// surviving pairs to storage row indices.  After this pass
+  /// apply_window_stripe never allocates, never branches on flags, and is
+  /// race-free across disjoint dimension stripes.  Call update_mode()
+  /// first, exactly like the per-round engines do at round boundaries.
+  void prepare_window(RoundSchedule& sched);
+
+  /// Replays a prepared window's pairs, in round order, on dimensions
+  /// [d0, d1) only.  Per dimension this performs the same averaging
+  /// operations in the same order as W per-round apply() calls — pairs
+  /// within a round are row-disjoint — so the result is bit-identical
+  /// for every stripe decomposition, and concurrent calls on disjoint
+  /// stripes are race-free.  The inline averaging expressions are the
+  /// scalar kernels' (simd_kernels.hpp), which the AVX2 kernels are
+  /// bit-identical to, so the simd toggle cannot change the result here
+  /// either.
+  void apply_window_stripe(const RoundSchedule& sched, std::size_t d0, std::size_t d1);
 
   /// Round-boundary hook: densifies a kAuto state once active_rows·2 > n
   /// and pre-reserves sparse storage for the round ahead (support can at

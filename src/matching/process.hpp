@@ -12,6 +12,11 @@
 
 #include "matching/load_state.hpp"
 #include "matching/protocol.hpp"
+#include "matching/schedule.hpp"
+
+namespace dgc::util {
+class ThreadPool;
+}
 
 namespace dgc::matching {
 
@@ -54,6 +59,57 @@ ProcessStats run_process_range(
     MatchingGenerator& generator, std::size_t first_round, std::size_t last_round,
     const std::function<void(std::size_t, const Matching&)>& apply,
     const std::function<bool(std::size_t, const Matching&)>& on_round = {});
+
+/// Wall-clock accumulators for the windowed driver (observability;
+/// engines surface them in the run summary).  `schedule` covers drawing
+/// the window's matchings — coin flips and resolution, fused on the fast
+/// path — `apply` the structural pre-pass plus the striped replay.
+struct ProcessPhaseTimes {
+  double schedule_seconds = 0.0;
+  double apply_seconds = 0.0;
+};
+
+/// Execution plan for run_process_windowed.  Pure scheduling, like
+/// HotPathOptions: every field combination yields bit-identical state.
+struct WindowPlan {
+  /// Rounds scheduled ahead per window (W >= 1).
+  std::size_t window = 8;
+  /// Dimension-stripe width of the tiled apply (0 = one stripe of all
+  /// dimensions).  An n × tile stripe should fit the private cache.
+  std::size_t tile_cols = 0;
+  /// Workers for stripe ownership: each stripe is applied by one worker,
+  /// with a single barrier per window (null = serial stripes).
+  util::ThreadPool* pool = nullptr;
+  /// Close windows at multiples of this round cadence so the checkpoint
+  /// hook fires exactly where the per-round driver would save (0 = off).
+  std::size_t checkpoint_every = 0;
+  /// Close a window at this global round (the stop_after_round hook).
+  std::size_t stop_after_round = 0;
+  /// λ source for weighted schedules; must be the state's weighted graph
+  /// (null = unweighted 1/2 averaging).
+  const graph::Graph* weighted_graph = nullptr;
+  /// Optional phase-time sink.
+  ProcessPhaseTimes* phases = nullptr;
+};
+
+/// Schedule-ahead window executor: runs global rounds first_round+1 ..
+/// last_round in windows of plan.window rounds — each window drawn into
+/// a RoundSchedule in one fused pass, then replayed per dimension stripe
+/// (see matching/schedule.hpp for the bit-identity argument).  Windows
+/// close early at checkpoint cadence rounds and at stop_after_round, so
+/// `on_window(t)`, called after the window ending at global round t,
+/// fires at every round the per-round driver's checkpoint hook would
+/// save at; returning false stops the run (round t is complete).  The
+/// cooperative stop flag is therefore observed with at most plan.window
+/// rounds of latency.  `on_schedule_round(t, matching)` sees every drawn
+/// matching in global round order, before packing (the sharded engine
+/// meters cross-shard traffic from it).  Stats match the per-round
+/// drivers exactly: they count the as-drawn |M(t)|, in round order.
+ProcessStats run_process_windowed(
+    MatchingGenerator& generator, MultiLoadState& state, std::size_t first_round,
+    std::size_t last_round, const WindowPlan& plan,
+    const std::function<void(std::size_t, const Matching&)>& on_schedule_round = {},
+    const std::function<bool(std::size_t)>& on_window = {});
 
 /// Applies the *expected* matching matrix E[M] = (1−d̄/4)I + (d̄/4)P for
 /// `rounds` rounds to an n-vector (regular graphs only).

@@ -316,7 +316,8 @@ void MatchingGenerator::next_fused_fast(Matching& out) {
     }
   }
 
-  out.partner.assign(n, kInvalidNode);
+  const bool partners = !edges_only_;
+  if (partners) out.partner.assign(n, kInvalidNode);
   out.edges.clear();
   if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
   // Accept sweep: the kernel grades 64 nodes per call (probe count 1,
@@ -333,8 +334,10 @@ void MatchingGenerator::next_fused_fast(Matching& out) {
       mask &= mask - 1;
       const NodeId acceptor = base + bit;
       const auto u = static_cast<NodeId>(probes[acceptor]);
-      out.partner[acceptor] = u;
-      out.partner[u] = acceptor;
+      if (partners) {
+        out.partner[acceptor] = u;
+        out.partner[u] = acceptor;
+      }
       out.edges.emplace_back(std::min(u, acceptor), std::max(u, acceptor));
     }
     std::memset(probes + base, 0, 64 * sizeof(std::uint64_t));
@@ -344,8 +347,10 @@ void MatchingGenerator::next_fused_fast(Matching& out) {
     probes[base] = 0;
     if (active[base] || (entry >> 32) != 1) continue;
     const auto u = static_cast<NodeId>(entry);
-    out.partner[base] = u;
-    out.partner[u] = base;
+    if (partners) {
+      out.partner[base] = u;
+      out.partner[u] = base;
+    }
     out.edges.emplace_back(std::min(u, base), std::max(u, base));
   }
   probes[n] = 0;
@@ -399,7 +404,8 @@ void MatchingGenerator::next(Matching& out) {
       }
     }
   }
-  out.partner.assign(n, kInvalidNode);
+  const bool partners = !edges_only_;
+  if (partners) out.partner.assign(n, kInvalidNode);
   out.edges.clear();
   if (out.edges.capacity() < n / 2 + 1) out.edges.reserve(n / 2 + 1);
   for (NodeId v = 0; v < n; ++v) {
@@ -407,8 +413,10 @@ void MatchingGenerator::next(Matching& out) {
     probes_scratch_[v] = 0;
     if (active[v] || (entry >> 32) != 1) continue;
     const NodeId u = static_cast<NodeId>(entry);
-    out.partner[v] = u;
-    out.partner[u] = v;
+    if (partners) {
+      out.partner[v] = u;
+      out.partner[u] = v;
+    }
     out.edges.emplace_back(std::min(u, v), std::max(u, v));
   }
 }

@@ -142,6 +142,16 @@ class MatchingGenerator {
   }
   [[nodiscard]] bool simd() const noexcept { return simd_; }
 
+  /// Edges-only rounds: when set, next()/resolve() fill Matching::edges
+  /// (and the draws advance identically) but may leave Matching::partner
+  /// stale — skipping the O(n) partner fill and two scattered stores per
+  /// accepted pair.  The schedule builder turns this on while
+  /// materialising a window: its consumers read edges only.  Off by
+  /// default; paths that hand matchings to apply()/split_by_shard need
+  /// partner intact.
+  void set_edges_only(bool enabled) noexcept { edges_only_ = enabled; }
+  [[nodiscard]] bool edges_only() const noexcept { return edges_only_; }
+
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
 
  private:
@@ -174,6 +184,7 @@ class MatchingGenerator {
   std::vector<util::Rng> node_rng_;
   util::ThreadPool* pool_ = nullptr;
   bool simd_ = true;
+  bool edges_only_ = false;
   simd::FlipDraws4Fn flip_draws4_ = simd::flip_draws4_kernel(true);
   simd::AcceptMask64Fn accept_mask64_ = simd::accept_mask64_kernel(true);
 

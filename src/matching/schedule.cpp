@@ -1,0 +1,49 @@
+#include "matching/schedule.hpp"
+
+#include "util/require.hpp"
+
+namespace dgc::matching {
+
+void ScheduleBuilder::build(MatchingGenerator& generator, std::size_t first_round,
+                            std::size_t window, const graph::Graph* weighted_graph,
+                            RoundSchedule& out,
+                            const std::function<void(std::size_t, const Matching&)>& on_round) {
+  DGC_REQUIRE(window > 0, "schedule window must cover at least one round");
+  out.first_round = first_round;
+  out.offsets.clear();
+  out.pairs.clear();
+  out.lambda.clear();
+  out.matched.clear();
+  out.offsets.reserve(window + 1);
+  out.matched.reserve(window);
+  out.offsets.push_back(0);
+
+  const bool weighted =
+      weighted_graph != nullptr && weighted_graph->is_weighted() &&
+      weighted_graph->max_weight() > 0.0;
+  // The same divisor average_pair caches (two_max_weight_), so the
+  // packed quotients match its λ bit for bit.
+  const double two_max_weight = weighted ? 2.0 * weighted_graph->max_weight() : 0.0;
+
+  // Only the edge lists feed the schedule (and on_round consumers read
+  // edges too), so the generator may skip its per-round partner-array
+  // maintenance — an O(n) fill plus two scattered stores per pair.
+  const bool had_partners = !generator.edges_only();
+  generator.set_edges_only(true);
+  for (std::size_t w = 0; w < window; ++w) {
+    generator.next(scratch_);
+    if (on_round) on_round(first_round + w + 1, scratch_);
+    for (const auto& [u, v] : scratch_.edges) {
+      out.pairs.push_back(u);
+      out.pairs.push_back(v);
+      if (weighted) {
+        out.lambda.push_back(weighted_graph->edge_weight(u, v) / two_max_weight);
+      }
+    }
+    out.matched.push_back(static_cast<std::uint32_t>(scratch_.edges.size()));
+    out.offsets.push_back(out.pairs.size() / 2);
+  }
+  generator.set_edges_only(!had_partners);
+}
+
+}  // namespace dgc::matching

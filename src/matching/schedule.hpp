@@ -1,0 +1,80 @@
+// Schedule-ahead round windows: precomputed matching schedules.
+//
+// The protocol's central structural property (§2.2; the basis of
+// checkpoint replay too) is that the matching of round t is a pure
+// function of (graph, seed, t) — coins never read the load values.  So
+// a *window* of W rounds of matchings can be materialised up front, in
+// one fused pass over the generator, and the load updates replayed from
+// the packed schedule afterwards, in any per-dimension order:
+//
+//   * per round the matched pairs are pairwise row-disjoint (it is a
+//     matching), so within one round any application order is exact;
+//   * across rounds each of the s load dimensions evolves independently
+//     (averaging mixes rows, never columns), so replaying the whole
+//     window for one dimension stripe [d0, d1) at a time performs the
+//     same float operations in the same order per dimension as the
+//     interleaved per-round loop — bit for bit.
+//
+// That second point is what the tiled apply path exploits
+// (MultiLoadState::apply_window_stripe): an n × tile stripe of the load
+// matrix stays cache-resident across all W rounds, cutting steady-state
+// memory traffic from O(W·n·s) to O(schedule + n·s), and thread
+// parallelism moves from per-round pair splitting to stripe ownership
+// with one barrier per window instead of per round.
+//
+// Layout: one flat u32 array with two entries per pair, plus per-round
+// CSR offsets; weighted graphs carry a per-pair λ = w/(2·w_max) so the
+// apply never re-derives edge weights.  After MultiLoadState::
+// prepare_window the pair entries are *storage row indices* (node ids in
+// dense mode, packed slots in sparse mode) and exact no-op pairs (both
+// rows all-+0.0) are dropped; `matched` keeps the as-drawn per-round
+// |M(t)| so ProcessStats accounting is independent of the filtering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/protocol.hpp"
+
+namespace dgc::matching {
+
+struct RoundSchedule {
+  /// Global rounds covered: first_round+1 .. first_round+rounds().
+  std::size_t first_round = 0;
+  /// Per-round CSR offsets into `pairs` (in pair units); size rounds()+1.
+  std::vector<std::size_t> offsets;
+  /// Two entries per pair.  Node ids as built; storage row indices after
+  /// MultiLoadState::prepare_window rewrote them.
+  std::vector<std::uint32_t> pairs;
+  /// Per-pair λ for weighted graphs (empty = unweighted, λ = 1/2).
+  std::vector<double> lambda;
+  /// As-drawn |M(t)| per round, before no-op filtering (stats source).
+  std::vector<std::uint32_t> matched;
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return matched.size(); }
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pairs.size() / 2; }
+};
+
+/// Draws `window` consecutive matchings from `generator` (which must be
+/// advanced exactly past `first_round` global rounds) and packs them.
+/// Owns a Matching scratch so steady-state windows reuse all capacity.
+class ScheduleBuilder {
+ public:
+  /// `weighted_graph` non-null enables the per-pair λ column, computed
+  /// as edge_weight(u,v) / (2·max_weight) — the exact expression
+  /// MultiLoadState::average_pair evaluates, so the packed λ reproduces
+  /// the per-round path bit for bit.  `on_round(t, matching)` (optional)
+  /// sees every freshly drawn matching with its global round number —
+  /// the sharded engine meters per-round cross-shard traffic from it.
+  void build(MatchingGenerator& generator, std::size_t first_round, std::size_t window,
+             const graph::Graph* weighted_graph, RoundSchedule& out,
+             const std::function<void(std::size_t, const Matching&)>& on_round = {});
+
+ private:
+  Matching scratch_;
+};
+
+}  // namespace dgc::matching

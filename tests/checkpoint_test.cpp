@@ -181,19 +181,60 @@ TEST(Checkpoint, CrossEngineResume) {
   }
 }
 
-// Resume may legally change the scheduling knobs: they are excluded
-// from the fingerprint and never change computed values.
+// The schedule-ahead window never moves where a checkpoint can land:
+// windows close early at stop rounds, so a run may be interrupted at
+// ANY round — mid-window, at a window boundary, or at T−1 with a
+// partial final window — and the resumed run (which re-windows from the
+// resume round, a different window phase than the baseline's) stays bit-
+// identical, on every engine.  Window 5 against rounds 24 exercises
+// round 3 (mid-window), round 10 (a window boundary of the baseline's
+// phase) and round 23 (inside the last partial window).
+TEST(Checkpoint, ResumeMidWindowBitIdentityGrid) {
+  const std::array<core::EngineKind, 3> kinds = {core::EngineKind::kDense,
+                                                 core::EngineKind::kMessagePassing,
+                                                 core::EngineKind::kSharded};
+  const auto planted = make_instance(3, 9);
+  core::ClusterConfig config = base_config(3, 17);
+  config.hot_path.schedule_window = 5;
+  config.hot_path.tile_cols = 2;
+  const auto baseline = core::Clusterer(planted.graph, config).run();
+  ASSERT_FALSE(baseline.interrupted);
+  const std::size_t T = baseline.rounds;
+
+  for (const core::EngineKind kind : kinds) {
+    for (const std::size_t r : {std::size_t{0}, std::size_t{3}, std::size_t{10}, T - 1}) {
+      SCOPED_TRACE("engine=" + std::to_string(static_cast<int>(kind)) +
+                   " r=" + std::to_string(r));
+      const std::string path =
+          r == 0 ? write_round0_checkpoint(planted.graph, config, "midwin")
+                 : write_engine_checkpoint(kind, planted.graph, config, r, "midwin");
+      const auto resumed = resume_from(kind, planted.graph, config, path);
+      EXPECT_TRUE(resumed.resumed);
+      EXPECT_EQ(resumed.resume_round, r);
+      EXPECT_FALSE(resumed.interrupted);
+      EXPECT_EQ(resumed.labels, baseline.labels);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// Resume may legally change the scheduling knobs — now including the
+// window and stripe geometry: they are excluded from the fingerprint
+// and never change computed values.
 TEST(Checkpoint, ResumeWithDifferentHotPathKnobs) {
   const auto planted = make_instance(2, 31);
   core::ClusterConfig config = base_config(2, 8);
   config.hot_path.skip_zero_rows = true;
   config.hot_path.parallel_coins = true;
+  config.hot_path.schedule_window = 1;
   const auto baseline = core::Clusterer(planted.graph, config).run();
   const std::string path = write_engine_checkpoint(core::EngineKind::kDense,
                                                    planted.graph, config, 11, "knobs");
   core::ClusterConfig other = config;
   other.hot_path.skip_zero_rows = false;
   other.hot_path.parallel_coins = false;
+  other.hot_path.schedule_window = 6;
+  other.hot_path.tile_cols = 1;
   const auto resumed = resume_from(core::EngineKind::kDense, planted.graph, other, path);
   EXPECT_TRUE(resumed.resumed);
   EXPECT_EQ(resumed.labels, baseline.labels);

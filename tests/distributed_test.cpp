@@ -175,6 +175,63 @@ INSTANTIATE_TEST_SUITE_P(
                                          matching::SparseMode::kOff),
                        ::testing::Bool()));
 
+// The schedule-ahead window axis through the engines: schedule_window
+// and tile_cols are pure scheduling (matching/schedule.hpp carries the
+// bit-identity argument), so every window size × stripe width × coin
+// pool cell must reproduce the per-round-fidelity reference — window 1,
+// one full-width stripe — bit for bit on the dense and sharded engines
+// (the message-passing engine has no window to schedule; it rides along
+// as a third independent derivation of the same labels).
+class ScheduleWindowEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(ScheduleWindowEquivalence, WindowAndTileNeverMoveALabel) {
+  const auto [window, tile, parallel_coins] = GetParam();
+  const auto planted = make_instance(3, 256, 10, 30, 11);
+  core::ClusterConfig config;
+  config.beta = 0.25;
+  config.rounds = 60;
+  config.seed = 4096;
+  config.query_rule = core::QueryRule::kArgmax;
+  config.hot_path.schedule_window = 1;
+  config.hot_path.tile_cols = 0;
+  config.hot_path.parallel_coins = false;
+  static core::ClusterResult reference;
+  static bool have_reference = false;
+  if (!have_reference) {
+    reference = core::Clusterer(planted.graph, config).run();
+    have_reference = true;
+  }
+
+  config.hot_path.schedule_window = window;
+  config.hot_path.tile_cols = tile;
+  config.hot_path.parallel_coins = parallel_coins;
+  // Force a real pool even on 1-core CI machines, so the pooled stripe
+  // ownership path runs, not just compiles.
+  config.hot_path.coin_threads = parallel_coins ? 4 : 0;
+  core::ShardOptions options;
+  options.shards = 4;
+  const auto dense = core::Clusterer(planted.graph, config).run();
+  const auto distributed = core::DistributedClusterer(planted.graph, config).run();
+  const auto sharded = core::ShardedClusterer(planted.graph, config, options).run();
+  EXPECT_EQ(reference.labels, dense.labels);
+  EXPECT_EQ(reference.labels, distributed.result.labels);
+  EXPECT_EQ(reference.labels, sharded.result.labels);
+  EXPECT_EQ(reference.seeds, dense.seeds);
+  EXPECT_EQ(reference.node_ids, dense.node_ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowTileCoinGrid, ScheduleWindowEquivalence,
+    ::testing::Combine(
+        // Window 60 = the full run in one schedule; 0 = the auto default.
+        ::testing::Values(std::size_t{2}, std::size_t{8}, std::size_t{60},
+                          std::size_t{0}),
+        // Stripe widths: single column, a ragged middle, auto full width.
+        ::testing::Values(std::size_t{1}, std::size_t{5}, std::size_t{0}),
+        ::testing::Bool()));
+
 /// Re-weights a graph with a constant weight on every edge.
 graph::Graph with_uniform_weights(const graph::Graph& g, double w) {
   std::vector<graph::WeightedEdge> edges;

@@ -1,0 +1,395 @@
+// Tests for the schedule-ahead window subsystem (matching/schedule.hpp):
+// packed schedules reproduce the generator's draws verbatim; the
+// windowed executor run_process_windowed is bit-identical to the
+// per-round driver across window sizes, stripe widths, storage modes,
+// SIMD toggles and thread pools; the structural pre-pass filters
+// both-zero pairs exactly and is the identity on saturated dense
+// states; windows close at checkpoint cadence and stop rounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "matching/load_state.hpp"
+#include "matching/process.hpp"
+#include "matching/protocol.hpp"
+#include "matching/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dgc;
+using graph::NodeId;
+
+/// A weighted graph with genuinely varied weights (λ != 1/2 on most
+/// edges), built over a random-regular topology.
+graph::Graph make_weighted(NodeId n, std::size_t degree, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto plain = graph::random_regular(n, degree, rng);
+  std::vector<graph::WeightedEdge> edges;
+  plain.for_each_edge([&](NodeId u, NodeId v) {
+    edges.push_back({u, v, 0.25 + static_cast<double>((u * 7 + v * 13) % 8)});
+  });
+  return graph::Graph::from_weighted_edges(n, std::move(edges));
+}
+
+/// Seeds `count` rows of `state` the way the engines do: row i gets a
+/// 1.0 in dimension i mod s.
+void seed_state(matching::MultiLoadState& state, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    state.set(static_cast<NodeId>(i * 17 % state.num_nodes()), i % state.dimensions(),
+              1.0);
+  }
+}
+
+std::vector<double> dense_of(const matching::MultiLoadState& state) {
+  std::vector<double> out;
+  state.snapshot_dense(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleBuilder: the packed CSR is the generator's draw stream.
+
+TEST(ScheduleBuild, PacksTheGeneratorsDrawsVerbatim) {
+  util::Rng rng(11);
+  const auto g = graph::random_regular(128, 6, rng);
+  const std::size_t window = 7;
+  const std::size_t first_round = 5;
+
+  // Reference stream: the same seed, drawn round by round.
+  matching::MatchingGenerator reference(g, 42);
+  reference.skip_rounds(first_round);
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> drawn;
+  matching::Matching m;
+  for (std::size_t w = 0; w < window; ++w) {
+    reference.next(m);
+    drawn.push_back(m.edges);
+  }
+
+  matching::MatchingGenerator generator(g, 42);
+  generator.skip_rounds(first_round);
+  matching::RoundSchedule sched;
+  matching::ScheduleBuilder builder;
+  std::vector<std::size_t> seen_rounds;
+  builder.build(generator, first_round, window, nullptr, sched,
+                [&](std::size_t t, const matching::Matching& round) {
+                  seen_rounds.push_back(t);
+                  EXPECT_EQ(round.edges, drawn[t - first_round - 1]);
+                });
+
+  EXPECT_EQ(sched.first_round, first_round);
+  EXPECT_EQ(sched.rounds(), window);
+  ASSERT_EQ(sched.offsets.size(), window + 1);
+  EXPECT_TRUE(sched.lambda.empty());  // unweighted: λ = 1/2 implied
+  ASSERT_EQ(seen_rounds.size(), window);
+  for (std::size_t w = 0; w < window; ++w) {
+    EXPECT_EQ(seen_rounds[w], first_round + w + 1);
+    EXPECT_EQ(sched.matched[w], drawn[w].size());
+    ASSERT_EQ(sched.offsets[w + 1] - sched.offsets[w], drawn[w].size());
+    for (std::size_t i = 0; i < drawn[w].size(); ++i) {
+      const std::size_t p = sched.offsets[w] + i;
+      EXPECT_EQ(sched.pairs[2 * p], drawn[w][i].first);
+      EXPECT_EQ(sched.pairs[2 * p + 1], drawn[w][i].second);
+    }
+  }
+}
+
+TEST(ScheduleBuild, WeightedLambdaMatchesAveragePairExpression) {
+  const auto g = make_weighted(96, 4, 3);
+  matching::MatchingGenerator generator(g, 9);
+  matching::RoundSchedule sched;
+  matching::ScheduleBuilder builder;
+  builder.build(generator, 0, 5, &g, sched);
+
+  ASSERT_EQ(sched.lambda.size(), sched.pair_count());
+  ASSERT_GT(sched.pair_count(), 0u);
+  const double two_max_weight = 2.0 * g.max_weight();
+  for (std::size_t p = 0; p < sched.pair_count(); ++p) {
+    const NodeId u = sched.pairs[2 * p];
+    const NodeId v = sched.pairs[2 * p + 1];
+    // The exact expression average_pair evaluates — bitwise, not approx.
+    EXPECT_EQ(sched.lambda[p], g.edge_weight(u, v) / two_max_weight);
+  }
+}
+
+TEST(ScheduleBuild, RestoresGeneratorPartnerMaintenance) {
+  util::Rng rng(4);
+  const auto g = graph::random_regular(64, 4, rng);
+  matching::RoundSchedule sched;
+  matching::ScheduleBuilder builder;
+
+  matching::MatchingGenerator generator(g, 1);
+  ASSERT_FALSE(generator.edges_only());
+  builder.build(generator, 0, 3, nullptr, sched);
+  EXPECT_FALSE(generator.edges_only()) << "build must restore partner maintenance";
+
+  matching::MatchingGenerator edges_only_gen(g, 1);
+  edges_only_gen.set_edges_only(true);
+  builder.build(edges_only_gen, 0, 3, nullptr, sched);
+  EXPECT_TRUE(edges_only_gen.edges_only());
+}
+
+// ---------------------------------------------------------------------------
+// The windowed executor: bit-identical to the per-round driver for
+// every plan — window size, stripe width, storage mode, skip toggle,
+// SIMD toggle, pool — including stats.
+
+TEST(WindowedProcess, BitIdenticalToPerRoundAcrossPlans) {
+  util::Rng rng(21);
+  const NodeId n = 96;
+  const std::size_t s = 5;
+  const std::size_t rounds = 25;
+  const auto g = graph::random_regular(n, 6, rng);
+
+  for (const auto mode : {matching::SparseMode::kOff, matching::SparseMode::kAuto}) {
+    for (const bool skip : {false, true}) {
+      for (const bool simd : {false, true}) {
+        // Per-round reference for this storage/skip/simd cell.
+        matching::MatchingGenerator ref_gen(g, 7);
+        matching::MultiLoadState ref_state(n, s, mode);
+        ref_state.set_skip_zeros(skip);
+        ref_state.set_simd(simd);
+        seed_state(ref_state, s);
+        const auto ref_stats = matching::run_process(ref_gen, ref_state, rounds);
+        const auto ref_matrix = dense_of(ref_state);
+
+        for (const std::size_t window :
+             {std::size_t{1}, std::size_t{3}, std::size_t{8}, rounds}) {
+          for (const std::size_t tile :
+               {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+            SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                         " skip=" + std::to_string(skip) +
+                         " simd=" + std::to_string(simd) +
+                         " window=" + std::to_string(window) +
+                         " tile=" + std::to_string(tile));
+            matching::MatchingGenerator generator(g, 7);
+            matching::MultiLoadState state(n, s, mode);
+            state.set_skip_zeros(skip);
+            state.set_simd(simd);
+            seed_state(state, s);
+            matching::WindowPlan plan;
+            plan.window = window;
+            plan.tile_cols = tile;
+            const auto stats =
+                matching::run_process_windowed(generator, state, 0, rounds, plan);
+            EXPECT_EQ(stats.rounds, ref_stats.rounds);
+            EXPECT_EQ(stats.total_matched_edges, ref_stats.total_matched_edges);
+            EXPECT_EQ(stats.mean_matched_fraction, ref_stats.mean_matched_fraction);
+            EXPECT_EQ(dense_of(state), ref_matrix);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowedProcess, PooledStripeOwnershipIsBitIdentical) {
+  util::Rng rng(33);
+  const NodeId n = 128;
+  const std::size_t s = 7;
+  const std::size_t rounds = 30;
+  const auto g = graph::random_regular(n, 8, rng);
+
+  matching::MatchingGenerator ref_gen(g, 13);
+  matching::MultiLoadState ref_state(n, s);
+  seed_state(ref_state, s);
+  matching::run_process(ref_gen, ref_state, rounds);
+  const auto ref_matrix = dense_of(ref_state);
+
+  util::ThreadPool pool(4);
+  for (const std::size_t tile : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    SCOPED_TRACE("tile=" + std::to_string(tile));
+    matching::MatchingGenerator generator(g, 13);
+    matching::MultiLoadState state(n, s);
+    seed_state(state, s);
+    matching::WindowPlan plan;
+    plan.window = 6;
+    plan.tile_cols = tile;
+    plan.pool = &pool;
+    matching::run_process_windowed(generator, state, 0, rounds, plan);
+    EXPECT_EQ(dense_of(state), ref_matrix);
+  }
+}
+
+TEST(WindowedProcess, WeightedGraphBitIdentical) {
+  const auto g = make_weighted(80, 6, 17);
+  const std::size_t s = 4;
+  const std::size_t rounds = 20;
+
+  matching::MatchingGenerator ref_gen(g, 23);
+  matching::MultiLoadState ref_state(g.num_nodes(), s);
+  ref_state.set_weighted_graph(&g);
+  seed_state(ref_state, s);
+  matching::run_process(ref_gen, ref_state, rounds);
+  const auto ref_matrix = dense_of(ref_state);
+
+  for (const std::size_t window : {std::size_t{1}, std::size_t{4}, rounds}) {
+    for (const std::size_t tile : {std::size_t{0}, std::size_t{2}}) {
+      SCOPED_TRACE("window=" + std::to_string(window) + " tile=" + std::to_string(tile));
+      matching::MatchingGenerator generator(g, 23);
+      matching::MultiLoadState state(g.num_nodes(), s);
+      state.set_weighted_graph(&g);
+      seed_state(state, s);
+      matching::WindowPlan plan;
+      plan.window = window;
+      plan.tile_cols = tile;
+      plan.weighted_graph = &g;
+      matching::run_process_windowed(generator, state, 0, rounds, plan);
+      EXPECT_EQ(dense_of(state), ref_matrix);
+    }
+  }
+}
+
+TEST(WindowedProcess, ResumedRangeMatchesPerRoundRange) {
+  // first_round > 0 (a resumed run): the schedule carries global round
+  // numbers and the stats cover only the executed window.
+  util::Rng rng(8);
+  const NodeId n = 64;
+  const std::size_t s = 3;
+  const auto g = graph::random_regular(n, 4, rng);
+
+  matching::MatchingGenerator ref_gen(g, 31);
+  matching::MultiLoadState ref_state(n, s);
+  seed_state(ref_state, s);
+  const auto ref_stats = matching::run_process_range(ref_gen, ref_state, 0, 18);
+
+  matching::MatchingGenerator generator(g, 31);
+  matching::MultiLoadState state(n, s);
+  seed_state(state, s);
+  matching::WindowPlan plan;
+  plan.window = 5;
+  matching::run_process_windowed(generator, state, 0, 7, plan);
+  const auto tail = matching::run_process_windowed(generator, state, 7, 18, plan);
+
+  EXPECT_EQ(tail.rounds, 11u);
+  EXPECT_EQ(ref_stats.rounds, 18u);
+  EXPECT_EQ(dense_of(state), dense_of(ref_state));
+}
+
+TEST(WindowedProcess, WindowsCloseAtCadenceAndStopRound) {
+  util::Rng rng(55);
+  const NodeId n = 64;
+  const std::size_t s = 3;
+  const std::size_t rounds = 23;
+  const auto g = graph::random_regular(n, 4, rng);
+
+  // Cadence 5 with window 4: every multiple of 5 must appear as a window
+  // boundary (on_window fires exactly where the per-round checkpoint
+  // hook would save).
+  {
+    matching::MatchingGenerator generator(g, 3);
+    matching::MultiLoadState state(n, s);
+    seed_state(state, s);
+    matching::WindowPlan plan;
+    plan.window = 4;
+    plan.checkpoint_every = 5;
+    std::vector<std::size_t> boundaries;
+    matching::run_process_windowed(generator, state, 0, rounds, plan, {},
+                                   [&](std::size_t t) {
+                                     boundaries.push_back(t);
+                                     return true;
+                                   });
+    for (std::size_t t = 5; t <= rounds; t += 5) {
+      EXPECT_NE(std::find(boundaries.begin(), boundaries.end(), t), boundaries.end())
+          << "cadence round " << t << " not a window boundary";
+    }
+    EXPECT_EQ(boundaries.back(), rounds);
+  }
+
+  // stop_after_round 13 with window 8: the window must close at 13 and a
+  // false return there stops the run with round 13 complete.
+  {
+    matching::MatchingGenerator generator(g, 3);
+    matching::MultiLoadState state(n, s);
+    seed_state(state, s);
+    matching::WindowPlan plan;
+    plan.window = 8;
+    plan.stop_after_round = 13;
+    const auto stats = matching::run_process_windowed(
+        generator, state, 0, rounds, plan, {},
+        [&](std::size_t t) { return t != 13; });
+    EXPECT_EQ(stats.rounds, 13u);
+
+    matching::MatchingGenerator ref_gen(g, 3);
+    matching::MultiLoadState ref_state(n, s);
+    seed_state(ref_state, s);
+    matching::run_process(ref_gen, ref_state, 13);
+    EXPECT_EQ(dense_of(state), dense_of(ref_state));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The structural pre-pass.
+
+TEST(PrepareWindow, DropsBothZeroPairsAndTracksFlagsExactly) {
+  util::Rng rng(66);
+  const NodeId n = 128;
+  const std::size_t s = 4;
+  const std::size_t window = 6;
+  const auto g = graph::random_regular(n, 6, rng);
+
+  // One active row: almost every early pair is both-zero and must be
+  // dropped; `matched` keeps the as-drawn counts regardless.
+  matching::MultiLoadState state(n, s);
+  state.set(3, 0, 1.0);
+  state.update_mode();
+
+  matching::MatchingGenerator generator(g, 19);
+  matching::RoundSchedule sched;
+  matching::ScheduleBuilder builder;
+  builder.build(generator, 0, window, nullptr, sched);
+  const auto as_drawn_matched = sched.matched;
+  const std::size_t as_drawn_pairs = sched.pair_count();
+
+  state.prepare_window(sched);
+  EXPECT_EQ(sched.matched, as_drawn_matched);
+  EXPECT_LT(sched.pair_count(), as_drawn_pairs)
+      << "a 1-active-row state must drop both-zero pairs";
+
+  // The flags prepare_window advanced must equal the per-round path's.
+  matching::MatchingGenerator ref_gen(g, 19);
+  matching::MultiLoadState ref_state(n, s);
+  ref_state.set(3, 0, 1.0);
+  matching::run_process(ref_gen, ref_state, window);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(state.row_active(v), ref_state.row_active(v)) << "node " << v;
+  }
+
+  // And replaying the filtered schedule reproduces the matrix bitwise.
+  state.apply_window_stripe(sched, 0, s);
+  EXPECT_EQ(dense_of(state), dense_of(ref_state));
+}
+
+TEST(PrepareWindow, SaturatedDenseStateIsIdentity) {
+  util::Rng rng(77);
+  const NodeId n = 64;
+  const std::size_t s = 3;
+  const auto g = graph::random_regular(n, 4, rng);
+
+  matching::MultiLoadState state(n, s, matching::SparseMode::kOff);
+  for (NodeId v = 0; v < n; ++v) state.set(v, v % s, 0.5);
+  state.update_mode();
+  ASSERT_EQ(state.active_rows(), n);
+
+  matching::MatchingGenerator generator(g, 29);
+  matching::RoundSchedule sched;
+  matching::ScheduleBuilder builder;
+  builder.build(generator, 0, 4, nullptr, sched);
+  const auto pairs_before = sched.pairs;
+  const auto offsets_before = sched.offsets;
+
+  state.prepare_window(sched);
+  // Every pair survives, flags are already saturated, and dense storage
+  // rows are the node ids the schedule carries — exact identity.
+  EXPECT_EQ(sched.pairs, pairs_before);
+  EXPECT_EQ(sched.offsets, offsets_before);
+}
+
+}  // namespace

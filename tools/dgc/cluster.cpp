@@ -101,6 +101,12 @@ void describe_cluster_config(util::Cli& cli) {
   cli.describe("sparse_mode", "auto",
                "load-matrix storage: auto (densify past n/2 active rows)|on|off");
   cli.describe("simd", "1", "AVX2 coin/averaging kernels when available");
+  cli.describe("schedule_window", "0",
+               "rounds scheduled ahead per window (0 = auto, 1 = classic "
+               "per-round loop, >= 2 = windowed tiled apply)");
+  cli.describe("tile_cols", "0",
+               "dimension-stripe width of the windowed apply (0 = auto "
+               "from the L2 size)");
 }
 
 core::ClusterConfig parse_cluster_config(util::Cli& cli, std::string* rule_name) {
@@ -142,6 +148,8 @@ core::ClusterConfig parse_cluster_config(util::Cli& cli, std::string* rule_name)
     DGC_REQUIRE(false, "unknown --sparse_mode: " + sparse + " (expected auto|on|off)");
   }
   config.hot_path.simd = cli.get_bool("simd", true);
+  config.hot_path.schedule_window = cli.get_uint64("schedule_window", 0);
+  config.hot_path.tile_cols = cli.get_uint64("tile_cols", 0);
   return config;
 }
 
@@ -364,6 +372,11 @@ int run_cluster(util::Cli& cli) {
   std::printf("rho_hat           %.4f\n", summary.rho_hat);
   std::printf("load_seconds      %.3f\n", load_seconds);
   std::printf("cluster_seconds   %.3f\n", cluster_seconds);
+  // schedule covers the matching draws (fused flip + resolve in the
+  // windowed executor; the unfused split stays 0 outside bench runs).
+  std::printf("phase_seconds     schedule %.3f  apply %.3f  query %.3f\n",
+              result.phase_seconds.schedule, result.phase_seconds.apply,
+              result.phase_seconds.query);
   if (!labels_out.empty() && !result.interrupted) {
     std::printf("wrote %s\n", labels_out.c_str());
   }
@@ -419,6 +432,8 @@ int run_cluster(util::Cli& cli) {
     out += config.hot_path.simd ? "true" : "false";
     out += ",\n    \"simd_kernel\": ";
     append_json_string(out, matching::simd::kernel_name(config.hot_path.simd));
+    out += ",\n    \"schedule_window\": " + std::to_string(config.hot_path.schedule_window);
+    out += ",\n    \"tile_cols\": " + std::to_string(config.hot_path.tile_cols);
     out += "\n  },\n  \"result\": {\n    \"seeds\": " + std::to_string(result.seeds.size());
     out += ",\n    \"rounds\": " + std::to_string(result.rounds);
     out += ",\n    \"threshold\": ";
@@ -441,7 +456,17 @@ int run_cluster(util::Cli& cli) {
     append_json_double(out, load_seconds);
     out += ",\n    \"cluster_seconds\": ";
     append_json_double(out, cluster_seconds);
-    out += "\n  }\n}\n";
+    out += ",\n    \"phase_seconds\": {\n      \"schedule\": ";
+    append_json_double(out, result.phase_seconds.schedule);
+    out += ",\n      \"flip\": ";
+    append_json_double(out, result.phase_seconds.flip);
+    out += ",\n      \"resolve\": ";
+    append_json_double(out, result.phase_seconds.resolve);
+    out += ",\n      \"apply\": ";
+    append_json_double(out, result.phase_seconds.apply);
+    out += ",\n      \"query\": ";
+    append_json_double(out, result.phase_seconds.query);
+    out += "\n    }\n  }\n}\n";
     std::ofstream os(json_out, std::ios::trunc);
     DGC_REQUIRE(os.good(), "cannot open for writing: " + json_out);
     os << out;
